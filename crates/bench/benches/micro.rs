@@ -1,0 +1,170 @@
+//! Criterion micro-benchmarks for the hot kernels behind every
+//! experiment: walk generation, alias-table construction, one CBOW epoch,
+//! a k-means pass, Brandes betweenness, PCA, and modularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use v2v_community::{cnm, modularity};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_embed::EmbedConfig;
+use v2v_graph::generators;
+use v2v_linalg::{Pca, RowMatrix};
+use v2v_ml::kmeans::{kmeans, KMeansConfig};
+use v2v_walks::alias::AliasTable;
+use v2v_walks::{WalkConfig, WalkCorpus};
+
+fn bench_graph() -> v2v_data::SyntheticCommunities {
+    quasi_clique_graph(&QuasiCliqueConfig {
+        n: 200,
+        groups: 10,
+        alpha: 0.5,
+        inter_edges: 40,
+        seed: 1,
+    })
+}
+
+fn walk_generation(c: &mut Criterion) {
+    let data = bench_graph();
+    let mut group = c.benchmark_group("walk_generation");
+    for t in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let cfg = WalkConfig { walks_per_vertex: t, walk_length: 40, ..Default::default() };
+            b.iter(|| WalkCorpus::generate(black_box(&data.graph), &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn alias_table_build(c: &mut Criterion) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let weights: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.1..10.0)).collect();
+    c.bench_function("alias_build_10k", |b| {
+        b.iter(|| AliasTable::new(black_box(&weights)));
+    });
+    let table = AliasTable::new(&weights);
+    c.bench_function("alias_sample_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc ^= table.sample(&mut rng);
+            }
+            acc
+        });
+    });
+}
+
+fn cbow_epoch(c: &mut Criterion) {
+    let data = bench_graph();
+    let wc = WalkConfig { walks_per_vertex: 3, walk_length: 40, ..Default::default() };
+    let corpus = WalkCorpus::generate(&data.graph, &wc).unwrap();
+    c.bench_function("cbow_train_1epoch_d50", |b| {
+        let cfg = EmbedConfig { dimensions: 50, epochs: 1, threads: 1, ..Default::default() };
+        b.iter(|| v2v_embed::train(black_box(&corpus), &cfg).unwrap());
+    });
+}
+
+fn kmeans_pass(c: &mut Criterion) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let rows: Vec<Vec<f64>> =
+        (0..1000).map(|_| (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let data = RowMatrix::from_rows(&rows);
+    c.bench_function("kmeans_k10_n1000_d10", |b| {
+        let cfg = KMeansConfig { k: 10, restarts: 1, max_iters: 20, ..Default::default() };
+        b.iter(|| kmeans(black_box(&data), &cfg));
+    });
+}
+
+fn betweenness_and_cnm(c: &mut Criterion) {
+    let data = bench_graph();
+    c.bench_function("girvan_newman_one_cut_n200", |b| {
+        // One full GN step is dominated by one betweenness recomputation;
+        // benchmark via target_k just above the component count.
+        b.iter(|| {
+            v2v_community::girvan_newman(black_box(&data.graph), Some(2))
+        });
+    });
+    c.bench_function("cnm_n200", |b| {
+        b.iter(|| cnm(black_box(&data.graph), Some(10)));
+    });
+    let labels = data.labels.clone();
+    c.bench_function("modularity_n200", |b| {
+        b.iter(|| modularity(black_box(&data.graph), black_box(&labels)));
+    });
+}
+
+fn pca_fit(c: &mut Criterion) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let rows: Vec<Vec<f64>> =
+        (0..500).map(|_| (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let data = RowMatrix::from_rows(&rows);
+    c.bench_function("pca_top2_n500_d50", |b| {
+        b.iter(|| Pca::fit(black_box(&data), 2, 0));
+    });
+}
+
+fn graph_build(c: &mut Criterion) {
+    c.bench_function("gnm_build_n1000_m10000", |b| {
+        b.iter(|| generators::gnm(1000, 10_000, black_box(7)));
+    });
+    c.bench_function("lfr_build_n1000", |b| {
+        let cfg = v2v_data::lfr::LfrConfig::default();
+        b.iter(|| v2v_data::lfr::lfr_graph(black_box(&cfg)));
+    });
+    c.bench_function("watts_strogatz_n2000_k6", |b| {
+        b.iter(|| generators::watts_strogatz(2000, 6, 0.1, black_box(3)));
+    });
+}
+
+fn layout_and_projection(c: &mut Criterion) {
+    let g = generators::watts_strogatz(300, 6, 0.1, 1);
+    c.bench_function("forceatlas2_bh_300v_50iter", |b| {
+        let cfg = v2v_viz::forceatlas2::ForceAtlasConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        b.iter(|| v2v_viz::forceatlas2::ForceAtlas2::layout(black_box(&g), &cfg));
+    });
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f64>> =
+        (0..150).map(|_| (0..20).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let data = RowMatrix::from_rows(&rows);
+    c.bench_function("tsne_150pts_100iter", |b| {
+        let cfg = v2v_viz::tsne::TsneConfig {
+            perplexity: 15.0,
+            iterations: 100,
+            ..Default::default()
+        };
+        b.iter(|| v2v_viz::tsne::tsne(black_box(&data), &cfg));
+    });
+}
+
+fn extra_detectors(c: &mut Criterion) {
+    let data = bench_graph();
+    c.bench_function("louvain_n200", |b| {
+        b.iter(|| v2v_community::louvain(black_box(&data.graph), 1));
+    });
+    c.bench_function("walktrap_n200_t4", |b| {
+        b.iter(|| v2v_community::walktrap(black_box(&data.graph), 4, Some(10)));
+    });
+    c.bench_function("label_propagation_n200", |b| {
+        b.iter(|| v2v_community::label_propagation(black_box(&data.graph), 50, 1));
+    });
+}
+
+criterion_group!(
+    benches,
+    walk_generation,
+    alias_table_build,
+    cbow_epoch,
+    kmeans_pass,
+    betweenness_and_cnm,
+    pca_fit,
+    graph_build,
+    layout_and_projection,
+    extra_detectors
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: CBOW (V2V's choice) vs SkipGram (DeepWalk/node2vec's choice)
+//! on the community-detection benchmark.
+//!
+//! DESIGN.md calls out the architecture as a core design choice; the paper
+//! asserts CBOW works but never compares. This bench compares both on
+//! identical corpora across α.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin ablation_architecture [--n N]
+//! ```
+
+use v2v_bench::{experiment_config, print_table, Args, ALPHAS};
+use v2v_core::{Architecture, V2vModel};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_ml::metrics::pairwise_scores;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 400);
+
+    println!("Ablation: CBOW vs SkipGram, 50 dims, n = {n}\n");
+    let mut rows = Vec::new();
+    for (i, &alpha) in ALPHAS.iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 400 + i as u64,
+        });
+        let base = experiment_config(50, 61 + i as u64, false);
+        let corpus = v2v_walks::WalkCorpus::generate(&data.graph, &base.walks)
+            .expect("walks succeed");
+
+        let mut row = vec![format!("{alpha:.1}")];
+        for arch in [Architecture::Cbow, Architecture::SkipGram] {
+            let mut cfg = base;
+            cfg.embedding.architecture = arch;
+            let model = V2vModel::train_on_corpus(&corpus, &cfg, std::time::Duration::ZERO)
+                .expect("training succeeds");
+            let result = model.detect_communities(10, 20);
+            let s = pairwise_scores(&data.labels, &result.labels);
+            row.push(format!("{:.3}", s.f1));
+            row.push(format!("{:.2}", model.timing().training.as_secs_f64()));
+        }
+        rows.push(row);
+    }
+    print_table(&["alpha", "cbow_f1", "cbow_s", "skipgram_f1", "skipgram_s"], &rows);
+
+    let path = args.out_dir().join("ablation_architecture.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(
+        f,
+        &["alpha", "cbow_f1", "cbow_s", "skipgram_f1", "skipgram_s"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nReading: SkipGram typically matches or beats CBOW in quality on\n\
+         graph corpora but costs more time per epoch (one update per\n\
+         (center, context-word) pair instead of per window)."
+    );
+}

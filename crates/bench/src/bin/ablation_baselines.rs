@@ -1,0 +1,99 @@
+//! Ablation: the cheaper modern graph baselines (Louvain, label
+//! propagation) next to V2V, CNM, and Girvan–Newman.
+//!
+//! The paper's future work asks about "larger scale networks"; Louvain/LPA
+//! are the algorithms that regime actually uses, so this bench completes
+//! the quality/runtime trade-off picture of Table I.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin ablation_baselines [--n N] [--skip-gn]
+//! ```
+
+use std::time::Instant;
+use v2v_bench::{experiment_config, print_table, Args};
+use v2v_community::{cnm, girvan_newman, label_propagation, louvain, walktrap};
+use v2v_core::V2vModel;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_ml::metrics::pairwise_scores;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 400);
+    let skip_gn = args.flag("skip-gn");
+
+    println!("Ablation: all community detectors, n = {n}\n");
+    let mut rows = Vec::new();
+    for (i, &alpha) in [0.1, 0.5, 1.0].iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 700 + i as u64,
+        });
+        let mut row = vec![format!("{alpha:.1}")];
+        let push = |name: &str, f1: f64, secs: f64, row: &mut Vec<String>| {
+            let _ = name;
+            row.push(format!("{f1:.3}"));
+            row.push(format!("{secs:.3}"));
+        };
+
+        // V2V.
+        let t0 = Instant::now();
+        let cfg = experiment_config(50, 91 + i as u64, false);
+        let model = V2vModel::train(&data.graph, &cfg).expect("training succeeds");
+        let result = model.detect_communities(10, 20);
+        let v2v_s = t0.elapsed().as_secs_f64();
+        push("v2v", pairwise_scores(&data.labels, &result.labels).f1, v2v_s, &mut row);
+
+        // CNM.
+        let t0 = Instant::now();
+        let p = cnm(&data.graph, Some(10));
+        push("cnm", pairwise_scores(&data.labels, &p.labels).f1, t0.elapsed().as_secs_f64(), &mut row);
+
+        // Louvain.
+        let t0 = Instant::now();
+        let p = louvain(&data.graph, 1);
+        push("louvain", pairwise_scores(&data.labels, &p.labels).f1, t0.elapsed().as_secs_f64(), &mut row);
+
+        // Label propagation.
+        let t0 = Instant::now();
+        let p = label_propagation(&data.graph, 100, 1);
+        push("lpa", pairwise_scores(&data.labels, &p.labels).f1, t0.elapsed().as_secs_f64(), &mut row);
+
+        // Walktrap (the paper's ref [14]: random walks, clustered directly).
+        let t0 = Instant::now();
+        let p = walktrap(&data.graph, 4, Some(10));
+        push("walktrap", pairwise_scores(&data.labels, &p.labels).f1, t0.elapsed().as_secs_f64(), &mut row);
+
+        // Girvan–Newman (optional; the slow one).
+        if skip_gn {
+            row.push("-".into());
+            row.push("-".into());
+        } else {
+            let t0 = Instant::now();
+            let p = girvan_newman(&data.graph, Some(10));
+            push(
+                "gn",
+                pairwise_scores(&data.labels, &p.partition.labels).f1,
+                t0.elapsed().as_secs_f64(),
+                &mut row,
+            );
+        }
+        rows.push(row);
+    }
+    let header = [
+        "alpha", "v2v_f1", "v2v_s", "cnm_f1", "cnm_s", "louvain_f1", "louvain_s", "lpa_f1",
+        "lpa_s", "walktrap_f1", "walktrap_s", "gn_f1", "gn_s",
+    ];
+    print_table(&header, &rows);
+
+    let path = args.out_dir().join("ablation_baselines.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(f, &header, &rows).expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nReading: Louvain/LPA reach graph-algorithm quality at near-V2V\n\
+         cost — the modern points on the trade-off curve Table I sketches."
+    );
+}

@@ -1,0 +1,89 @@
+//! Ablation: k-NN vs multinomial logistic regression for label prediction.
+//!
+//! §V admits "k-NN is not the best accuracy classification algorithm";
+//! DeepWalk/node2vec evaluate with logistic regression. This bench runs
+//! both on the same embedding of the synthetic OpenFlights network under
+//! the paper's 10-fold protocol.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin ablation_classifiers [--dims D]
+//! ```
+
+use v2v_bench::{experiment_config, print_table, Args};
+use v2v_core::V2vModel;
+use v2v_data::openflights_sim::{generate, OpenFlightsConfig};
+use v2v_linalg::RowMatrix;
+use v2v_ml::cross_validation::kfold;
+use v2v_ml::knn::{DistanceMetric, KnnClassifier};
+use v2v_ml::logistic::{LogisticConfig, LogisticRegression};
+use v2v_ml::metrics::accuracy;
+
+fn main() {
+    let args = Args::parse();
+    let dims: usize = args.get("dims", 50);
+    let folds: usize = args.get("folds", 10);
+
+    let net = generate(&OpenFlightsConfig {
+        continents: 6,
+        countries_per_continent: 6,
+        airports_per_country: 15,
+        ..Default::default()
+    });
+    println!(
+        "classifier ablation: {} airports, {} countries, {dims}-dim embedding, {folds}-fold CV\n",
+        net.num_airports(),
+        net.num_countries()
+    );
+
+    let cfg = experiment_config(dims, 71, false);
+    let model = V2vModel::train(&net.graph, &cfg).expect("training succeeds");
+    // Unit-normalize rows: k-NN uses cosine anyway, and logistic regression
+    // converges far better on normalized features.
+    let matrix = v2v_linalg::matrix::normalize_rows(&model.to_matrix());
+    let labels = &net.countries;
+
+    let splits = kfold(labels.len(), folds, 7);
+    let mut rows = Vec::new();
+    for task in ["country", "continent"] {
+        let truth: &[usize] = if task == "country" { labels } else { &net.continents };
+        let mut knn_acc = 0.0;
+        let mut lr_acc = 0.0;
+        for fold in &splits {
+            let train_rows: Vec<Vec<f64>> =
+                fold.train.iter().map(|&i| matrix.row(i).to_vec()).collect();
+            let train_labels: Vec<usize> = fold.train.iter().map(|&i| truth[i]).collect();
+            let test_rows: Vec<Vec<f64>> =
+                fold.test.iter().map(|&i| matrix.row(i).to_vec()).collect();
+            let test_labels: Vec<usize> = fold.test.iter().map(|&i| truth[i]).collect();
+            let train = RowMatrix::from_rows(&train_rows);
+            let test = RowMatrix::from_rows(&test_rows);
+
+            let knn = KnnClassifier::fit(&train, &train_labels, DistanceMetric::Cosine);
+            knn_acc += accuracy(&test_labels, &knn.predict_batch(&test, 3));
+
+            let lr = LogisticRegression::fit(
+                &train,
+                &train_labels,
+                &LogisticConfig { iterations: 800, learning_rate: 2.0, ..Default::default() },
+            );
+            lr_acc += accuracy(&test_labels, &lr.predict_batch(&test));
+        }
+        rows.push(vec![
+            task.to_string(),
+            format!("{:.3}", knn_acc / folds as f64),
+            format!("{:.3}", lr_acc / folds as f64),
+        ]);
+    }
+    print_table(&["task", "knn_k3", "logistic"], &rows);
+
+    let path = args.out_dir().join("ablation_classifiers.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(f, &["task", "knn_k3", "logistic"], &rows).expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nReading: with many small classes (countries) the parametric\n\
+         classifier and k-NN trade places depending on class size; the\n\
+         embedding quality, not the classifier, is the binding constraint —\n\
+         which is the paper's §V claim."
+    );
+}

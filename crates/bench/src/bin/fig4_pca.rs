@@ -1,0 +1,76 @@
+//! Fig 4: PCA scatter of 50-dimensional V2V embeddings at α = 0.1,
+//! colored by ground-truth community (k = 10).
+//!
+//! The paper's point: even through a 2-D projection, the unsupervised
+//! embedding separates the communities. Writes the scatter SVG + CSV and
+//! prints a cluster-separation diagnostic.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin fig4_pca [--full] [--n N] [--alpha A]
+//! ```
+
+use v2v_bench::{experiment_config, Args};
+use v2v_core::V2vModel;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let n: usize = args.get("n", if full { 1000 } else { 300 });
+    let alpha: f64 = args.get("alpha", 0.1);
+    let out = args.out_dir();
+
+    let data = quasi_clique_graph(&QuasiCliqueConfig {
+        n,
+        groups: 10,
+        alpha,
+        inter_edges: n / 5,
+        seed: 4,
+    });
+    let cfg = experiment_config(50, 11, full);
+    let model = V2vModel::train(&data.graph, &cfg).expect("training succeeds");
+    let (_, projected) = model.project(2, 0);
+
+    let points: Vec<[f64; 2]> =
+        (0..n).map(|i| [projected[(i, 0)], projected[(i, 1)]]).collect();
+
+    let svg_path = out.join("fig4_pca.svg");
+    let f = std::fs::File::create(&svg_path).expect("create svg");
+    v2v_viz::svg::write_scatter(
+        f,
+        &points,
+        &data.labels,
+        &format!("Fig 4: PCA of 50-dim V2V embedding, alpha = {alpha}"),
+    )
+    .expect("write svg");
+
+    let csv_path = out.join("fig4_pca.csv");
+    let f = std::fs::File::create(&csv_path).expect("create csv");
+    v2v_viz::csv::write_points(f, &points, &data.labels).expect("write csv");
+
+    // Separation diagnostic in the projected plane.
+    let (mut intra, mut ni) = (0.0, 0usize);
+    let (mut inter, mut nx) = (0.0, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i][0] - points[j][0];
+            let dy = points[i][1] - points[j][1];
+            let d = (dx * dx + dy * dy).sqrt();
+            if data.labels[i] == data.labels[j] {
+                intra += d;
+                ni += 1;
+            } else {
+                inter += d;
+                nx += 1;
+            }
+        }
+    }
+    let ratio = (inter / nx as f64) / (intra / ni as f64);
+    println!("wrote {} and {}", svg_path.display(), csv_path.display());
+    println!("mean 2-D distance: intra-community {:.3}, inter {:.3} (ratio {ratio:.2})",
+        intra / ni as f64, inter / nx as f64);
+    println!(
+        "\nShape check vs paper: communities form distinct clusters in the top-2\n\
+         PCA plane (ratio well above 1) even though training saw no labels."
+    );
+}

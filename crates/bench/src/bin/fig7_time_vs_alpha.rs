@@ -1,0 +1,123 @@
+//! Fig 7: accuracy and *time-to-convergence* of V2V (600 dimensions) as a
+//! function of α.
+//!
+//! The paper's observation: weaker community structure (small α) makes the
+//! SGD take longer to reach a stationary loss, so training time *decreases*
+//! as α grows — opposite to the graph algorithms, whose runtime grows with
+//! the edge count.
+//!
+//! Measurement: train for a fixed number of epochs recording the per-epoch
+//! loss, then compute the epoch at which the loss first came within 5% of
+//! its total achieved improvement ("epochs to plateau") and report the
+//! corresponding share of the wall time. This is the scaled equivalent of
+//! the paper's train-until-stationary protocol (their corpus is ~2500x
+//! larger, so their convergence happens inside epoch one of a far longer
+//! run).
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin fig7_time_vs_alpha [--full] [--n N] [--dims D]
+//! ```
+
+use v2v_bench::{experiment_config, print_table, Args, ALPHAS};
+use v2v_core::V2vModel;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_ml::metrics::pairwise_scores;
+
+/// First epoch (1-based) whose loss is within `tol` of the total achieved
+/// improvement.
+fn epochs_to_plateau(losses: &[f64], tol: f64) -> usize {
+    let first = losses[0];
+    let last = *losses.last().unwrap();
+    let span = (first - last).max(f64::MIN_POSITIVE);
+    losses
+        .iter()
+        .position(|&l| (l - last) <= tol * span)
+        .map(|i| i + 1)
+        .unwrap_or(losses.len())
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let n: usize = args.get("n", if full { 1000 } else { 400 });
+    let dims: usize = args.get("dims", 600);
+    let epochs: usize = args.get("max-epochs", 8);
+    let restarts = args.get("restarts", if full { 100 } else { 20 });
+
+    println!("Fig 7: accuracy + time-to-plateau vs alpha, {dims} dimensions, n = {n}\n");
+
+    let mut rows = Vec::new();
+    let mut prec_pts = Vec::new();
+    let mut time_pts = Vec::new();
+    for (i, &alpha) in ALPHAS.iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 300 + i as u64,
+        });
+        let mut cfg = experiment_config(dims, 17 + i as u64, full);
+        cfg.embedding.epochs = epochs;
+        cfg.embedding.convergence_tol = None; // fixed run; plateau measured post hoc
+        // Long runs at 600 dims need a gentler step than word2vec's 0.025
+        // default or late-training overshoot erodes the geometry.
+        cfg.embedding.initial_lr = args.get("lr", 0.0125f32);
+        let model = V2vModel::train(&data.graph, &cfg).expect("training succeeds");
+
+        let plateau = epochs_to_plateau(&model.stats().epoch_losses, 0.05);
+        let total_s = model.timing().training.as_secs_f64();
+        let converge_s = total_s * plateau as f64 / epochs as f64;
+
+        let result = model.detect_communities(10, restarts);
+        let s = pairwise_scores(&data.labels, &result.labels);
+        prec_pts.push((alpha, s.precision));
+        time_pts.push((alpha, converge_s));
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            format!("{:.3}", s.precision),
+            format!("{:.3}", s.recall),
+            format!("{converge_s:.3}"),
+            format!("{plateau}"),
+            format!("{total_s:.3}"),
+        ]);
+    }
+    print_table(
+        &["alpha", "precision", "recall", "converge_s", "plateau_ep", "total_s"],
+        &rows,
+    );
+
+    let path = args.out_dir().join("fig7_time_vs_alpha.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(
+        f,
+        &["alpha", "precision", "recall", "converge_s", "plateau_ep", "total_s"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", path.display());
+
+    // The figure itself: precision and (max-normalized) convergence time.
+    let tmax = time_pts.iter().map(|&(_, t)| t).fold(f64::MIN_POSITIVE, f64::max);
+    let time_norm: Vec<(f64, f64)> = time_pts.iter().map(|&(a, t)| (a, t / tmax)).collect();
+    let chart = [
+        v2v_viz::svg::Series { label: "precision", points: prec_pts },
+        v2v_viz::svg::Series { label: "convergence time (normalized)", points: time_norm },
+    ];
+    let svg_path = args.out_dir().join("fig7_time_vs_alpha.svg");
+    let f = std::fs::File::create(&svg_path).expect("create svg");
+    v2v_viz::svg::write_line_chart(
+        f,
+        &chart,
+        "Fig 7: accuracy and time-to-convergence vs alpha",
+        "alpha",
+        "value",
+    )
+    .expect("write svg");
+    println!("wrote {}", svg_path.display());
+    println!(
+        "\nShape check vs paper: epochs-to-plateau (and the convergence time)\n\
+         trends downward as alpha rises, while precision/recall trend up —\n\
+         stronger structure is both easier and faster to learn."
+    );
+}

@@ -1,0 +1,66 @@
+//! Extension experiment (paper §VII future work): predicting relationships
+//! between pairs of vertices.
+//!
+//! Hides 10% of edges, trains V2V on the rest, and ranks hidden edges
+//! against sampled non-edges by endpoint-cosine; compares against the
+//! classic topological indices computed on the same training graph.
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin link_prediction [--n N] [--fraction F]
+//! ```
+
+use v2v_bench::{experiment_config, print_table, Args};
+use v2v_core::link_prediction::{auc_of_scorer, v2v_link_prediction_auc};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_graph::similarity;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 400);
+    let fraction: f64 = args.get("fraction", 0.1);
+
+    println!("Link prediction: hide {:.0}% of edges, rank vs non-edges (ROC AUC)\n", fraction * 100.0);
+    let mut rows = Vec::new();
+    for (i, &alpha) in [0.1, 0.3, 0.5, 0.7, 1.0].iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups: 10,
+            alpha,
+            inter_edges: n / 5,
+            seed: 800 + i as u64,
+        });
+
+        let cfg = experiment_config(50, 41 + i as u64, false);
+        let (v2v_auc, split) =
+            v2v_link_prediction_auc(&data.graph, &cfg, fraction, 55 + i as u64)
+                .expect("training succeeds");
+        let g = &split.train_graph;
+        let cn = auc_of_scorer(&split, |u, v| similarity::common_neighbors(g, u, v) as f64);
+        let jc = auc_of_scorer(&split, |u, v| similarity::jaccard(g, u, v));
+        let aa = auc_of_scorer(&split, |u, v| similarity::adamic_adar(g, u, v));
+        let ra = auc_of_scorer(&split, |u, v| similarity::resource_allocation(g, u, v));
+        let pa = auc_of_scorer(&split, |u, v| similarity::preferential_attachment(g, u, v));
+
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            format!("{v2v_auc:.3}"),
+            format!("{cn:.3}"),
+            format!("{jc:.3}"),
+            format!("{aa:.3}"),
+            format!("{ra:.3}"),
+            format!("{pa:.3}"),
+        ]);
+    }
+    let header = ["alpha", "v2v_cos", "common_nbrs", "jaccard", "adamic_adar", "res_alloc", "pref_attach"];
+    print_table(&header, &rows);
+
+    let path = args.out_dir().join("link_prediction.csv");
+    let f = std::fs::File::create(&path).expect("create csv");
+    v2v_viz::csv::write_rows(f, &header, &rows).expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nReading: within-community hidden edges are easy for every scorer;\n\
+         the embedding matches the strong local indices while also being the\n\
+         only scorer defined for vertex pairs with no common neighbors."
+    );
+}

@@ -1,0 +1,133 @@
+//! Table I: community detection — V2V (10-dim, k-means) vs CNM vs
+//! Girvan–Newman on the α-quasi-clique benchmark.
+//!
+//! Paper setting: n = 1000, 10 groups, 200 inter edges, α = 0.1 … 1.0,
+//! V2V on a 10-dimensional embedding, k-means with 100 restarts.
+//!
+//! Default here is a scaled-down n = 400 instance (GN is O(m²n); at the
+//! paper's n = 1000 its column alone runs for hours — exactly the paper's
+//! point). `--full` runs the paper's n = 1000 (budget hours for GN, or
+//! pass `--skip-gn`).
+//!
+//! ```text
+//! cargo run --release -p v2v-bench --bin table1 [--full] [--skip-gn] [--n N]
+//! ```
+
+use std::time::Instant;
+use v2v_bench::{experiment_config, print_table, Args, ALPHAS};
+use v2v_community::{cnm, girvan_newman};
+use v2v_core::V2vModel;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_ml::metrics::pairwise_scores;
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let n: usize = args.get("n", if full { 1000 } else { 400 });
+    let groups = 10;
+    let inter = n / 5; // the paper's 200 inter edges at n = 1000
+    let restarts = args.get("restarts", if full { 100 } else { 20 });
+    let skip_gn = args.flag("skip-gn");
+
+    println!("Table I reproduction: n = {n}, {groups} groups, {inter} inter-group edges");
+    println!("V2V: 10 dimensions, k-means with {restarts} restarts\n");
+
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 8];
+    for (i, &alpha) in ALPHAS.iter().enumerate() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n,
+            groups,
+            alpha,
+            inter_edges: inter,
+            seed: 100 + i as u64,
+        });
+
+        // V2V column.
+        let cfg = experiment_config(10, 7 + i as u64, full);
+        let model = V2vModel::train(&data.graph, &cfg).expect("training succeeds");
+        let result = model.detect_communities(groups, restarts);
+        let v2v = pairwise_scores(&data.labels, &result.labels);
+        let train_s = model.timing().total().as_secs_f64();
+        let cluster_s = result.clustering_time.as_secs_f64();
+
+        // CNM column.
+        let t0 = Instant::now();
+        let cnm_part = cnm(&data.graph, Some(groups));
+        let cnm_s = t0.elapsed().as_secs_f64();
+        let cnm_scores = pairwise_scores(&data.labels, &cnm_part.labels);
+
+        // Girvan–Newman column.
+        let (gn_scores, gn_s) = if skip_gn {
+            (None, 0.0)
+        } else {
+            let t0 = Instant::now();
+            let gn = girvan_newman(&data.graph, Some(groups));
+            let secs = t0.elapsed().as_secs_f64();
+            (Some(pairwise_scores(&data.labels, &gn.partition.labels)), secs)
+        };
+
+        sums[0] += v2v.precision;
+        sums[1] += v2v.recall;
+        sums[2] += train_s;
+        sums[3] += cluster_s;
+        sums[4] += cnm_scores.precision;
+        sums[5] += cnm_s;
+        sums[6] += gn_scores.map_or(0.0, |s| s.precision);
+        sums[7] += gn_s;
+
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            format!("{:.3}", v2v.precision),
+            format!("{:.3}", v2v.recall),
+            format!("{train_s:.3}"),
+            format!("{cluster_s:.5}"),
+            format!("{:.3}", cnm_scores.precision),
+            format!("{:.3}", cnm_scores.recall),
+            format!("{cnm_s:.3}"),
+            gn_scores.map_or("-".into(), |s| format!("{:.3}", s.precision)),
+            gn_scores.map_or("-".into(), |s| format!("{:.3}", s.recall)),
+            if skip_gn { "-".into() } else { format!("{gn_s:.3}") },
+        ]);
+    }
+    let k = ALPHAS.len() as f64;
+    rows.push(vec![
+        "avg".into(),
+        format!("{:.3}", sums[0] / k),
+        format!("{:.3}", sums[1] / k),
+        format!("{:.3}", sums[2] / k),
+        format!("{:.5}", sums[3] / k),
+        format!("{:.3}", sums[4] / k),
+        "".into(),
+        format!("{:.3}", sums[5] / k),
+        if skip_gn { "-".into() } else { format!("{:.3}", sums[6] / k) },
+        "".into(),
+        if skip_gn { "-".into() } else { format!("{:.3}", sums[7] / k) },
+    ]);
+
+    print_table(
+        &[
+            "alpha", "v2v_prec", "v2v_rec", "train_s", "cluster_s", "cnm_prec", "cnm_rec",
+            "cnm_s", "gn_prec", "gn_rec", "gn_s",
+        ],
+        &rows,
+    );
+
+    let csv_path = args.out_dir().join("table1.csv");
+    let f = std::fs::File::create(&csv_path).expect("create csv");
+    v2v_viz::csv::write_rows(
+        f,
+        &[
+            "alpha", "v2v_prec", "v2v_rec", "train_s", "cluster_s", "cnm_prec", "cnm_rec",
+            "cnm_s", "gn_prec", "gn_rec", "gn_s",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", csv_path.display());
+    println!(
+        "\nShape check vs paper: V2V precision/recall slightly below the graph\n\
+         algorithms' ~1.0, but V2V's clustering step is orders of magnitude\n\
+         faster than CNM/GN, whose runtimes grow steeply with alpha (edge count)."
+    );
+}

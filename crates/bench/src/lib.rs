@@ -1,0 +1,122 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every binary reproduces one table or figure of the V2V paper (see
+//! DESIGN.md's experiment index) with scaled-down defaults that finish in
+//! seconds to minutes; pass `--full` to run at paper scale where
+//! supported. Results print as aligned text tables and are also written as
+//! CSV/SVG under `--out <dir>` (default `results/`).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use v2v_core::V2vConfig;
+
+/// Minimal `--key value` / `--flag` argument parser (no external deps).
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = iter.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else { continue };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), it.next().unwrap());
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether `--key` was passed as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Output directory (`--out`, default `results/`), created on demand.
+    pub fn out_dir(&self) -> PathBuf {
+        let dir = PathBuf::from(self.values.get("out").cloned().unwrap_or("results".into()));
+        std::fs::create_dir_all(&dir).expect("cannot create output directory");
+        dir
+    }
+}
+
+/// The scaled-down V2V configuration the experiment binaries default to
+/// (DESIGN.md substitution #3); `--full` swaps in the paper's t = l = 1000.
+pub fn experiment_config(dims: usize, seed: u64, full: bool) -> V2vConfig {
+    let mut cfg = V2vConfig::default().with_dimensions(dims).with_seed(seed);
+    if full {
+        cfg.walks = v2v_walks::WalkConfig::paper_scale();
+        cfg.walks.seed = seed;
+    } else {
+        cfg.walks.walks_per_vertex = 10;
+        cfg.walks.walk_length = 80;
+        cfg.embedding.epochs = 2;
+    }
+    cfg
+}
+
+/// Prints a text table: header row, separator, aligned body rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Standard α sweep of the paper's Table I / Figs 5-7.
+pub const ALPHAS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::from_iter(
+            ["--n", "500", "--full", "--alpha", "0.5"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.get("n", 0usize), 500);
+        assert_eq!(a.get("alpha", 0.0f64), 0.5);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn experiment_config_scales() {
+        let quick = experiment_config(50, 1, false);
+        assert_eq!(quick.walks.walks_per_vertex, 10);
+        let full = experiment_config(50, 1, true);
+        assert_eq!(full.walks.walks_per_vertex, 1000);
+        assert_eq!(full.embedding.dimensions, 50);
+    }
+}

@@ -1,0 +1,467 @@
+//! Subcommand implementations. Each takes parsed [`crate::opts::Opts`]
+//! and returns a human-readable error string on failure so `main` can
+//! print usage consistently.
+
+use crate::opts::Opts;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use v2v_core::{V2vConfig, V2vModel};
+use v2v_graph::io::EdgeListFormat;
+use v2v_graph::Graph;
+use v2v_walks::WalkStrategy;
+
+fn parse_format(opts: &Opts) -> Result<EdgeListFormat, String> {
+    match opts.get_str("format").unwrap_or("plain") {
+        "plain" => Ok(EdgeListFormat::Plain),
+        "weighted" => Ok(EdgeListFormat::Weighted),
+        "temporal" => Ok(EdgeListFormat::Temporal),
+        "weighted-temporal" => Ok(EdgeListFormat::WeightedTemporal),
+        other => Err(format!("unknown --format {other:?} (plain|weighted|temporal|weighted-temporal)")),
+    }
+}
+
+fn load_graph(opts: &Opts) -> Result<Graph, String> {
+    let path = opts.require("input")?;
+    let format = parse_format(opts)?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    v2v_graph::io::read_edge_list(BufReader::new(file), opts.flag("directed"), format)
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn parse_strategy(opts: &Opts) -> Result<WalkStrategy, String> {
+    match opts.get_str("strategy").unwrap_or("uniform") {
+        "uniform" => Ok(WalkStrategy::Uniform),
+        "edge-weighted" => Ok(WalkStrategy::EdgeWeighted),
+        "vertex-weighted" => Ok(WalkStrategy::VertexWeighted),
+        "temporal" => Ok(WalkStrategy::Temporal {
+            window: opts.get_str("time-window").map(|w| w.parse().map_err(|_| "invalid --time-window".to_string())).transpose()?,
+        }),
+        "node2vec" => Ok(WalkStrategy::Node2Vec {
+            p: opts.get("p", 1.0)?,
+            q: opts.get("q", 1.0)?,
+        }),
+        other => Err(format!(
+            "unknown --strategy {other:?} (uniform|edge-weighted|vertex-weighted|temporal|node2vec)"
+        )),
+    }
+}
+
+/// `v2v embed`: edge list → word2vec-format embedding file.
+pub fn embed(opts: &Opts) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let output = opts.require("output")?;
+
+    let mut config = V2vConfig::default()
+        .with_dimensions(opts.get("dims", 50usize)?)
+        .with_seed(opts.get("seed", 0x5EEDu64)?);
+    config.walks.walks_per_vertex = opts.get("walks", 10usize)?;
+    config.walks.walk_length = opts.get("length", 80usize)?;
+    config.walks.strategy = parse_strategy(opts)?;
+    config.embedding.window = opts.get("window", 5usize)?;
+    config.embedding.epochs = opts.get("epochs", 2usize)?;
+    config.embedding.threads = opts.get("threads", 0usize)?;
+
+    eprintln!(
+        "embedding {} vertices / {} edges: {} dims, {} walks x {} steps, {} epochs",
+        graph.num_vertices(),
+        graph.num_edges(),
+        config.embedding.dimensions,
+        config.walks.walks_per_vertex,
+        config.walks.walk_length,
+        config.embedding.epochs
+    );
+    let model = V2vModel::train(&graph, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trained in {:.2?} (walks {:.2?}); final loss {:.4}",
+        model.timing().training,
+        model.timing().walk_generation,
+        model.stats().epoch_losses.last().copied().unwrap_or(f64::NAN)
+    );
+
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    v2v_embed::io::write_embedding(model.embedding(), BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn load_embedding(opts: &Opts) -> Result<v2v_embed::Embedding, String> {
+    let path = opts.require("embedding")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    v2v_embed::io::read_embedding(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// `v2v communities`: embedding file → one `vertex community` line each.
+pub fn communities(opts: &Opts) -> Result<(), String> {
+    let embedding = load_embedding(opts)?;
+    let k = opts.get("k", 0usize)?;
+    if k < 1 {
+        return Err("--k is required and must be >= 1".into());
+    }
+    let restarts = opts.get("restarts", 100usize)?;
+    let matrix = embedding.to_matrix();
+    let cfg = v2v_ml::kmeans::KMeansConfig {
+        k,
+        restarts,
+        seed: opts.get("seed", 0xC1A55u64)?,
+        ..Default::default()
+    };
+    let result = v2v_ml::kmeans::kmeans(&matrix, &cfg);
+    eprintln!("k-means: k = {k}, {restarts} restarts, inertia {:.4}", result.inertia);
+
+    let mut out: Box<dyn Write> = match opts.get_str("output") {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for (v, c) in result.assignments.iter().enumerate() {
+        writeln!(out, "{v} {c}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Reads `vertex label` lines; `?` labels are targets to predict.
+fn read_labels(path: &str, n: usize) -> Result<(Vec<Option<usize>>, Vec<usize>), String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut known = vec![None; n];
+    let mut targets = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let v: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(format!("{path}:{}: bad vertex id", lineno + 1))?;
+        if v >= n {
+            return Err(format!("{path}:{}: vertex {v} out of range", lineno + 1));
+        }
+        match toks.next() {
+            Some("?") => targets.push(v),
+            Some(l) => {
+                known[v] = Some(
+                    l.parse().map_err(|_| format!("{path}:{}: bad label {l:?}", lineno + 1))?,
+                )
+            }
+            None => return Err(format!("{path}:{}: missing label", lineno + 1)),
+        }
+    }
+    Ok((known, targets))
+}
+
+/// `v2v predict`: k-NN label prediction for `?`-marked vertices.
+pub fn predict(opts: &Opts) -> Result<(), String> {
+    let embedding = load_embedding(opts)?;
+    let labels_path = opts.require("labels")?;
+    let k = opts.get("k", 3usize)?;
+    let (known, targets) = read_labels(labels_path, embedding.len())?;
+    if targets.is_empty() {
+        return Err("no '?' target vertices in the label file".into());
+    }
+
+    // Reuse the pipeline's predictor by wrapping the embedding in a model
+    // facade: prediction only needs the vectors.
+    let matrix = embedding.to_matrix();
+    let (train_rows, train_labels): (Vec<Vec<f64>>, Vec<usize>) = known
+        .iter()
+        .enumerate()
+        .filter_map(|(v, l)| l.map(|l| (matrix.row(v).to_vec(), l)))
+        .unzip();
+    if train_rows.is_empty() {
+        return Err("label file contains no labeled vertices".into());
+    }
+    let train = v2v_linalg::RowMatrix::from_rows(&train_rows);
+    let knn = v2v_ml::knn::KnnClassifier::fit(
+        &train,
+        &train_labels,
+        v2v_ml::knn::DistanceMetric::Cosine,
+    );
+    let mut out: Box<dyn Write> = match opts.get_str("output") {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for &t in &targets {
+        let label = knn.predict(matrix.row(t), k);
+        writeln!(out, "{t} {label}").map_err(|e| e.to_string())?;
+    }
+    eprintln!("predicted {} labels with k = {k}", targets.len());
+    Ok(())
+}
+
+/// `v2v project`: PCA projection to CSV (and optional SVG scatter).
+pub fn project(opts: &Opts) -> Result<(), String> {
+    let embedding = load_embedding(opts)?;
+    let dims = opts.get("dims", 2usize)?;
+    if dims < 1 || dims > embedding.dimensions() {
+        return Err(format!("--dims must be in 1..={}", embedding.dimensions()));
+    }
+    let matrix = embedding.to_matrix();
+    let (pca, points) =
+        v2v_linalg::Pca::fit_transform(&matrix, dims, opts.get("seed", 0u64)?);
+    eprintln!("explained variance: {:?}", pca.explained_variance);
+
+    let output = opts.require("output")?;
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    let header: Vec<String> = (0..dims).map(|d| format!("pc{}", d + 1)).collect();
+    writeln!(w, "{}", header.join(",")).map_err(|e| e.to_string())?;
+    for i in 0..points.rows() {
+        let row: Vec<String> = points.row(i).iter().map(|x| x.to_string()).collect();
+        writeln!(w, "{}", row.join(",")).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {output}");
+
+    if let Some(svg_path) = opts.get_str("svg") {
+        if dims < 2 {
+            return Err("--svg needs --dims >= 2".into());
+        }
+        let labels: Vec<usize> = match opts.get_str("labels") {
+            Some(path) => {
+                let (known, _) = read_labels(path, embedding.len())?;
+                known.into_iter().map(|l| l.unwrap_or(0)).collect()
+            }
+            None => vec![0; embedding.len()],
+        };
+        let pts: Vec<[f64; 2]> =
+            (0..points.rows()).map(|i| [points[(i, 0)], points[(i, 1)]]).collect();
+        let f = File::create(svg_path).map_err(|e| format!("cannot create {svg_path}: {e}"))?;
+        v2v_viz::svg::write_scatter(f, &pts, &labels, "V2V embedding (PCA)")
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+/// `v2v quality`: corpus + embedding diagnostics for a graph/embedding
+/// pair (coverage, stationary divergence, neighborhood preservation,
+/// similarity margin).
+pub fn quality(opts: &Opts) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let embedding = load_embedding(opts)?;
+    if embedding.len() != graph.num_vertices() {
+        return Err(format!(
+            "embedding has {} vectors but the graph has {} vertices",
+            embedding.len(),
+            graph.num_vertices()
+        ));
+    }
+    // Corpus diagnostics under the same walk settings `embed` would use.
+    let config = v2v_walks::WalkConfig {
+        walks_per_vertex: opts.get("walks", 10usize)?,
+        walk_length: opts.get("length", 80usize)?,
+        strategy: parse_strategy(opts)?,
+        seed: opts.get("seed", 0x5EEDu64)?,
+    };
+    let corpus = v2v_walks::WalkCorpus::generate(&graph, &config)
+        .map_err(|e| e.to_string())?;
+    let cs = v2v_walks::stats::corpus_stats(&corpus);
+    println!("corpus coverage:            {:.3}", cs.coverage);
+    println!("mean walk length:           {:.1}", cs.mean_walk_length);
+    println!(
+        "visit entropy:              {:.3} / {:.3} max",
+        cs.visit_entropy, cs.max_entropy
+    );
+    if !graph.is_directed() {
+        let div = v2v_walks::stats::stationary_divergence(&corpus, &graph);
+        println!("stationary divergence (TV): {div:.4}");
+    }
+    let preservation = v2v_embed::quality::neighborhood_preservation(&graph, &embedding);
+    println!("neighborhood preservation:  {preservation:.3}");
+    let margin =
+        v2v_embed::quality::similarity_margin(&graph, &embedding, opts.get("seed", 1u64)?);
+    println!("similarity margin:          {margin:.3}");
+    Ok(())
+}
+
+/// `v2v stats`: descriptive statistics of an edge list.
+pub fn stats(opts: &Opts) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let d = v2v_graph::stats::degree_stats(&graph);
+    let (_, components) = v2v_graph::traversal::connected_components(&graph);
+    println!("vertices:    {}", graph.num_vertices());
+    println!("edges:       {}", graph.num_edges());
+    println!("directed:    {}", graph.is_directed());
+    println!("weighted:    {}", graph.has_edge_weights());
+    println!("temporal:    {}", graph.has_timestamps());
+    println!("density:     {:.6}", graph.density());
+    println!("degree:      min {} / mean {:.2} / max {} (stddev {:.2})", d.min, d.mean, d.max, d.std_dev);
+    println!("components:  {components}");
+    if graph.num_vertices() <= 2000 && !graph.is_directed() {
+        println!("clustering:  {:.4}", v2v_graph::stats::average_clustering(&graph));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("v2v_cli_test_{name}_{}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn end_to_end_embed_communities_predict() {
+        // Two triangles joined by an edge.
+        let edges = "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n";
+        let input = write_temp("edges", edges);
+        let emb_path = std::env::temp_dir().join(format!("v2v_cli_emb_{}", std::process::id()));
+
+        let o = opts(&[
+            "embed",
+            "--input", input.to_str().unwrap(),
+            "--output", emb_path.to_str().unwrap(),
+            "--dims", "8",
+            "--walks", "20",
+            "--length", "20",
+            "--epochs", "3",
+            "--threads", "1",
+        ]);
+        embed(&o).unwrap();
+
+        // communities on the produced embedding
+        let labels_out = std::env::temp_dir().join(format!("v2v_cli_comm_{}", std::process::id()));
+        let o = opts(&[
+            "communities",
+            "--embedding", emb_path.to_str().unwrap(),
+            "--k", "2",
+            "--restarts", "10",
+            "--output", labels_out.to_str().unwrap(),
+        ]);
+        communities(&o).unwrap();
+        let text = std::fs::read_to_string(&labels_out).unwrap();
+        let labels: Vec<usize> = text
+            .lines()
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+
+        // predict a hidden label
+        let label_file = write_temp("labels", "0 0\n1 0\n2 0\n3 1\n4 1\n5 ?\n");
+        let pred_out = std::env::temp_dir().join(format!("v2v_cli_pred_{}", std::process::id()));
+        let o = opts(&[
+            "predict",
+            "--embedding", emb_path.to_str().unwrap(),
+            "--labels", label_file.to_str().unwrap(),
+            "--k", "2",
+            "--output", pred_out.to_str().unwrap(),
+        ]);
+        predict(&o).unwrap();
+        let pred = std::fs::read_to_string(&pred_out).unwrap();
+        assert_eq!(pred.trim(), "5 1");
+    }
+
+    #[test]
+    fn project_writes_csv_and_svg() {
+        let edges = "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n";
+        let input = write_temp("edges_p", edges);
+        let emb_path = std::env::temp_dir().join(format!("v2v_cli_emb_p_{}", std::process::id()));
+        embed(&opts(&[
+            "embed",
+            "--input", input.to_str().unwrap(),
+            "--output", emb_path.to_str().unwrap(),
+            "--dims", "6",
+            "--epochs", "1",
+            "--threads", "1",
+        ]))
+        .unwrap();
+
+        let csv = std::env::temp_dir().join(format!("v2v_cli_proj_{}.csv", std::process::id()));
+        let svg = std::env::temp_dir().join(format!("v2v_cli_proj_{}.svg", std::process::id()));
+        project(&opts(&[
+            "project",
+            "--embedding", emb_path.to_str().unwrap(),
+            "--output", csv.to_str().unwrap(),
+            "--svg", svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(text.lines().count(), 7); // header + 6 points
+        assert!(std::fs::read_to_string(&svg).unwrap().contains("<svg"));
+    }
+
+    #[test]
+    fn stats_runs_on_edge_list() {
+        let input = write_temp("edges_s", "0 1\n1 2\n");
+        stats(&opts(&["stats", "--input", input.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(load_graph(&opts(&["stats", "--input", "/nonexistent/file"])).is_err());
+        assert!(parse_format(&opts(&["embed", "--format", "csv"])).is_err());
+        assert!(parse_strategy(&opts(&["embed", "--strategy", "quantum"])).is_err());
+        assert!(communities(&opts(&["communities", "--embedding", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn bad_label_file_errors() {
+        let path = write_temp("badlabels", "0 oops\n");
+        assert!(read_labels(path.to_str().unwrap(), 5).is_err());
+        let path = write_temp("oor", "99 1\n");
+        assert!(read_labels(path.to_str().unwrap(), 5).is_err());
+    }
+}
+
+#[cfg(test)]
+mod quality_tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    #[test]
+    fn quality_runs_on_matched_pair() {
+        let edges = "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n";
+        let input = std::env::temp_dir().join(format!("v2v_q_edges_{}", std::process::id()));
+        std::fs::write(&input, edges).unwrap();
+        let emb_path = std::env::temp_dir().join(format!("v2v_q_emb_{}", std::process::id()));
+        let o = Opts::parse(
+            [
+                "embed", "--input", input.to_str().unwrap(),
+                "--output", emb_path.to_str().unwrap(),
+                "--dims", "6", "--epochs", "1", "--threads", "1",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        embed(&o).unwrap();
+        let o = Opts::parse(
+            ["quality", "--input", input.to_str().unwrap(), "--embedding", emb_path.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        quality(&o).unwrap();
+    }
+
+    #[test]
+    fn quality_rejects_size_mismatch() {
+        let edges = "0 1\n1 2\n";
+        let input = std::env::temp_dir().join(format!("v2v_qm_edges_{}", std::process::id()));
+        std::fs::write(&input, edges).unwrap();
+        let emb = std::env::temp_dir().join(format!("v2v_qm_emb_{}", std::process::id()));
+        std::fs::write(&emb, "2 2\n0 1.0 0.0\n1 0.0 1.0\n").unwrap();
+        let o = Opts::parse(
+            ["quality", "--input", input.to_str().unwrap(), "--embedding", emb.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(quality(&o).is_err());
+    }
+}

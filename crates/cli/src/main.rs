@@ -1,0 +1,52 @@
+//! `v2v` — command-line interface to the V2V graph-embedding pipeline.
+//!
+//! ```text
+//! v2v embed       --input edges.txt --output emb.txt [--dims 50] [--directed]
+//!                 [--format plain|weighted|temporal|weighted-temporal]
+//!                 [--strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
+//!                 [--walks 10] [--length 80] [--epochs 2] [--window 5]
+//!                 [--p 1.0 --q 1.0] [--time-window T] [--threads 0] [--seed S]
+//! v2v communities --embedding emb.txt --k 10 [--restarts 100] [--output labels.txt]
+//! v2v predict     --embedding emb.txt --labels labels.txt [--k 3] [--output out.txt]
+//!                 (label file lines: "<vertex> <label>" or "<vertex> ?" to predict)
+//! v2v project     --embedding emb.txt --output points.csv [--dims 2]
+//!                 [--svg plot.svg [--labels labels.txt]]
+//! v2v stats       --input edges.txt [--directed] [--format ...]
+//! v2v quality     --input edges.txt --embedding emb.txt
+//!                 (corpus + embedding diagnostics)
+//! ```
+
+mod commands;
+mod opts;
+
+use opts::Opts;
+
+const USAGE: &str = "usage: v2v <embed|communities|predict|project|stats|quality> [options]
+run `v2v help` or see the crate docs for the option list";
+
+fn main() {
+    let opts = match Opts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match opts.command.as_deref() {
+        Some("embed") => commands::embed(&opts),
+        Some("communities") => commands::communities(&opts),
+        Some("predict") => commands::predict(&opts),
+        Some("project") => commands::project(&opts),
+        Some("stats") => commands::stats(&opts),
+        Some("quality") => commands::quality(&opts),
+        Some("help") | None => {
+            println!("{USAGE}");
+            return;
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n{USAGE}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Self-contained command-line option parsing (no external crates).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// `--flag` switches.
+#[derive(Debug, Default)]
+pub struct Opts {
+    /// The first non-flag argument.
+    pub command: Option<String>,
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    /// Parses an argument iterator (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+        let mut out = Opts::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".into());
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        out.values.insert(key.to_string(), it.next().unwrap());
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.values.get(key).map(String::as_str).ok_or(format!("missing required --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A typed option with a default; errors on unparseable values instead
+    /// of silently falling back.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let o = parse(&["embed", "--input", "g.txt", "--dims", "64", "--directed"]);
+        assert_eq!(o.command.as_deref(), Some("embed"));
+        assert_eq!(o.require("input").unwrap(), "g.txt");
+        assert_eq!(o.get("dims", 0usize).unwrap(), 64);
+        assert!(o.flag("directed"));
+        assert!(!o.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let o = parse(&["embed"]);
+        assert_eq!(o.get("dims", 50usize).unwrap(), 50);
+        assert!(o.require("input").is_err());
+        assert!(o.get_str("output").is_none());
+    }
+
+    #[test]
+    fn invalid_typed_value_errors() {
+        let o = parse(&["embed", "--dims", "many"]);
+        assert!(o.get("dims", 1usize).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        let e = Opts::parse(["a".to_string(), "b".to_string()]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let o = parse(&["stats", "--directed", "--verbose"]);
+        assert!(o.flag("directed") && o.flag("verbose"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Clauset–Newman–Moore greedy modularity agglomeration.
+//!
+//! Starts with every vertex in its own community and repeatedly performs
+//! the merge with the largest modularity gain
+//! `dQ(i, j) = E_ij / m - 2 a_i a_j` (where `E_ij` is the weight between
+//! the communities and `a_i = d_i / 2m`), tracking the partition at the
+//! modularity peak. A lazy max-heap over candidate merges gives the
+//! `O(m d log n)` behavior of the original paper.
+
+use crate::{compact_labels, Partition};
+use std::collections::{BinaryHeap, HashMap};
+use v2v_graph::Graph;
+
+/// Heap entry ordered by ΔQ; lazily invalidated.
+#[derive(PartialEq)]
+struct Candidate {
+    dq: f64,
+    a: usize,
+    b: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dq
+            .partial_cmp(&other.dq)
+            .unwrap()
+            .then(self.a.cmp(&other.a))
+            .then(self.b.cmp(&other.b))
+    }
+}
+
+/// Runs CNM on an undirected graph, merging until no merge improves
+/// modularity (or, with `target_k = Some(k)`, until `k` communities
+/// remain — useful when the caller knows the community count, as in the
+/// paper's Table I where `k = 10`).
+///
+/// Returns the partition at the modularity peak reached.
+pub fn cnm(graph: &Graph, target_k: Option<usize>) -> Partition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Partition { labels: Vec::new(), num_communities: 0, modularity: 0.0 };
+    }
+    let m_total = graph.total_edge_weight();
+    if m_total <= 0.0 {
+        // No edges: everything is its own community.
+        let labels: Vec<usize> = (0..n).collect();
+        return Partition { labels, num_communities: n, modularity: 0.0 };
+    }
+
+    // Community state: `links[c]` maps neighbor community -> E_cd (weight
+    // between c and d); `a[c] = d_c / 2m`; `self_w[c]` = intra weight.
+    let mut links: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    let mut a = vec![0.0f64; n];
+    let mut self_w = vec![0.0f64; n];
+    let mut alive = vec![true; n];
+    let two_m = 2.0 * m_total;
+
+    for e in graph.edges() {
+        let (u, v, w) = (e.source.index(), e.target.index(), e.weight);
+        if u == v {
+            self_w[u] += w;
+            a[u] += 2.0 * w / two_m;
+        } else {
+            *links[u].entry(v).or_insert(0.0) += w;
+            *links[v].entry(u).or_insert(0.0) += w;
+            a[u] += w / two_m;
+            a[v] += w / two_m;
+        }
+    }
+
+    let dq = |links: &Vec<HashMap<usize, f64>>, a: &Vec<f64>, i: usize, j: usize| -> f64 {
+        let e_ij = links[i].get(&j).copied().unwrap_or(0.0);
+        e_ij / m_total - 2.0 * a[i] * a[j]
+    };
+
+    let mut heap = BinaryHeap::new();
+    for i in 0..n {
+        for &j in links[i].keys() {
+            if i < j {
+                heap.push(Candidate { dq: dq(&links, &a, i, j), a: i, b: j });
+            }
+        }
+    }
+
+    // `parent` records merges so final labels can be resolved.
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut num_communities = n;
+    let mut q: f64 = (0..n).map(|c| self_w[c] / m_total - a[c] * a[c]).sum();
+    let mut best_q = q;
+    let mut best_merges: usize = 0;
+    let mut merges: Vec<(usize, usize)> = Vec::new();
+    let want_k = target_k.unwrap_or(1);
+
+    while num_communities > want_k.max(1) {
+        // Pop until a valid, current candidate emerges.
+        let Some(cand) = heap.pop() else { break };
+        let (i, j) = (cand.a, cand.b);
+        if !alive[i] || !alive[j] {
+            continue;
+        }
+        let current = dq(&links, &a, i, j);
+        if (current - cand.dq).abs() > 1e-12 {
+            continue; // stale entry; a fresh one is (or will be) in the heap
+        }
+        if target_k.is_none() && current <= 0.0 {
+            break; // modularity peak reached
+        }
+
+        // Merge j into i.
+        let e_ij = links[i].get(&j).copied().unwrap_or(0.0);
+        self_w[i] += self_w[j] + e_ij;
+        links[i].remove(&j);
+        let j_links: Vec<(usize, f64)> =
+            links[j].iter().map(|(&k, &w)| (k, w)).filter(|&(k, _)| k != i).collect();
+        links[j].clear();
+        for (k, w) in j_links {
+            *links[i].entry(k).or_insert(0.0) += w;
+            let lk = &mut links[k];
+            lk.remove(&j);
+            *lk.entry(i).or_insert(0.0) += w;
+        }
+        a[i] += a[j];
+        alive[j] = false;
+        parent[j] = i;
+        num_communities -= 1;
+        q += current;
+        merges.push((i, j));
+        if q > best_q {
+            best_q = q;
+            best_merges = merges.len();
+        }
+
+        // Refresh candidates around the merged community.
+        let neighbors: Vec<usize> = links[i].keys().copied().collect();
+        for k in neighbors {
+            heap.push(Candidate {
+                dq: dq(&links, &a, i.min(k), i.max(k)),
+                a: i.min(k),
+                b: i.max(k),
+            });
+        }
+    }
+
+    // Resolve labels: replay only the merges up to the modularity peak
+    // (when running to a target k, keep all merges).
+    let cutoff = if target_k.is_some() { merges.len() } else { best_merges };
+    let mut find: Vec<usize> = (0..n).collect();
+    for &(i, j) in &merges[..cutoff] {
+        find[j] = i;
+    }
+    let resolve = |mut v: usize, find: &[usize]| {
+        while find[v] != v {
+            v = find[v];
+        }
+        v
+    };
+    let raw: Vec<usize> = (0..n).map(|v| resolve(v, &find)).collect();
+    let (labels, k) = compact_labels(raw);
+    let q_final = crate::modularity::modularity(graph, &labels);
+    Partition { labels, num_communities: k, modularity: q_final }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::{generators, GraphBuilder, VertexId};
+
+    fn two_cliques(size: usize) -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        for base in [0, size] {
+            for u in 0..size {
+                for v in (u + 1)..size {
+                    b.add_edge(
+                        VertexId((base + u) as u32),
+                        VertexId((base + v) as u32),
+                    );
+                }
+            }
+        }
+        b.add_edge(VertexId(0), VertexId(size as u32));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques(6);
+        let p = cnm(&g, None);
+        assert_eq!(p.num_communities, 2);
+        // Every vertex in a clique shares a label.
+        for c in 1..6 {
+            assert_eq!(p.labels[0], p.labels[c]);
+            assert_eq!(p.labels[6], p.labels[6 + c]);
+        }
+        assert_ne!(p.labels[0], p.labels[6]);
+        assert!(p.modularity > 0.3);
+    }
+
+    #[test]
+    fn target_k_is_honored() {
+        let g = two_cliques(5);
+        let p = cnm(&g, Some(2));
+        assert_eq!(p.num_communities, 2);
+        let p4 = cnm(&g, Some(4));
+        assert_eq!(p4.num_communities, 4);
+    }
+
+    #[test]
+    fn four_planted_groups_recovered() {
+        let (g, truth) = generators::planted_partition(80, 4, 0.6, 0.01, 7);
+        let p = cnm(&g, None);
+        // Compare as partitions: pairwise agreement must be near-perfect.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                total += 1;
+                if (truth[i] == truth[j]) == (p.labels[i] == p.labels[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.95, "pair agreement {frac}, k = {}", p.num_communities);
+    }
+
+    #[test]
+    fn edgeless_graph_gives_singletons() {
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(4);
+        let g = b.build().unwrap();
+        let p = cnm(&g, None);
+        assert_eq!(p.num_communities, 4);
+        assert_eq!(p.modularity, 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let p = cnm(&g, None);
+        assert_eq!(p.num_communities, 0);
+    }
+
+    #[test]
+    fn complete_graph_collapses_to_one_at_target() {
+        let g = generators::complete(8);
+        let p = cnm(&g, Some(1));
+        assert_eq!(p.num_communities, 1);
+        assert!(p.modularity.abs() < 1e-9);
+    }
+
+    #[test]
+    fn reported_modularity_matches_metric() {
+        let g = two_cliques(4);
+        let p = cnm(&g, None);
+        let q = crate::modularity::modularity(&g, &p.labels);
+        assert!((p.modularity - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // Four triangles in a ring: classic modularity test case.
+        let mut b = GraphBuilder::new_undirected();
+        for c in 0..4u32 {
+            let base = c * 3;
+            b.add_edge(VertexId(base), VertexId(base + 1));
+            b.add_edge(VertexId(base + 1), VertexId(base + 2));
+            b.add_edge(VertexId(base + 2), VertexId(base));
+            b.add_edge(VertexId(base), VertexId(((c + 1) % 4) * 3 + 1));
+        }
+        let g = b.build().unwrap();
+        let p = cnm(&g, None);
+        assert_eq!(p.num_communities, 4, "labels: {:?}", p.labels);
+        // Exact value: 4 * (3/16 - (8/32)^2) = 0.5.
+        assert!((p.modularity - 0.5).abs() < 1e-12, "q = {}", p.modularity);
+    }
+}

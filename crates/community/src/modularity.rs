@@ -1,0 +1,119 @@
+//! Newman modularity of a vertex partition.
+//!
+//! `Q = sum_c [ m_c / m  -  (d_c / 2m)^2 ]` where `m_c` is the (weighted)
+//! intra-community edge count, `d_c` the total (weighted) degree of the
+//! community, and `m` the total edge weight. This is the objective both CNM
+//! and Girvan–Newman (best-cut selection) maximize, and the metric the
+//! paper's NP-hardness remark refers to [2].
+
+use v2v_graph::Graph;
+
+/// Computes the modularity of `labels` on an undirected `graph`.
+///
+/// Self-loops contribute their weight to `m_c` and twice to `d_c`, matching
+/// the adjacency-matrix definition. Directed graphs are treated as
+/// undirected (each arc half-weight), which is how community detection on
+/// directed data is usually reduced.
+///
+/// # Panics
+/// Panics if `labels.len() != graph.num_vertices()`.
+pub fn modularity(graph: &Graph, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), graph.num_vertices(), "one label per vertex");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if graph.num_edges() == 0 {
+        return 0.0;
+    }
+
+    let mut intra = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    let mut m_total = 0.0f64;
+
+    for e in graph.edges() {
+        let w = e.weight;
+        m_total += w;
+        let cu = labels[e.source.index()];
+        let cv = labels[e.target.index()];
+        if cu == cv {
+            intra[cu] += w;
+        }
+        degree[cu] += w;
+        degree[cv] += w; // self-loop: counted twice, as in A_ii conventions
+    }
+
+    let two_m = 2.0 * m_total;
+    (0..k)
+        .map(|c| intra[c] / m_total - (degree[c] / two_m) * (degree[c] / two_m))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::{generators, GraphBuilder, VertexId};
+
+    #[test]
+    fn single_community_is_zero() {
+        let g = generators::complete(5);
+        assert!(modularity(&g, &[0; 5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_negative() {
+        let g = generators::complete(5);
+        let labels: Vec<usize> = (0..5).collect();
+        assert!(modularity(&g, &labels) < 0.0);
+    }
+
+    #[test]
+    fn two_cliques_bridge_known_value() {
+        // Two triangles joined by one edge; split at the bridge.
+        // m = 7, intra per community = 3, degree per community = 7.
+        // Q = 2 * (3/7 - (7/14)^2) = 6/7 - 1/2 = 5/14.
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let g = b.build().unwrap();
+        let q = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        assert!((q - 5.0 / 14.0).abs() < 1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn good_split_beats_bad_split() {
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let g = b.build().unwrap();
+        let good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let bad = modularity(&g, &[0, 1, 0, 1, 0, 1]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn weighted_edges_change_modularity() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), 10.0);
+        b.add_weighted_edge(VertexId(2), VertexId(3), 10.0);
+        b.add_weighted_edge(VertexId(1), VertexId(2), 1.0);
+        let g = b.build().unwrap();
+        let q = modularity(&g, &[0, 0, 1, 1]);
+        // Heavy intra edges, light bridge: close to the 0.5 maximum.
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(3);
+        let g = b.build().unwrap();
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn wrong_label_count_panics() {
+        let g = generators::complete(3);
+        modularity(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Spectral clustering (Ng–Jordan–Weiss).
+//!
+//! The classical eigenvector counterpart to V2V: instead of *learning* a
+//! vertex embedding from walks, take the top eigenvectors of the
+//! normalized adjacency `D^{-1/2} A D^{-1/2}` as the embedding and k-means
+//! it. Including it closes the comparison triangle — walk-learned
+//! embedding (V2V) vs walk statistics (Walktrap) vs spectral embedding.
+//!
+//! Dense `O(n^2)` formulation, appropriate for the paper-scale graphs.
+
+use crate::Partition;
+use v2v_graph::Graph;
+use v2v_linalg::pca::power_iteration_top_k;
+use v2v_linalg::RowMatrix;
+use v2v_ml::kmeans::{kmeans, KMeansConfig};
+
+/// Spectral embedding of a graph: each vertex's coordinates in the top
+/// `k` eigenvectors of `D^{-1/2} A D^{-1/2}`, row-normalized
+/// (Ng–Jordan–Weiss). Returns an `n x k` matrix.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the vertex count.
+pub fn spectral_embedding(graph: &Graph, k: usize, seed: u64) -> RowMatrix {
+    let n = graph.num_vertices();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for {n} vertices");
+
+    // Dense normalized adjacency, shifted by +I so the matrix is PSD and
+    // power iteration's magnitude ordering matches the eigenvalue
+    // ordering (spectrum of N lies in [-1, 1]).
+    let inv_sqrt_deg: Vec<f64> = graph
+        .vertices()
+        .map(|v| {
+            let d = graph.weighted_degree(v);
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut m = RowMatrix::zeros(n, n);
+    for e in graph.edges() {
+        let (u, v) = (e.source.index(), e.target.index());
+        let w = e.weight * inv_sqrt_deg[u] * inv_sqrt_deg[v];
+        m[(u, v)] += w;
+        if u != v {
+            m[(v, u)] += w;
+        }
+    }
+    for i in 0..n {
+        m[(i, i)] += 1.0;
+    }
+
+    let (_, vectors) = power_iteration_top_k(&m, k, 600, 1e-10, seed);
+
+    // Transpose eigenvector rows into per-vertex coordinates and
+    // row-normalize (NJW step).
+    let mut emb = RowMatrix::zeros(n, k);
+    for i in 0..n {
+        for j in 0..k {
+            emb[(i, j)] = vectors[(j, i)];
+        }
+        let row = emb.row_mut(i);
+        v2v_linalg::vector::normalize(row);
+    }
+    emb
+}
+
+/// Spectral clustering: spectral embedding into `k` dimensions + k-means
+/// with `restarts` restarts.
+pub fn spectral_clustering(graph: &Graph, k: usize, restarts: usize, seed: u64) -> Partition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Partition { labels: Vec::new(), num_communities: 0, modularity: 0.0 };
+    }
+    let emb = spectral_embedding(graph, k.min(n), seed);
+    let result = kmeans(
+        &emb,
+        &KMeansConfig { k: k.min(n), restarts: restarts.max(1), seed, ..Default::default() },
+    );
+    Partition::from_labels(graph, result.assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::{generators, GraphBuilder, VertexId};
+
+    #[test]
+    fn embedding_shape_and_unit_rows() {
+        let (g, _) = generators::planted_partition(60, 3, 0.5, 0.02, 1);
+        let emb = spectral_embedding(&g, 3, 0);
+        assert_eq!(emb.rows(), 60);
+        assert_eq!(emb.cols(), 3);
+        for i in 0..60 {
+            let norm = v2v_linalg::vector::norm(emb.row(i));
+            assert!((norm - 1.0).abs() < 1e-9 || norm < 1e-9, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn two_cliques_split() {
+        let mut b = GraphBuilder::new_undirected();
+        for base in [0u32, 6] {
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    b.add_edge(VertexId(base + u), VertexId(base + v));
+                }
+            }
+        }
+        b.add_edge(VertexId(0), VertexId(6));
+        let g = b.build().unwrap();
+        let p = spectral_clustering(&g, 2, 10, 3);
+        assert_eq!(p.num_communities, 2);
+        for c in 1..6 {
+            assert_eq!(p.labels[0], p.labels[c]);
+            assert_eq!(p.labels[6], p.labels[6 + c]);
+        }
+        assert_ne!(p.labels[0], p.labels[6]);
+    }
+
+    #[test]
+    fn planted_partition_recovered() {
+        let (g, truth) = generators::planted_partition(90, 3, 0.5, 0.01, 7);
+        let p = spectral_clustering(&g, 3, 10, 2);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..90 {
+            for j in (i + 1)..90 {
+                total += 1;
+                if (truth[i] == truth[j]) == (p.labels[i] == p.labels[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.9, "pair agreement {frac}");
+    }
+
+    #[test]
+    fn isolated_vertices_handled() {
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(5);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        let g = b.build().unwrap();
+        // No panic; isolated vertex 4 gets a zero row.
+        let p = spectral_clustering(&g, 2, 5, 0);
+        assert_eq!(p.labels.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let p = spectral_clustering(&g, 3, 5, 0);
+        assert_eq!(p.num_communities, 0);
+    }
+
+    #[test]
+    fn weighted_edges_matter() {
+        // 0-1 heavy, 2-3 heavy, light bridge 1-2: spectral split at bridge.
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), 10.0);
+        b.add_weighted_edge(VertexId(2), VertexId(3), 10.0);
+        b.add_weighted_edge(VertexId(1), VertexId(2), 0.1);
+        let g = b.build().unwrap();
+        let p = spectral_clustering(&g, 2, 10, 1);
+        assert_eq!(p.labels[0], p.labels[1]);
+        assert_eq!(p.labels[2], p.labels[3]);
+        assert_ne!(p.labels[0], p.labels[2]);
+    }
+}

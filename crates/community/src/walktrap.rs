@@ -1,0 +1,304 @@
+//! Walktrap community detection (Pons & Latapy 2005) — the paper's
+//! reference [14], and conceptually the closest *direct* graph algorithm
+//! to V2V: both measure vertex similarity through random walks, but
+//! Walktrap clusters walk distributions directly instead of learning an
+//! embedding.
+//!
+//! Vertices are compared by their `t`-step transition-probability vectors:
+//! `r_ij = sqrt( sum_k (P^t_ik - P^t_jk)^2 / deg(k) )`. Communities start
+//! as singletons and merge greedily (Ward criterion on `r`), restricted to
+//! adjacent communities; the partition with the best modularity along the
+//! dendrogram is returned.
+//!
+//! This is the dense `O(n^2)`-memory formulation — appropriate for the
+//! paper-scale graphs (10^3 vertices) used in the benches.
+
+use crate::{compact_labels, Partition};
+use v2v_graph::{Graph, VertexId};
+
+/// Runs Walktrap with walk length `t` (Pons & Latapy recommend 4–5).
+///
+/// Stops at `target_k` communities if given, otherwise returns the
+/// modularity peak of the full dendrogram. Isolated vertices remain
+/// singletons.
+pub fn walktrap(graph: &Graph, t: usize, target_k: Option<usize>) -> Partition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Partition { labels: Vec::new(), num_communities: 0, modularity: 0.0 };
+    }
+    assert!(t >= 1, "walk length must be positive");
+
+    // t-step transition probability vectors, one dense row per vertex.
+    let prob = transition_powers(graph, t);
+    let inv_sqrt_deg: Vec<f64> = graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v) as f64;
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // Community state.
+    let mut size: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    // Mean probability vector per community (starts as the vertex's own).
+    let mut mean: Vec<Vec<f64>> = prob;
+    // Community adjacency (from graph edges).
+    let mut adj: Vec<std::collections::HashSet<usize>> = vec![std::collections::HashSet::new(); n];
+    for e in graph.edges() {
+        let (u, v) = (e.source.index(), e.target.index());
+        if u != v {
+            adj[u].insert(v);
+            adj[v].insert(u);
+        }
+    }
+
+    // Ward merge cost of two communities under the walk metric.
+    let delta_sigma = |a: usize, b: usize, mean: &[Vec<f64>], size: &[usize]| -> f64 {
+        let mut r2 = 0.0;
+        for k in 0..n {
+            let diff = (mean[a][k] - mean[b][k]) * inv_sqrt_deg[k];
+            r2 += diff * diff;
+        }
+        (size[a] * size[b]) as f64 / (size[a] + size[b]) as f64 * r2 / n as f64
+    };
+
+    let mut labels_now: Vec<usize> = (0..n).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut communities = n;
+    let mut best = {
+        let (labels, k) = compact_labels(labels_now.clone());
+        let q = crate::modularity::modularity(graph, &labels);
+        (q, labels, k)
+    };
+    let want_k = target_k.unwrap_or(1).max(1);
+
+    while communities > want_k {
+        // Find the adjacent pair with minimum Delta sigma.
+        let mut best_pair: Option<(usize, usize, f64)> = None;
+        for a in 0..n {
+            if !alive[a] {
+                continue;
+            }
+            for &b in &adj[a] {
+                if b <= a || !alive[b] {
+                    continue;
+                }
+                let ds = delta_sigma(a, b, &mean, &size);
+                if best_pair.is_none_or(|(_, _, cur)| ds < cur) {
+                    best_pair = Some((a, b, ds));
+                }
+            }
+        }
+        let Some((a, b, _)) = best_pair else { break }; // disconnected remainder
+
+        // Merge b into a: weighted mean of probability vectors.
+        let (sa, sb) = (size[a] as f64, size[b] as f64);
+        for k in 0..n {
+            mean[a][k] = (mean[a][k] * sa + mean[b][k] * sb) / (sa + sb);
+        }
+        size[a] += size[b];
+        alive[b] = false;
+        parent[b] = a;
+        let b_adj: Vec<usize> = adj[b].iter().copied().collect();
+        for x in b_adj {
+            if x != a && alive[x] {
+                adj[a].insert(x);
+                adj[x].insert(a);
+            }
+            adj[x].remove(&b);
+        }
+        adj[b].clear();
+        communities -= 1;
+
+        // Track modularity of the current partition.
+        for l in labels_now.iter_mut() {
+            let mut root = *l;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            *l = root;
+        }
+        if target_k.is_none() {
+            let (labels, k) = compact_labels(labels_now.clone());
+            let q = crate::modularity::modularity(graph, &labels);
+            if q > best.0 {
+                best = (q, labels, k);
+            }
+        }
+    }
+
+    if target_k.is_some() {
+        let (labels, k) = compact_labels(labels_now);
+        let q = crate::modularity::modularity(graph, &labels);
+        Partition { labels, num_communities: k, modularity: q }
+    } else {
+        Partition { labels: best.1, num_communities: best.2, modularity: best.0 }
+    }
+}
+
+/// Dense `P^t` rows: `out[v][k]` = probability of a `t`-step walk from `v`
+/// ending at `k`. Weighted graphs use weight-proportional transitions.
+fn transition_powers(graph: &Graph, t: usize) -> Vec<Vec<f64>> {
+    let n = graph.num_vertices();
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|v| {
+            let mut row = vec![0.0; n];
+            row[v] = 1.0;
+            row
+        })
+        .collect();
+    let mut next = vec![0.0f64; n];
+    for _ in 0..t {
+        for row in rows.iter_mut() {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (k, &p) in row.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                let vid = VertexId::from_index(k);
+                let nbrs = graph.neighbors(vid);
+                if nbrs.is_empty() {
+                    next[k] += p; // stay put at isolated vertices
+                    continue;
+                }
+                match graph.neighbor_weights(vid) {
+                    None => {
+                        let share = p / nbrs.len() as f64;
+                        for &w in nbrs {
+                            next[w.index()] += share;
+                        }
+                    }
+                    Some(ws) => {
+                        let total: f64 = ws.iter().sum();
+                        if total <= 0.0 {
+                            next[k] += p;
+                        } else {
+                            for (&w, &wt) in nbrs.iter().zip(ws) {
+                                next[w.index()] += p * wt / total;
+                            }
+                        }
+                    }
+                }
+            }
+            row.copy_from_slice(&next);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::{generators, GraphBuilder};
+
+    fn two_cliques() -> (Graph, Vec<usize>) {
+        let mut b = GraphBuilder::new_undirected();
+        for base in [0u32, 5] {
+            for u in 0..5 {
+                for v in (u + 1)..5 {
+                    b.add_edge(VertexId(base + u), VertexId(base + v));
+                }
+            }
+        }
+        b.add_edge(VertexId(0), VertexId(5));
+        let labels = (0..10).map(|v| v / 5).collect();
+        (b.build().unwrap(), labels)
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let (g, _) = two_cliques();
+        let rows = transition_powers(&g, 3);
+        for row in &rows {
+            let total: f64 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "row sums to {total}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let (g, truth) = two_cliques();
+        let p = walktrap(&g, 4, None);
+        assert_eq!(p.num_communities, 2, "labels {:?}", p.labels);
+        let mut agree = 0;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                if (truth[i] == truth[j]) == (p.labels[i] == p.labels[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        assert_eq!(agree, 45);
+        assert!(p.modularity > 0.3);
+    }
+
+    #[test]
+    fn target_k_controls_granularity() {
+        let (g, _) = two_cliques();
+        let p = walktrap(&g, 4, Some(3));
+        assert_eq!(p.num_communities, 3);
+        let p = walktrap(&g, 4, Some(1));
+        assert_eq!(p.num_communities, 1);
+    }
+
+    #[test]
+    fn planted_partition_recovered() {
+        let (g, truth) = generators::planted_partition(90, 3, 0.5, 0.01, 5);
+        let p = walktrap(&g, 4, Some(3));
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..90 {
+            for j in (i + 1)..90 {
+                total += 1;
+                if (truth[i] == truth[j]) == (p.labels[i] == p.labels[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.9, "agreement {}", agree as f64 / total as f64);
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        let g = b.build().unwrap();
+        // Cannot merge across components (no adjacency): ends at 2.
+        let p = walktrap(&g, 3, Some(1));
+        assert_eq!(p.num_communities, 2);
+    }
+
+    #[test]
+    fn karate_club_two_factions() {
+        // Walktrap at k = 2 approximates the known split decently.
+        let g = v2v_data::karate::karate_club();
+        let truth = v2v_data::karate::karate_labels();
+        let p = walktrap(&g, 4, Some(2));
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..34 {
+            for j in (i + 1)..34 {
+                total += 1;
+                if (truth[i] == truth[j]) == (p.labels[i] == p.labels[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.8, "pair agreement {frac}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let p = walktrap(&g, 4, None);
+        assert_eq!(p.num_communities, 0);
+    }
+}

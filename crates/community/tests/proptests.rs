@@ -1,0 +1,97 @@
+//! Property-based tests for the community-detection algorithms.
+
+use proptest::prelude::*;
+use v2v_community::{cnm, label_propagation, louvain, modularity, Partition};
+use v2v_graph::{GraphBuilder, VertexId};
+
+fn graph_from(edges: &[(u32, u32)], n: u32) -> v2v_graph::Graph {
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n as usize);
+    for &(u, v) in edges {
+        b.add_edge(VertexId(u % n), VertexId(v % n));
+    }
+    b.build().unwrap()
+}
+
+fn check_partition(p: &Partition, n: usize) {
+    assert_eq!(p.labels.len(), n);
+    if n > 0 {
+        let used: std::collections::HashSet<_> = p.labels.iter().copied().collect();
+        assert_eq!(used.len(), p.num_communities, "labels not dense");
+        assert!(p.labels.iter().all(|&l| l < p.num_communities));
+    }
+}
+
+proptest! {
+    /// Modularity is bounded in [-1/2, 1] for any labeling of any graph.
+    #[test]
+    fn modularity_bounded(edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+                          labels in proptest::collection::vec(0usize..5, 20)) {
+        let g = graph_from(&edges, 20);
+        let q = modularity(&g, &labels);
+        prop_assert!((-0.5 - 1e-9..=1.0 + 1e-9).contains(&q), "q = {q}");
+    }
+
+    /// Merging all vertices into one community always gives Q = 0.
+    #[test]
+    fn single_community_zero(edges in proptest::collection::vec((0u32..15, 0u32..15), 1..40)) {
+        let g = graph_from(&edges, 15);
+        prop_assert!(modularity(&g, &vec![0; 15]).abs() < 1e-12);
+    }
+
+    /// CNM always returns a valid partition whose reported modularity
+    /// matches an independent recomputation, and (run to the peak) never
+    /// scores below the all-singletons and all-in-one baselines.
+    #[test]
+    fn cnm_valid_and_no_worse_than_trivial(
+        edges in proptest::collection::vec((0u32..18, 0u32..18), 1..50)) {
+        let g = graph_from(&edges, 18);
+        let p = cnm(&g, None);
+        check_partition(&p, 18);
+        let q = modularity(&g, &p.labels);
+        prop_assert!((q - p.modularity).abs() < 1e-9);
+        let singletons: Vec<usize> = (0..18).collect();
+        prop_assert!(p.modularity >= modularity(&g, &singletons) - 1e-9);
+        prop_assert!(p.modularity >= -1e-9, "worse than one community: {}", p.modularity);
+    }
+
+    /// Louvain returns valid partitions with non-negative modularity on
+    /// any graph with at least one edge.
+    #[test]
+    fn louvain_valid(edges in proptest::collection::vec((0u32..18, 0u32..18), 1..50),
+                     seed in any::<u64>()) {
+        let g = graph_from(&edges, 18);
+        let p = louvain(&g, seed);
+        check_partition(&p, 18);
+        prop_assert!(p.modularity >= -1e-9, "louvain q = {}", p.modularity);
+    }
+
+    /// Label propagation terminates and returns valid labels.
+    #[test]
+    fn lpa_valid(edges in proptest::collection::vec((0u32..16, 0u32..16), 0..40),
+                 seed in any::<u64>()) {
+        let g = graph_from(&edges, 16);
+        let p = label_propagation(&g, 30, seed);
+        check_partition(&p, 16);
+    }
+
+    /// Vertices in different connected components never share a CNM
+    /// community (merges only happen across edges).
+    #[test]
+    fn cnm_respects_components(edges in proptest::collection::vec((0u32..10, 0u32..10), 1..20)) {
+        // Two disjoint vertex ranges: 0..10 and 10..20.
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(20);
+        for &(u, v) in &edges {
+            b.add_edge(VertexId(u % 10), VertexId(v % 10));
+            b.add_edge(VertexId(10 + u % 10), VertexId(10 + v % 10));
+        }
+        let g = b.build().unwrap();
+        let p = cnm(&g, None);
+        for i in 0..10 {
+            for j in 10..20 {
+                prop_assert_ne!(p.labels[i], p.labels[j], "cross-component merge");
+            }
+        }
+    }
+}

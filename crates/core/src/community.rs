@@ -1,0 +1,112 @@
+//! Community detection in embedding space (paper §III).
+//!
+//! The V2V route: cluster the vertex vectors with multi-restart k-means;
+//! vertices whose vectors share a cluster form a community. The clustering
+//! itself is the sub-10ms "Running time" column of Table I — the paper
+//! stresses that once the one-time embedding exists, detection is
+//! essentially free.
+
+use crate::pipeline::V2vModel;
+use std::time::{Duration, Instant};
+use v2v_ml::kmeans::{kmeans, KMeansConfig};
+
+/// Communities found by clustering the embedding.
+#[derive(Clone, Debug)]
+pub struct CommunityResult {
+    /// Community index per vertex, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Number of communities requested.
+    pub k: usize,
+    /// k-means objective of the winning restart.
+    pub inertia: f64,
+    /// Wall-clock time of the clustering step alone (Table I's "Running
+    /// time" column).
+    pub clustering_time: Duration,
+}
+
+impl V2vModel {
+    /// Detects `k` communities by k-means over the embedding with
+    /// `restarts` restarts (the paper uses 100).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds the number of vertices (k-means
+    /// precondition).
+    pub fn detect_communities(&self, k: usize, restarts: usize) -> CommunityResult {
+        self.detect_communities_with(&KMeansConfig {
+            k,
+            restarts,
+            ..KMeansConfig::default()
+        })
+    }
+
+    /// Detects communities with full control over the k-means settings.
+    pub fn detect_communities_with(&self, config: &KMeansConfig) -> CommunityResult {
+        let matrix = self.to_matrix();
+        let t0 = Instant::now();
+        let result = kmeans(&matrix, config);
+        let clustering_time = t0.elapsed();
+        CommunityResult {
+            labels: result.assignments,
+            k: config.k,
+            inertia: result.inertia,
+            clustering_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{V2vConfig, V2vModel};
+    use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+    use v2v_ml::metrics::pairwise_scores;
+
+    #[test]
+    fn strong_communities_recovered_with_high_f1() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n: 120,
+            groups: 4,
+            alpha: 0.9,
+            inter_edges: 24,
+            seed: 11,
+        });
+        let mut cfg = V2vConfig::default().with_dimensions(24).with_seed(4);
+        cfg.walks.walks_per_vertex = 10;
+        cfg.walks.walk_length = 80;
+        cfg.embedding.epochs = 2;
+        cfg.embedding.threads = 1;
+        let model = V2vModel::train(&data.graph, &cfg).unwrap();
+        let result = model.detect_communities(4, 20);
+        let scores = pairwise_scores(&data.labels, &result.labels);
+        assert!(
+            scores.precision > 0.85 && scores.recall > 0.85,
+            "precision {} recall {}",
+            scores.precision,
+            scores.recall
+        );
+        assert_eq!(result.k, 4);
+        assert!(result.inertia.is_finite());
+        // Clustering is orders of magnitude faster than training — the
+        // paper's core runtime claim (Table I).
+        assert!(result.clustering_time < model.timing().training * 5);
+    }
+
+    #[test]
+    fn labels_cover_all_vertices() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n: 50,
+            groups: 5,
+            alpha: 0.8,
+            inter_edges: 10,
+            seed: 12,
+        });
+        let mut cfg = V2vConfig::default().with_dimensions(8).with_seed(5);
+        cfg.walks.walks_per_vertex = 8;
+        cfg.walks.walk_length = 25;
+        cfg.embedding.epochs = 3;
+        cfg.embedding.threads = 1;
+        let model = V2vModel::train(&data.graph, &cfg).unwrap();
+        let result = model.detect_communities(5, 5);
+        assert_eq!(result.labels.len(), 50);
+        assert!(result.labels.iter().all(|&l| l < 5));
+    }
+}

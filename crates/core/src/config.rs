@@ -1,0 +1,57 @@
+//! End-to-end pipeline configuration.
+
+use v2v_embed::EmbedConfig;
+use v2v_walks::WalkConfig;
+
+/// Everything needed to go from a graph to an embedding.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct V2vConfig {
+    /// Random-walk corpus generation (paper §II-A).
+    pub walks: WalkConfig,
+    /// CBOW training (paper §II-B).
+    pub embedding: EmbedConfig,
+}
+
+impl V2vConfig {
+    /// The paper's defaults: `t = l = 1000` walks, window 5, CBOW.
+    /// Warning: the corpus is `1000 l |V|` tokens — hours of training at
+    /// `|V| = 1000`. The `Default` instance is the scaled-down equivalent.
+    pub fn paper_scale() -> Self {
+        V2vConfig { walks: WalkConfig::paper_scale(), embedding: EmbedConfig::default() }
+    }
+
+    /// Convenience: set the embedding dimensionality (the knob the paper
+    /// sweeps most).
+    pub fn with_dimensions(mut self, d: usize) -> Self {
+        self.embedding.dimensions = d;
+        self
+    }
+
+    /// Convenience: set both seeds from one master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.walks.seed = seed;
+        self.embedding.seed = seed ^ 0x9E3779B97F4A7C15;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let c = V2vConfig::default().with_dimensions(128).with_seed(42);
+        assert_eq!(c.embedding.dimensions, 128);
+        assert_eq!(c.walks.seed, 42);
+        assert_ne!(c.embedding.seed, 42);
+    }
+
+    #[test]
+    fn paper_scale_propagates() {
+        let c = V2vConfig::paper_scale();
+        assert_eq!(c.walks.walks_per_vertex, 1000);
+        assert_eq!(c.walks.walk_length, 1000);
+        assert_eq!(c.embedding.window, 5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Errors from the end-to-end V2V pipeline.
+#[derive(Debug)]
+pub enum V2vError {
+    /// Walk generation failed (strategy/graph mismatch).
+    Walks(v2v_walks::walker::WalkError),
+    /// Training failed (bad config or empty corpus).
+    Training(String),
+    /// A downstream request was inconsistent with the trained model.
+    Invalid(String),
+}
+
+impl fmt::Display for V2vError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            V2vError::Walks(e) => write!(f, "walk generation failed: {e}"),
+            V2vError::Training(m) => write!(f, "training failed: {m}"),
+            V2vError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for V2vError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            V2vError::Walks(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<v2v_walks::walker::WalkError> for V2vError {
+    fn from(e: v2v_walks::walker::WalkError) -> Self {
+        V2vError::Walks(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = V2vError::Training("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e: V2vError = v2v_walks::walker::WalkError::MissingAttribute("timestamps").into();
+        assert!(e.to_string().contains("timestamps"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = V2vError::Invalid("k too large".into());
+        assert!(e.to_string().contains("k too large"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The V2V pipeline — the paper's contribution as a library.
+//!
+//! V2V (Vertex-to-Vector) embeds each vertex of a graph into a
+//! fixed-dimensional vector space by (1) enumerating constrained random
+//! walks and (2) training a CBOW model on the walk sequences, then solves
+//! graph problems with standard ML on the vectors:
+//!
+//! * community detection = k-means in embedding space (§III),
+//! * visualization = PCA projection of the vectors (§IV),
+//! * vertex label prediction = k-NN classification (§V).
+//!
+//! ```
+//! use v2v_core::{V2vConfig, V2vModel};
+//! use v2v_graph::generators;
+//!
+//! // A ring of two 8-cliques has two obvious communities.
+//! let (graph, truth) = generators::planted_partition(60, 2, 0.6, 0.02, 7);
+//! let mut config = V2vConfig::default();
+//! config.embedding.dimensions = 16;
+//! config.embedding.threads = 1;
+//! let model = V2vModel::train(&graph, &config).unwrap();
+//! let communities = model.detect_communities(2, 10);
+//! let scores = v2v_ml::metrics::pairwise_scores(&truth, &communities.labels);
+//! assert!(scores.f1 > 0.8);
+//! ```
+
+pub mod community;
+pub mod config;
+pub mod error;
+pub mod link_prediction;
+pub mod pipeline;
+pub mod prediction;
+
+pub use community::CommunityResult;
+pub use config::V2vConfig;
+pub use error::V2vError;
+pub use pipeline::V2vModel;
+
+// The substrates, re-exported so a downstream user needs one dependency.
+pub use v2v_embed::{Architecture, EmbedConfig, Embedding, OutputLayer};
+pub use v2v_graph::{Graph, GraphBuilder, VertexId};
+pub use v2v_walks::{WalkConfig, WalkStrategy};

@@ -1,0 +1,163 @@
+//! The trained V2V model and its pipeline.
+
+use crate::config::V2vConfig;
+use crate::error::V2vError;
+use std::time::{Duration, Instant};
+use v2v_embed::{Embedding, TrainStats};
+use v2v_graph::Graph;
+use v2v_linalg::{Pca, RowMatrix};
+use v2v_walks::WalkCorpus;
+
+/// Wall-clock breakdown of a training run; Table I reports the training
+/// time separately from the (sub-millisecond) clustering time.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Time spent generating the walk corpus.
+    pub walk_generation: Duration,
+    /// Time spent in SGD.
+    pub training: Duration,
+}
+
+impl Timing {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.walk_generation + self.training
+    }
+}
+
+/// A trained V2V model: the vertex embedding plus provenance.
+pub struct V2vModel {
+    embedding: Embedding,
+    stats: TrainStats,
+    timing: Timing,
+}
+
+impl V2vModel {
+    /// Runs the full pipeline: constrained walks → CBOW → embedding.
+    pub fn train(graph: &Graph, config: &V2vConfig) -> Result<V2vModel, V2vError> {
+        let t0 = Instant::now();
+        let corpus = WalkCorpus::generate(graph, &config.walks)?;
+        let walk_generation = t0.elapsed();
+        Self::train_on_corpus(&corpus, config, walk_generation)
+    }
+
+    /// Trains on a pre-built corpus (e.g. real path data, per §II's
+    /// computer-network example, or a corpus shared across dimension
+    /// sweeps as in the paper's §V protocol).
+    pub fn train_on_corpus(
+        corpus: &WalkCorpus,
+        config: &V2vConfig,
+        walk_generation: Duration,
+    ) -> Result<V2vModel, V2vError> {
+        let t1 = Instant::now();
+        let (embedding, stats) =
+            v2v_embed::train(corpus, &config.embedding).map_err(V2vError::Training)?;
+        let training = t1.elapsed();
+        Ok(V2vModel { embedding, stats, timing: Timing { walk_generation, training } })
+    }
+
+    /// The per-vertex embedding.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Consumes the model, returning the embedding.
+    pub fn into_embedding(self) -> Embedding {
+        self.embedding
+    }
+
+    /// Training statistics (loss curve, convergence).
+    pub fn stats(&self) -> &TrainStats {
+        &self.stats
+    }
+
+    /// Wall-clock breakdown.
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// The embedding as an `f64` matrix (one vertex per row).
+    pub fn to_matrix(&self) -> RowMatrix {
+        self.embedding.to_matrix()
+    }
+
+    /// PCA-projects the embedding to `dims` components (the paper's
+    /// visualization front-end, §IV). Returns `(pca, projected points)`.
+    pub fn project(&self, dims: usize, seed: u64) -> (Pca, RowMatrix) {
+        Pca::fit_transform(&self.to_matrix(), dims, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+
+    fn quick_config() -> V2vConfig {
+        let mut c = V2vConfig::default().with_dimensions(16).with_seed(1);
+        c.walks.walks_per_vertex = 10;
+        c.walks.walk_length = 30;
+        c.embedding.epochs = 4;
+        c.embedding.threads = 1;
+        c
+    }
+
+    #[test]
+    fn pipeline_end_to_end_on_synthetic_communities() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n: 100,
+            groups: 5,
+            alpha: 0.8,
+            inter_edges: 20,
+            seed: 3,
+        });
+        let model = V2vModel::train(&data.graph, &quick_config()).unwrap();
+        assert_eq!(model.embedding().len(), 100);
+        assert_eq!(model.embedding().dimensions(), 16);
+        assert!(model.stats().total_pairs > 0);
+        assert!(model.timing().total() > Duration::ZERO);
+
+        // Same-group vertices are more similar on average.
+        let emb = model.embedding();
+        let mut within = 0.0f32;
+        let mut across = 0.0f32;
+        for i in 0..20u32 {
+            within += emb.cosine_similarity(v2v_graph::VertexId(0), v2v_graph::VertexId(i + 1));
+            across += emb.cosine_similarity(v2v_graph::VertexId(0), v2v_graph::VertexId(20 + i));
+        }
+        assert!(within > across, "within {within} <= across {across}");
+    }
+
+    #[test]
+    fn projection_shape() {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n: 60,
+            groups: 3,
+            alpha: 0.9,
+            inter_edges: 10,
+            seed: 5,
+        });
+        let model = V2vModel::train(&data.graph, &quick_config()).unwrap();
+        let (pca, points) = model.project(2, 0);
+        assert_eq!(points.rows(), 60);
+        assert_eq!(points.cols(), 2);
+        assert_eq!(pca.k(), 2);
+    }
+
+    #[test]
+    fn walk_error_propagates() {
+        let g = v2v_graph::generators::complete(5);
+        let mut cfg = quick_config();
+        cfg.walks.strategy = v2v_walks::WalkStrategy::EdgeWeighted;
+        assert!(matches!(V2vModel::train(&g, &cfg), Err(V2vError::Walks(_))));
+    }
+
+    #[test]
+    fn empty_graph_is_a_training_error() {
+        let g = v2v_graph::GraphBuilder::new_undirected().build().unwrap();
+        assert!(matches!(
+            V2vModel::train(&g, &quick_config()),
+            Err(V2vError::Training(_))
+        ));
+    }
+}

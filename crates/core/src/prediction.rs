@@ -1,0 +1,116 @@
+//! Vertex label prediction (paper §V).
+//!
+//! Labels of unlabeled vertices are predicted by k-NN over the embedding
+//! under cosine distance; quality is measured by the paper's 10-fold
+//! cross-validation protocol.
+
+use crate::pipeline::V2vModel;
+use v2v_linalg::RowMatrix;
+use v2v_ml::cross_validation::kfold;
+use v2v_ml::knn::{DistanceMetric, KnnClassifier};
+
+impl V2vModel {
+    /// Predicts labels for `targets` given `known` labels on the other
+    /// vertices, by k-NN (cosine) over the embedding.
+    ///
+    /// `known[v]` is `Some(label)` for labeled vertices. Every target must
+    /// be unlabeled or its known label is simply ignored.
+    ///
+    /// # Panics
+    /// Panics if no vertex is labeled or `k` is zero.
+    pub fn predict_labels(&self, known: &[Option<usize>], targets: &[usize], k: usize) -> Vec<usize> {
+        assert_eq!(known.len(), self.embedding().len(), "one entry per vertex");
+        let matrix = self.to_matrix();
+        let (train_rows, train_labels): (Vec<Vec<f64>>, Vec<usize>) = known
+            .iter()
+            .enumerate()
+            .filter_map(|(v, l)| l.map(|l| (matrix.row(v).to_vec(), l)))
+            .unzip();
+        assert!(!train_rows.is_empty(), "need at least one labeled vertex");
+        let train = RowMatrix::from_rows(&train_rows);
+        let knn = KnnClassifier::fit(&train, &train_labels, DistanceMetric::Cosine);
+        targets.iter().map(|&t| knn.predict(matrix.row(t), k)).collect()
+    }
+
+    /// The paper's §V evaluation: mean k-NN accuracy over `folds`-fold
+    /// cross-validation of `labels` (one per vertex).
+    pub fn knn_cross_validation(&self, labels: &[usize], k: usize, folds: usize, seed: u64) -> f64 {
+        assert_eq!(labels.len(), self.embedding().len(), "one label per vertex");
+        let matrix = self.to_matrix();
+        let splits = kfold(labels.len(), folds, seed);
+        let mut total = 0.0;
+        for fold in &splits {
+            let train_rows: Vec<Vec<f64>> =
+                fold.train.iter().map(|&i| matrix.row(i).to_vec()).collect();
+            let train_labels: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+            let train = RowMatrix::from_rows(&train_rows);
+            let knn = KnnClassifier::fit(&train, &train_labels, DistanceMetric::Cosine);
+            let queries = RowMatrix::from_rows(
+                &fold.test.iter().map(|&i| matrix.row(i).to_vec()).collect::<Vec<_>>(),
+            );
+            let predictions = knn.predict_batch(&queries, k);
+            let hits = predictions
+                .iter()
+                .zip(&fold.test)
+                .filter(|&(p, &i)| *p == labels[i])
+                .count();
+            total += hits as f64 / fold.test.len() as f64;
+        }
+        total / splits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{V2vConfig, V2vModel};
+    use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+
+    fn trained() -> (V2vModel, Vec<usize>) {
+        let data = quasi_clique_graph(&QuasiCliqueConfig {
+            n: 100,
+            groups: 4,
+            alpha: 0.9,
+            inter_edges: 20,
+            seed: 21,
+        });
+        let mut cfg = V2vConfig::default().with_dimensions(16).with_seed(9);
+        cfg.walks.walks_per_vertex = 10;
+        cfg.walks.walk_length = 80;
+        cfg.embedding.epochs = 2;
+        cfg.embedding.threads = 1;
+        (V2vModel::train(&data.graph, &cfg).unwrap(), data.labels)
+    }
+
+    #[test]
+    fn hidden_labels_recovered() {
+        let (model, labels) = trained();
+        // Hide every 5th label and predict it.
+        let mut known: Vec<Option<usize>> = labels.iter().map(|&l| Some(l)).collect();
+        let targets: Vec<usize> = (0..100).step_by(5).collect();
+        for &t in &targets {
+            known[t] = None;
+        }
+        let predicted = model.predict_labels(&known, &targets, 3);
+        let hits = predicted
+            .iter()
+            .zip(&targets)
+            .filter(|&(p, &t)| *p == labels[t])
+            .count();
+        assert!(hits >= 17, "only {hits}/20 recovered");
+    }
+
+    #[test]
+    fn cross_validation_accuracy_is_high_on_strong_structure() {
+        let (model, labels) = trained();
+        let acc = model.knn_cross_validation(&labels, 3, 10, 0);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one labeled")]
+    fn no_labels_panics() {
+        let (model, _) = trained();
+        let known = vec![None; 100];
+        model.predict_labels(&known, &[0], 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Datasets for the V2V experiments.
+//!
+//! * [`quasi_clique`] — the paper's synthetic benchmark (§III-A): 1000
+//!   vertices in 10 planted groups, each an α-quasi-clique, plus 200
+//!   inter-group edges. Ground-truth labels included.
+//! * [`openflights_sim`] — a synthetic stand-in for the OpenFlights route
+//!   network used in §IV–V (the real scrape needs network access; see
+//!   DESIGN.md substitution #1): geo-hierarchical airports
+//!   (continent → country → airport) with distance-decaying, hub-biased
+//!   directed routes.
+//! * [`karate`] — Zachary's karate club with its two-faction ground truth,
+//!   the standard smoke-test graph for community detection.
+//! * [`lfr`] — an LFR-style benchmark (power-law degrees and community
+//!   sizes, mixing parameter μ), the harder modern community benchmark
+//!   used by the scaling/robustness extensions.
+
+//! ```
+//! use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+//!
+//! let data = quasi_clique_graph(&QuasiCliqueConfig {
+//!     n: 50, groups: 5, alpha: 0.8, inter_edges: 10, seed: 1,
+//! });
+//! assert_eq!(data.graph.num_vertices(), 50);
+//! assert_eq!(data.labels.len(), 50);
+//! // 5 groups of 10: round(0.8 * 45) = 36 intra edges each, + 10 inter.
+//! assert_eq!(data.graph.num_edges(), 5 * 36 + 10);
+//! ```
+
+pub mod karate;
+pub mod lfr;
+pub mod openflights_sim;
+pub mod quasi_clique;
+
+pub use openflights_sim::{FlightNetwork, OpenFlightsConfig};
+pub use quasi_clique::{quasi_clique_graph, QuasiCliqueConfig, SyntheticCommunities};

@@ -1,0 +1,153 @@
+//! Trainer configuration.
+
+/// Which word2vec architecture to train.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Architecture {
+    /// Continuous Bag of Words: predict the center vertex from the average
+    /// of its context vectors. This is V2V's choice (paper §II-B).
+    Cbow,
+    /// Skip-gram: predict each context vertex from the center vertex. This
+    /// is what DeepWalk/node2vec use (paper §VI); included as the
+    /// architecture-ablation comparator.
+    SkipGram,
+}
+
+/// How the output layer is approximated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputLayer {
+    /// Negative sampling with `k` negatives per positive.
+    NegativeSampling {
+        /// Number of negative samples per (center, context) pair.
+        negatives: usize,
+    },
+    /// Hierarchical softmax over a Huffman tree of the vocabulary.
+    HierarchicalSoftmax,
+}
+
+/// Everything the trainer needs besides the corpus.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbedConfig {
+    /// Embedding dimensionality (the paper sweeps 10–1000).
+    pub dimensions: usize,
+    /// Context half-window `n`; the paper's default is 5.
+    pub window: usize,
+    /// Architecture; the paper uses CBOW.
+    pub architecture: Architecture,
+    /// Output layer; word2vec's default of 5 negatives.
+    pub output: OutputLayer,
+    /// Maximum number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself by the end
+    /// of training, as in word2vec).
+    pub initial_lr: f32,
+    /// Convergence-based early stop: training halts once the relative
+    /// improvement of the per-epoch average loss drops below this value.
+    /// `None` always runs all `epochs`. The paper's Fig 7 measures training
+    /// time under convergence-based stopping.
+    pub convergence_tol: Option<f64>,
+    /// Frequent-vertex subsampling threshold (word2vec's `sample`, e.g.
+    /// `1e-3`): tokens of corpus frequency `f` are randomly dropped with
+    /// probability `1 - (sqrt(t/f) + t/f)` before windowing, which curbs
+    /// the dominance of hubs. `None` disables subsampling (the default —
+    /// the paper does not subsample).
+    pub subsample: Option<f64>,
+    /// Seed for weight init and sampling.
+    pub seed: u64,
+    /// Number of worker threads; `0` uses the global rayon pool. With more
+    /// than one thread, Hogwild updates make results run-to-run
+    /// nondeterministic (by design); set `1` for reproducibility.
+    pub threads: usize,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig {
+            dimensions: 50,
+            window: 5,
+            architecture: Architecture::Cbow,
+            output: OutputLayer::NegativeSampling { negatives: 5 },
+            epochs: 5,
+            initial_lr: 0.025,
+            convergence_tol: None,
+            subsample: None,
+            seed: 0xE5EED,
+            threads: 0,
+        }
+    }
+}
+
+impl EmbedConfig {
+    /// Validates parameter ranges; the trainer calls this first.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dimensions == 0 {
+            return Err("dimensions must be positive".into());
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if !(self.initial_lr > 0.0 && self.initial_lr.is_finite()) {
+            return Err(format!("initial_lr must be positive, got {}", self.initial_lr));
+        }
+        if let OutputLayer::NegativeSampling { negatives } = self.output {
+            if negatives == 0 {
+                return Err("negative sampling needs at least one negative".into());
+            }
+        }
+        if let Some(tol) = self.convergence_tol {
+            if !(tol >= 0.0 && tol.is_finite()) {
+                return Err(format!("convergence_tol must be non-negative, got {tol}"));
+            }
+        }
+        if let Some(t) = self.subsample {
+            if !(t > 0.0 && t.is_finite()) {
+                return Err(format!("subsample threshold must be positive, got {t}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paperlike() {
+        let c = EmbedConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.window, 5); // the paper's default window
+        assert_eq!(c.architecture, Architecture::Cbow);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(EmbedConfig { dimensions: 0, ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig { window: 0, ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig { epochs: 0, ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig { initial_lr: 0.0, ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig { initial_lr: f32::NAN, ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig {
+            output: OutputLayer::NegativeSampling { negatives: 0 },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EmbedConfig { convergence_tol: Some(-1.0), ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(EmbedConfig { subsample: Some(0.0), ..Default::default() }.validate().is_err());
+        assert!(EmbedConfig { subsample: Some(f64::NAN), ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(EmbedConfig { subsample: Some(1e-3), ..Default::default() }.validate().is_ok());
+    }
+
+    #[test]
+    fn hierarchical_softmax_config_valid() {
+        let c = EmbedConfig { output: OutputLayer::HierarchicalSoftmax, ..Default::default() };
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! The trained result: one vector per vertex.
+
+use v2v_graph::VertexId;
+use v2v_linalg::RowMatrix;
+
+/// A trained vertex embedding: `num_vertices x dimensions`, row-major `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embedding {
+    dimensions: usize,
+    data: Vec<f32>,
+}
+
+impl Embedding {
+    /// Wraps a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dimensions`.
+    pub fn from_flat(dimensions: usize, data: Vec<f32>) -> Embedding {
+        assert!(dimensions > 0, "dimensions must be positive");
+        assert_eq!(data.len() % dimensions, 0, "buffer not a multiple of dimensions");
+        Embedding { dimensions, data }
+    }
+
+    /// Number of embedded vertices.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dimensions
+    }
+
+    /// Whether no vertices are embedded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// The vector of vertex `v`.
+    #[inline]
+    pub fn vector(&self, v: VertexId) -> &[f32] {
+        let i = v.index();
+        &self.data[i * self.dimensions..(i + 1) * self.dimensions]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cosine similarity between the embeddings of two vertices
+    /// (`0` if either vector is all-zero).
+    pub fn cosine_similarity(&self, a: VertexId, b: VertexId) -> f32 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+        for (x, y) in va.iter().zip(vb) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// The `k` vertices most cosine-similar to `v` (excluding `v` itself),
+    /// most similar first. Brute force, `O(n d)`.
+    pub fn most_similar(&self, v: VertexId, k: usize) -> Vec<(VertexId, f32)> {
+        let mut scored: Vec<(VertexId, f32)> = (0..self.len())
+            .map(VertexId::from_index)
+            .filter(|&u| u != v)
+            .map(|u| (u, self.cosine_similarity(v, u)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Converts to an `f64` [`RowMatrix`] for the downstream ML toolkit
+    /// (k-means, PCA, k-NN all run in `f64`).
+    pub fn to_matrix(&self) -> RowMatrix {
+        RowMatrix::from_flat(
+            self.len(),
+            self.dimensions,
+            self.data.iter().map(|&x| x as f64).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding {
+        Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0, 2.0, 0.0])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let e = sample();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.dimensions(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.vector(VertexId(1)), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        let e = sample();
+        assert!((e.cosine_similarity(VertexId(0), VertexId(3)) - 1.0).abs() < 1e-6);
+        assert!((e.cosine_similarity(VertexId(0), VertexId(2)) + 1.0).abs() < 1e-6);
+        assert!(e.cosine_similarity(VertexId(0), VertexId(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_similarity_is_zero() {
+        let e = Embedding::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(e.cosine_similarity(VertexId(0), VertexId(1)), 0.0);
+    }
+
+    #[test]
+    fn most_similar_ordering() {
+        let e = sample();
+        let sims = e.most_similar(VertexId(0), 2);
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims[0].0, VertexId(3)); // parallel vector first
+        assert!(sims[0].1 > sims[1].1);
+        // Excludes the query vertex.
+        assert!(sims.iter().all(|&(u, _)| u != VertexId(0)));
+    }
+
+    #[test]
+    fn most_similar_k_larger_than_n() {
+        let e = sample();
+        assert_eq!(e.most_similar(VertexId(0), 100).len(), 3);
+    }
+
+    #[test]
+    fn to_matrix_roundtrip() {
+        let e = sample();
+        let m = e.to_matrix();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(3, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dimensions")]
+    fn bad_flat_panics() {
+        Embedding::from_flat(3, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Lock-free shared weight matrices for Hogwild!-style parallel SGD.
+//!
+//! word2vec (and therefore V2V) trains with unsynchronized parallel SGD:
+//! worker threads update shared weight rows without locks, accepting the
+//! occasional lost update because gradient sparsity makes collisions rare.
+//!
+//! Rust's memory model forbids plain data races, so [`HogwildMatrix`]
+//! stores weights as `AtomicU32` bit patterns accessed with `Relaxed`
+//! loads/stores (see *Rust Atomics and Locks* ch. 2–3: relaxed atomics are
+//! exactly "shared memory without ordering guarantees"). On x86-64 and
+//! ARM64 a relaxed load/store compiles to a plain `mov`/`ldr`, so this
+//! costs nothing over the C original while staying free of undefined
+//! behavior.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `rows x cols` matrix of `f32` weights that many threads may read and
+/// write concurrently without synchronization (relaxed atomics).
+pub struct HogwildMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<AtomicU32>,
+}
+
+impl HogwildMatrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let data = (0..rows * cols).map(|_| AtomicU32::new(0)).collect();
+        HogwildMatrix { rows, cols, data }
+    }
+
+    /// Builds from an `f32` buffer in row-major order.
+    ///
+    /// # Panics
+    /// Panics if `init.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, init: Vec<f32>) -> Self {
+        assert_eq!(init.len(), rows * cols, "init buffer has wrong length");
+        let data = init.into_iter().map(|x| AtomicU32::new(x.to_bits())).collect();
+        HogwildMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads element `(r, c)`.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        f32::from_bits(self.data[r * self.cols + c].load(Ordering::Relaxed))
+    }
+
+    /// Writes element `(r, c)`.
+    #[inline(always)]
+    pub fn set(&self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copies row `r` into `out`.
+    #[inline]
+    pub fn load_row(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
+        let base = r * self.cols;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Dot product of row `r` with `v`.
+    #[inline]
+    pub fn dot_row(&self, r: usize, v: &[f32]) -> f32 {
+        debug_assert_eq!(v.len(), self.cols);
+        let base = r * self.cols;
+        let mut acc = 0.0f32;
+        for (i, &x) in v.iter().enumerate() {
+            acc += f32::from_bits(self.data[base + i].load(Ordering::Relaxed)) * x;
+        }
+        acc
+    }
+
+    /// `row(r) += alpha * v` — the Hogwild update. Lost updates under
+    /// contention are acceptable by design.
+    #[inline]
+    pub fn axpy_row(&self, r: usize, alpha: f32, v: &[f32]) {
+        debug_assert_eq!(v.len(), self.cols);
+        let base = r * self.cols;
+        for (i, &x) in v.iter().enumerate() {
+            let cell = &self.data[base + i];
+            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + alpha * x).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `acc += alpha * row(r)` — gradient accumulation into a local buffer.
+    #[inline]
+    pub fn accumulate_row(&self, r: usize, alpha: f32, acc: &mut [f32]) {
+        debug_assert_eq!(acc.len(), self.cols);
+        let base = r * self.cols;
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a += alpha * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Snapshots the whole matrix into a plain `Vec<f32>` (row-major).
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let m = HogwildMatrix::zeros(3, 4);
+        m.set(2, 3, 1.5);
+        assert_eq!(m.get(2, 3), 1.5);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+    }
+
+    #[test]
+    fn from_vec_layout() {
+        let m = HogwildMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_kernels() {
+        let m = HogwildMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.dot_row(0, &[1.0, 1.0, 1.0]), 6.0);
+        let mut buf = vec![0.0; 3];
+        m.load_row(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        m.axpy_row(1, 2.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        let mut acc = vec![10.0, 10.0, 10.0];
+        m.accumulate_row(0, -1.0, &mut acc);
+        assert_eq!(acc, vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_mostly_land() {
+        // 8 threads x 1000 disjoint-row updates must all land exactly
+        // (no contention on distinct rows).
+        let m = std::sync::Arc::new(HogwildMatrix::zeros(8, 4));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.axpy_row(t, 1.0, &[1.0, 1.0, 1.0, 1.0]);
+                    }
+                });
+            }
+        });
+        for t in 0..8 {
+            assert_eq!(m.get(t, 0), 1000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn bad_init_panics() {
+        HogwildMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

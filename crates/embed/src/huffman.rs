@@ -1,0 +1,224 @@
+//! Huffman coding of the vocabulary for hierarchical softmax.
+//!
+//! Hierarchical softmax replaces the `|V|`-way output softmax with a walk
+//! down a binary tree whose leaves are vocabulary items; frequent vertices
+//! get short codes, so the expected update cost per pair is `O(log |V|)`.
+//! The tree is the classic Huffman tree over corpus frequencies, exactly as
+//! in word2vec.
+
+/// The Huffman code of the whole vocabulary.
+#[derive(Clone, Debug)]
+pub struct HuffmanTree {
+    /// `codes[w]` is the bit string (branch directions) of word `w`.
+    codes: Vec<Vec<bool>>,
+    /// `points[w]` are the inner-node ids on the root-to-leaf path of `w`,
+    /// aligned with `codes[w]`. Inner-node ids are in `0..n-1`.
+    points: Vec<Vec<u32>>,
+}
+
+impl HuffmanTree {
+    /// Builds the Huffman tree for `counts` (one entry per vocabulary item,
+    /// all counts clamped to >= 1 so every leaf is reachable).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn new(counts: &[u64]) -> HuffmanTree {
+        let n = counts.len();
+        assert!(n >= 1, "huffman tree needs a non-empty vocabulary");
+        if n == 1 {
+            // Degenerate single-word vocabulary: empty code.
+            return HuffmanTree { codes: vec![Vec::new()], points: vec![Vec::new()] };
+        }
+
+        // word2vec's O(n) two-queue construction over a sorted count array.
+        // Nodes 0..n are leaves, n..2n-1 are internal (2n-1 total).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| counts[i].max(1));
+
+        let mut count = vec![0u64; 2 * n - 1];
+        for (pos, &w) in order.iter().enumerate() {
+            count[pos] = counts[w].max(1);
+        }
+        // Sentinel: untouched internal slots look infinitely heavy.
+        for c in count.iter_mut().skip(n) {
+            *c = u64::MAX;
+        }
+
+        let mut parent = vec![0usize; 2 * n - 1];
+        let mut binary = vec![false; 2 * n - 1];
+        let mut pos1 = 0usize; // next leaf candidate (sorted ascending)
+        let mut pos2 = n; // next internal candidate (created ascending)
+
+        for new in n..(2 * n - 1) {
+            // Pick the two smallest available nodes.
+            let mut pick = || {
+                if pos1 < n && (pos2 >= new || count[pos1] <= count[pos2]) {
+                    pos1 += 1;
+                    pos1 - 1
+                } else {
+                    pos2 += 1;
+                    pos2 - 1
+                }
+            };
+            let min1 = pick();
+            let min2 = pick();
+            count[new] = count[min1] + count[min2];
+            parent[min1] = new;
+            parent[min2] = new;
+            binary[min2] = true;
+        }
+
+        let root = 2 * n - 2;
+        let mut codes = vec![Vec::new(); n];
+        let mut points = vec![Vec::new(); n];
+        for (pos, &w) in order.iter().enumerate() {
+            let mut code = Vec::new();
+            let mut point = Vec::new();
+            let mut node = pos;
+            while node != root {
+                code.push(binary[node]);
+                // Inner-node id: parent offset into the internal range.
+                point.push((parent[node] - n) as u32);
+                node = parent[node];
+            }
+            code.reverse();
+            point.reverse();
+            codes[w] = code;
+            points[w] = point;
+        }
+        HuffmanTree { codes, points }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of internal nodes (`n - 1`); the hierarchical-softmax output
+    /// matrix has this many rows.
+    pub fn num_inner_nodes(&self) -> usize {
+        self.codes.len().saturating_sub(1)
+    }
+
+    /// The branch-direction code of word `w`.
+    #[inline]
+    pub fn code(&self, w: usize) -> &[bool] {
+        &self.codes[w]
+    }
+
+    /// The inner-node path of word `w`, aligned with [`HuffmanTree::code`].
+    #[inline]
+    pub fn point(&self, w: usize) -> &[u32] {
+        &self.points[w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_words() {
+        let t = HuffmanTree::new(&[5, 3]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_inner_nodes(), 1);
+        assert_eq!(t.code(0).len(), 1);
+        assert_eq!(t.code(1).len(), 1);
+        assert_ne!(t.code(0)[0], t.code(1)[0]);
+        assert_eq!(t.point(0), &[0]);
+        assert_eq!(t.point(1), &[0]);
+    }
+
+    #[test]
+    fn single_word_vocab() {
+        let t = HuffmanTree::new(&[7]);
+        assert!(t.code(0).is_empty());
+        assert_eq!(t.num_inner_nodes(), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn frequent_words_get_short_codes() {
+        // One very frequent word among many rare ones.
+        let mut counts = vec![1u64; 32];
+        counts[10] = 1000;
+        let t = HuffmanTree::new(&counts);
+        let freq_len = t.code(10).len();
+        let max_len = (0..32).map(|w| t.code(w).len()).max().unwrap();
+        assert!(freq_len < max_len, "frequent code {freq_len}, max {max_len}");
+        assert!(freq_len <= 2);
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let counts = [7u64, 1, 4, 2, 9, 3, 3, 1];
+        let t = HuffmanTree::new(&counts);
+        for a in 0..counts.len() {
+            for b in 0..counts.len() {
+                if a == b {
+                    continue;
+                }
+                let ca = t.code(a);
+                let cb = t.code(b);
+                let prefix = ca.len() <= cb.len() && ca == &cb[..ca.len()];
+                assert!(!prefix, "code of {a} is a prefix of {b}'s");
+            }
+        }
+    }
+
+    #[test]
+    fn optimality_weighted_length() {
+        // Huffman minimizes sum(count * code_len); verify against a known
+        // case: counts 1,1,2,4 -> lengths 3,3,2,1 -> weighted 3+3+4+4 = 14.
+        let t = HuffmanTree::new(&[1, 1, 2, 4]);
+        let weighted: usize = [1usize, 1, 2, 4]
+            .iter()
+            .enumerate()
+            .map(|(w, &c)| c * t.code(w).len())
+            .sum();
+        assert_eq!(weighted, 14);
+    }
+
+    #[test]
+    fn points_and_codes_aligned() {
+        let counts = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let t = HuffmanTree::new(&counts);
+        for w in 0..counts.len() {
+            assert_eq!(t.code(w).len(), t.point(w).len());
+            for &p in t.point(w) {
+                assert!((p as usize) < t.num_inner_nodes());
+            }
+            // Path starts at the root (the last-created internal node).
+            assert_eq!(t.point(w)[0] as usize, t.num_inner_nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        // For a full binary code, sum of 2^-len == 1.
+        let counts = [2u64, 3, 5, 7, 11, 13];
+        let t = HuffmanTree::new(&counts);
+        let kraft: f64 = (0..counts.len()).map(|w| 0.5f64.powi(t.code(w).len() as i32)).sum();
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_are_clamped() {
+        let t = HuffmanTree::new(&[0, 0, 10]);
+        // All leaves still get codes.
+        for w in 0..3 {
+            assert!(!t.code(w).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocab_panics() {
+        HuffmanTree::new(&[]);
+    }
+}

@@ -1,0 +1,185 @@
+//! word2vec-compatible text persistence for embeddings.
+//!
+//! Format: a header line `<count> <dimensions>`, then one line per vertex:
+//! `<vertex-id> <x0> <x1> ...`. The paper notes the learning phase is a
+//! one-time cost whose output is reused across tasks — persistence is how
+//! that reuse happens across processes.
+
+use crate::embedding::Embedding;
+use std::io::{BufRead, Write};
+use v2v_graph::VertexId;
+
+/// Errors while reading an embedding file.
+#[derive(Debug)]
+pub enum EmbedIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for EmbedIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedIoError::Io(e) => write!(f, "i/o error: {e}"),
+            EmbedIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedIoError {}
+
+impl From<std::io::Error> for EmbedIoError {
+    fn from(e: std::io::Error) -> Self {
+        EmbedIoError::Io(e)
+    }
+}
+
+/// Writes `embedding` in word2vec text format.
+pub fn write_embedding<W: Write>(emb: &Embedding, mut w: W) -> Result<(), EmbedIoError> {
+    writeln!(w, "{} {}", emb.len(), emb.dimensions())?;
+    for i in 0..emb.len() {
+        write!(w, "{i}")?;
+        for x in emb.vector(VertexId::from_index(i)) {
+            write!(w, " {x}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads an embedding written by [`write_embedding`]. Vertex ids must be
+/// exactly `0..count` but may appear in any order.
+pub fn read_embedding<R: BufRead>(r: R) -> Result<Embedding, EmbedIoError> {
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or(EmbedIoError::Parse { line: 1, msg: "empty file".into() })?;
+    let header = header?;
+    let mut it = header.split_whitespace();
+    let parse = |tok: Option<&str>, what: &str| -> Result<usize, EmbedIoError> {
+        tok.and_then(|t| t.parse().ok()).ok_or(EmbedIoError::Parse {
+            line: 1,
+            msg: format!("bad header: missing {what}"),
+        })
+    };
+    let count = parse(it.next(), "count")?;
+    let dim = parse(it.next(), "dimensions")?;
+    if dim == 0 {
+        return Err(EmbedIoError::Parse { line: 1, msg: "zero dimensions".into() });
+    }
+
+    let mut data = vec![f32::NAN; count * dim];
+    let mut seen = vec![false; count];
+    for (lineno, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let id: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(EmbedIoError::Parse { line: lineno + 1, msg: "bad vertex id".into() })?;
+        if id >= count {
+            return Err(EmbedIoError::Parse {
+                line: lineno + 1,
+                msg: format!("vertex id {id} out of range (count = {count})"),
+            });
+        }
+        if seen[id] {
+            return Err(EmbedIoError::Parse {
+                line: lineno + 1,
+                msg: format!("duplicate vertex id {id}"),
+            });
+        }
+        seen[id] = true;
+        let row = &mut data[id * dim..(id + 1) * dim];
+        for (k, slot) in row.iter_mut().enumerate() {
+            *slot = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(EmbedIoError::Parse {
+                    line: lineno + 1,
+                    msg: format!("bad or missing component {k}"),
+                })?;
+        }
+        if toks.next().is_some() {
+            return Err(EmbedIoError::Parse {
+                line: lineno + 1,
+                msg: format!("more than {dim} components"),
+            });
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(EmbedIoError::Parse {
+            line: 0,
+            msg: format!("vertex {missing} missing from file"),
+        });
+    }
+    Ok(Embedding::from_flat(dim, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding {
+        Embedding::from_flat(3, vec![1.0, 2.0, 3.0, -0.5, 0.25, 0.0])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let mut buf = Vec::new();
+        write_embedding(&e, &mut buf).unwrap();
+        let back = read_embedding(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn out_of_order_ids_accepted() {
+        let text = "2 2\n1 3.0 4.0\n0 1.0 2.0\n";
+        let e = read_embedding(text.as_bytes()).unwrap();
+        assert_eq!(e.vector(VertexId(0)), &[1.0, 2.0]);
+        assert_eq!(e.vector(VertexId(1)), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_vertex_rejected() {
+        let text = "2 2\n0 1.0 2.0\n";
+        assert!(read_embedding(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_vertex_rejected() {
+        let text = "1 2\n0 1.0 2.0\n0 1.0 2.0\n";
+        assert!(read_embedding(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_component_count_rejected() {
+        assert!(read_embedding("1 2\n0 1.0\n".as_bytes()).is_err());
+        assert!(read_embedding("1 2\n0 1.0 2.0 3.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_embedding("".as_bytes()).is_err());
+        assert!(read_embedding("nope\n".as_bytes()).is_err());
+        assert!(read_embedding("2\n".as_bytes()).is_err());
+        assert!(read_embedding("1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_id_rejected() {
+        let text = "1 1\n5 1.0\n";
+        let err = read_embedding(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

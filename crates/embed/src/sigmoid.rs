@@ -1,0 +1,106 @@
+//! Precomputed logistic function, as in the original word2vec.
+//!
+//! SGD evaluates `sigma(x)` for every (center, target) pair; a 1024-entry
+//! lookup over `[-6, 6]` replaces `exp` in the hot loop. Outside the table
+//! range the gradient is effectively saturated, so clamping to 0/1 matches
+//! word2vec's behavior.
+
+/// Half-width of the table domain; `sigma(6) ≈ 0.9975`.
+pub const MAX_EXP: f32 = 6.0;
+const TABLE_SIZE: usize = 1024;
+
+/// A lookup table for the logistic function on `[-MAX_EXP, MAX_EXP]`.
+#[derive(Clone)]
+pub struct SigmoidTable {
+    table: Vec<f32>,
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SigmoidTable {
+    /// Builds the table (1024 entries).
+    pub fn new() -> Self {
+        let table = (0..TABLE_SIZE)
+            .map(|i| {
+                let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        SigmoidTable { table }
+    }
+
+    /// `sigma(x)`, clamped to exactly 0 or 1 outside `[-MAX_EXP, MAX_EXP]`.
+    #[inline(always)]
+    pub fn get(&self, x: f32) -> f32 {
+        if x >= MAX_EXP {
+            1.0
+        } else if x <= -MAX_EXP {
+            0.0
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
+            self.table[idx.min(TABLE_SIZE - 1)]
+        }
+    }
+
+    /// `-ln(sigma(x))` with a floor to avoid infinities at the clamp, used
+    /// for loss tracking.
+    #[inline]
+    pub fn neg_log(&self, x: f32) -> f32 {
+        -self.get(x).max(1e-7).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_sigmoid_inside_range() {
+        let t = SigmoidTable::new();
+        for i in -50..=50 {
+            let x = i as f32 / 10.0;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((t.get(x) - exact).abs() < 0.01, "x={x}: {} vs {exact}", t.get(x));
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let t = SigmoidTable::new();
+        assert_eq!(t.get(10.0), 1.0);
+        assert_eq!(t.get(-10.0), 0.0);
+        assert_eq!(t.get(MAX_EXP), 1.0);
+        assert_eq!(t.get(-MAX_EXP), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let t = SigmoidTable::new();
+        assert!((t.get(0.0) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let t = SigmoidTable::new();
+        let mut prev = -1.0f32;
+        for i in -100..=100 {
+            let v = t.get(i as f32 / 10.0);
+            assert!(v >= prev - 1e-6);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn neg_log_is_finite_everywhere() {
+        let t = SigmoidTable::new();
+        for x in [-100.0, -6.0, 0.0, 6.0, 100.0] {
+            assert!(t.neg_log(x).is_finite());
+        }
+        assert!(t.neg_log(100.0) < 1e-6);
+        assert!(t.neg_log(-100.0) > 10.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! Parallel SGD training of CBOW / SkipGram on a walk corpus.
+//!
+//! Mirrors word2vec.c: a shared input matrix `syn0` (the embedding) and an
+//! output matrix (`syn1neg` for negative sampling, `syn1` over Huffman
+//! inner nodes for hierarchical softmax) are updated Hogwild-style by
+//! worker threads, with a linearly decaying learning rate driven by a
+//! shared token counter.
+//!
+//! Unlike word2vec we track the average objective loss per epoch, because
+//! the paper's Fig 7 reports *time to convergence* as a function of
+//! community strength — convergence-based stopping needs a convergence
+//! signal.
+
+// Window arithmetic indexes `walk[j]` around a center position; an
+// iterator form would obscure the symmetric-window logic.
+#![allow(clippy::needless_range_loop)]
+
+use crate::config::{Architecture, EmbedConfig, OutputLayer};
+use crate::embedding::Embedding;
+use crate::hogwild::HogwildMatrix;
+use crate::huffman::HuffmanTree;
+use crate::negative::NegativeSampler;
+use crate::sigmoid::SigmoidTable;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use v2v_graph::VertexId;
+use v2v_walks::rng::derive_seed;
+use v2v_walks::WalkCorpus;
+
+/// What happened during training.
+#[derive(Clone, Debug)]
+pub struct TrainStats {
+    /// Number of epochs actually run (≤ `config.epochs`).
+    pub epochs_run: usize,
+    /// Average objective loss per training pair, one entry per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Total (center, context) pairs processed across all epochs.
+    pub total_pairs: u64,
+    /// Whether convergence-based stopping fired before `config.epochs`.
+    pub converged: bool,
+}
+
+/// Trains an embedding on `corpus` under `config`.
+///
+/// Errors on invalid configuration or an empty corpus.
+pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, TrainStats), String> {
+    config.validate()?;
+    let n = corpus.num_vertices();
+    if n == 0 || corpus.num_tokens() == 0 {
+        return Err("cannot train on an empty corpus".into());
+    }
+
+    let dim = config.dimensions;
+    let counts = corpus.token_counts();
+
+    // word2vec init: syn0 ~ U(-0.5, 0.5)/dim, output matrix all zeros.
+    let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, 0x1217, n as u64));
+    let init: Vec<f32> =
+        (0..n * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+    let syn0 = HogwildMatrix::from_vec(n, dim, init);
+
+    let (sampler, huffman, out_rows) = match config.output {
+        OutputLayer::NegativeSampling { .. } => (Some(NegativeSampler::new(&counts)), None, n),
+        OutputLayer::HierarchicalSoftmax => {
+            let tree = HuffmanTree::new(&counts);
+            let rows = tree.num_inner_nodes().max(1);
+            (None, Some(tree), rows)
+        }
+    };
+    let syn1 = HogwildMatrix::zeros(out_rows, dim);
+    let sigmoid = SigmoidTable::new();
+
+    // word2vec subsampling: keep probability per vocabulary item.
+    let keep_prob: Option<Vec<f32>> = config.subsample.map(|t| {
+        let total: u64 = counts.iter().sum();
+        counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    return 1.0;
+                }
+                let f = c as f64 / total as f64;
+                (((f / t).sqrt() + 1.0) * (t / f)).min(1.0) as f32
+            })
+            .collect()
+    });
+
+    let total_tokens = corpus.num_tokens() as u64;
+    let schedule_total = total_tokens * config.epochs as u64;
+    let processed = AtomicU64::new(0);
+
+    let ctx = TrainContext {
+        config,
+        syn0: &syn0,
+        syn1: &syn1,
+        sigmoid: &sigmoid,
+        sampler: sampler.as_ref(),
+        huffman: huffman.as_ref(),
+        processed: &processed,
+        schedule_total,
+        keep_prob: keep_prob.as_deref(),
+    };
+
+    let mut stats = TrainStats {
+        epochs_run: 0,
+        epoch_losses: Vec::with_capacity(config.epochs),
+        total_pairs: 0,
+        converged: false,
+    };
+
+    let run_all = |stats: &mut TrainStats| {
+        for epoch in 0..config.epochs {
+            let (loss, pairs) = if config.threads == 1 {
+                run_epoch_sequential(corpus, &ctx, epoch as u64)
+            } else {
+                run_epoch_parallel(corpus, &ctx, epoch as u64)
+            };
+            stats.epochs_run += 1;
+            stats.total_pairs += pairs;
+            let avg = if pairs == 0 { 0.0 } else { loss / pairs as f64 };
+            let prev = stats.epoch_losses.last().copied();
+            stats.epoch_losses.push(avg);
+            if let (Some(tol), Some(prev)) = (config.convergence_tol, prev) {
+                let rel_improvement = if prev > 0.0 { (prev - avg) / prev } else { 0.0 };
+                if rel_improvement < tol {
+                    stats.converged = true;
+                    break;
+                }
+            }
+        }
+    };
+
+    if config.threads > 1 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(config.threads)
+            .build()
+            .map_err(|e| format!("failed to build thread pool: {e}"))?;
+        pool.install(|| run_all(&mut stats));
+    } else {
+        run_all(&mut stats);
+    }
+
+    Ok((Embedding::from_flat(dim, syn0.to_vec()), stats))
+}
+
+/// Shared references for one training run.
+struct TrainContext<'a> {
+    config: &'a EmbedConfig,
+    syn0: &'a HogwildMatrix,
+    syn1: &'a HogwildMatrix,
+    sigmoid: &'a SigmoidTable,
+    sampler: Option<&'a NegativeSampler>,
+    huffman: Option<&'a HuffmanTree>,
+    processed: &'a AtomicU64,
+    schedule_total: u64,
+    /// Per-vocabulary-item keep probability when subsampling is on.
+    keep_prob: Option<&'a [f32]>,
+}
+
+fn run_epoch_parallel(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64) -> (f64, u64) {
+    corpus
+        .walks()
+        .par_iter()
+        .enumerate()
+        .map(|(i, walk)| train_walk(walk, i as u64, epoch, ctx))
+        .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+}
+
+fn run_epoch_sequential(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64) -> (f64, u64) {
+    let mut loss = 0.0;
+    let mut pairs = 0u64;
+    for (i, walk) in corpus.walks().iter().enumerate() {
+        let (l, p) = train_walk(walk, i as u64, epoch, ctx);
+        loss += l;
+        pairs += p;
+    }
+    (loss, pairs)
+}
+
+/// Trains on one walk; returns (summed loss, pair count).
+fn train_walk(walk: &[VertexId], walk_idx: u64, epoch: u64, ctx: &TrainContext<'_>) -> (f64, u64) {
+    let dim = ctx.config.dimensions;
+    let window = ctx.config.window;
+    let mut rng =
+        SmallRng::seed_from_u64(derive_seed(ctx.config.seed ^ 0x7A1B, epoch, walk_idx));
+
+    // Linear LR decay from the shared token counter, re-read per walk
+    // (word2vec re-reads every 10k words; per-walk is the same idea).
+    let done = ctx.processed.fetch_add(walk.len() as u64, Ordering::Relaxed);
+    let frac = done as f32 / ctx.schedule_total.max(1) as f32;
+    let lr = (ctx.config.initial_lr * (1.0 - frac)).max(ctx.config.initial_lr * 1e-4);
+
+    let mut h = vec![0.0f32; dim];
+    let mut neu1e = vec![0.0f32; dim];
+    let mut loss = 0.0f64;
+    let mut pairs = 0u64;
+
+    // Frequent-vertex subsampling happens before windowing, exactly as in
+    // word2vec (the window then spans the *retained* tokens).
+    let filtered: Vec<VertexId>;
+    let walk: &[VertexId] = match ctx.keep_prob {
+        None => walk,
+        Some(keep) => {
+            filtered = walk
+                .iter()
+                .copied()
+                .filter(|v| rng.gen::<f32>() < keep[v.index()])
+                .collect();
+            &filtered
+        }
+    };
+
+    for (i, &center) in walk.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(walk.len());
+        let ctx_len = hi - lo - 1;
+        if ctx_len == 0 {
+            continue;
+        }
+        pairs += 1;
+        match ctx.config.architecture {
+            Architecture::Cbow => {
+                // h = average of the context input vectors.
+                h.iter_mut().for_each(|x| *x = 0.0);
+                for j in lo..hi {
+                    if j != i {
+                        ctx.syn0.accumulate_row(walk[j].index(), 1.0, &mut h);
+                    }
+                }
+                let inv = 1.0 / ctx_len as f32;
+                h.iter_mut().for_each(|x| *x *= inv);
+                neu1e.iter_mut().for_each(|x| *x = 0.0);
+
+                loss += train_output(center.index(), &h, &mut neu1e, lr, &mut rng, ctx);
+
+                // The true gradient of the averaged hidden layer w.r.t.
+                // each input vector is neu1e / |context| (the "cbow_mean
+                // gradient fix"; word2vec.c skips the division, which
+                // inflates the input step by the window size and destroys
+                // small-vocabulary embeddings as training lengthens).
+                for j in lo..hi {
+                    if j != i {
+                        ctx.syn0.axpy_row(walk[j].index(), inv, &neu1e);
+                    }
+                }
+            }
+            Architecture::SkipGram => {
+                for j in lo..hi {
+                    if j == i {
+                        continue;
+                    }
+                    let input = walk[j].index();
+                    ctx.syn0.load_row(input, &mut h);
+                    neu1e.iter_mut().for_each(|x| *x = 0.0);
+                    loss += train_output(center.index(), &h, &mut neu1e, lr, &mut rng, ctx);
+                    ctx.syn0.axpy_row(input, 1.0, &neu1e);
+                }
+            }
+        }
+    }
+    (loss, pairs)
+}
+
+/// One output-layer update for hidden activation `h` and target word
+/// `target`; accumulates the input gradient into `neu1e` and returns the
+/// loss contribution.
+#[inline]
+fn train_output(
+    target: usize,
+    h: &[f32],
+    neu1e: &mut [f32],
+    lr: f32,
+    rng: &mut SmallRng,
+    ctx: &TrainContext<'_>,
+) -> f64 {
+    let mut loss = 0.0f64;
+    match ctx.config.output {
+        OutputLayer::NegativeSampling { negatives } => {
+            let sampler = ctx.sampler.expect("sampler built for negative sampling");
+            for d in 0..=negatives {
+                let (t, label) = if d == 0 {
+                    (target, 1.0f32)
+                } else {
+                    (sampler.sample(rng, target), 0.0f32)
+                };
+                let f = ctx.syn1.dot_row(t, h);
+                let sig = ctx.sigmoid.get(f);
+                loss += ctx.sigmoid.neg_log(if label == 1.0 { f } else { -f }) as f64;
+                let g = (label - sig) * lr;
+                ctx.syn1.accumulate_row(t, g, neu1e);
+                ctx.syn1.axpy_row(t, g, h);
+            }
+        }
+        OutputLayer::HierarchicalSoftmax => {
+            let tree = ctx.huffman.expect("tree built for hierarchical softmax");
+            let code = tree.code(target);
+            let point = tree.point(target);
+            for (&p, &bit) in point.iter().zip(code) {
+                let f = ctx.syn1.dot_row(p as usize, h);
+                let sig = ctx.sigmoid.get(f);
+                // code bit 0 -> label 1, bit 1 -> label 0 (word2vec).
+                let label = 1.0 - bit as u8 as f32;
+                loss += ctx.sigmoid.neg_log(if bit { -f } else { f }) as f64;
+                let g = (label - sig) * lr;
+                ctx.syn1.accumulate_row(p as usize, g, neu1e);
+                ctx.syn1.axpy_row(p as usize, g, h);
+            }
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::generators;
+    use v2v_walks::WalkConfig;
+
+    fn small_corpus(seed: u64) -> WalkCorpus {
+        // Two cliques of 6 joined by one bridge edge: clear structure.
+        let mut b = v2v_graph::GraphBuilder::new_undirected();
+        for base in [0u32, 6] {
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    b.add_edge(VertexId(base + u), VertexId(base + v));
+                }
+            }
+        }
+        b.add_edge(VertexId(0), VertexId(6));
+        let g = b.build().unwrap();
+        let cfg = WalkConfig { walks_per_vertex: 20, walk_length: 20, seed, ..Default::default() };
+        WalkCorpus::generate(&g, &cfg).unwrap()
+    }
+
+    fn quick_config() -> EmbedConfig {
+        EmbedConfig { dimensions: 16, epochs: 3, threads: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let corpus = small_corpus(1);
+        let (_, stats) = train(&corpus, &quick_config()).unwrap();
+        assert_eq!(stats.epochs_run, 3);
+        assert_eq!(stats.epoch_losses.len(), 3);
+        assert!(
+            stats.epoch_losses[2] < stats.epoch_losses[0],
+            "loss did not decrease: {:?}",
+            stats.epoch_losses
+        );
+        assert!(stats.total_pairs > 0);
+    }
+
+    #[test]
+    fn embedding_separates_cliques() {
+        let corpus = small_corpus(2);
+        let cfg = EmbedConfig { epochs: 8, ..quick_config() };
+        let (emb, _) = train(&corpus, &cfg).unwrap();
+        // Average within-clique similarity must beat cross-clique.
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut wn = 0;
+        let mut an = 0;
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                let s = emb.cosine_similarity(VertexId(a), VertexId(b));
+                if (a < 6) == (b < 6) {
+                    within += s;
+                    wn += 1;
+                } else {
+                    across += s;
+                    an += 1;
+                }
+            }
+        }
+        let within = within / wn as f32;
+        let across = across / an as f32;
+        assert!(
+            within > across + 0.1,
+            "within {within} not clearly above across {across}"
+        );
+    }
+
+    #[test]
+    fn deterministic_single_thread() {
+        let corpus = small_corpus(3);
+        let cfg = quick_config();
+        let (a, _) = train(&corpus, &cfg).unwrap();
+        let (b, _) = train(&corpus, &cfg).unwrap();
+        assert_eq!(a, b);
+        let cfg2 = EmbedConfig { seed: 999, ..cfg };
+        let (c, _) = train(&corpus, &cfg2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hierarchical_softmax_trains() {
+        let corpus = small_corpus(4);
+        let cfg = EmbedConfig {
+            output: OutputLayer::HierarchicalSoftmax,
+            epochs: 5,
+            ..quick_config()
+        };
+        let (emb, stats) = train(&corpus, &cfg).unwrap();
+        assert_eq!(emb.len(), 12);
+        assert!(stats.epoch_losses[4] < stats.epoch_losses[0]);
+        assert!(emb.as_flat().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn skipgram_trains_and_separates() {
+        let corpus = small_corpus(5);
+        let cfg = EmbedConfig {
+            architecture: Architecture::SkipGram,
+            epochs: 5,
+            ..quick_config()
+        };
+        let (emb, stats) = train(&corpus, &cfg).unwrap();
+        assert!(stats.epoch_losses[4] < stats.epoch_losses[0]);
+        let same = emb.cosine_similarity(VertexId(1), VertexId(2));
+        let diff = emb.cosine_similarity(VertexId(1), VertexId(8));
+        assert!(same > diff, "skipgram: same-clique {same} <= cross {diff}");
+    }
+
+    #[test]
+    fn convergence_stops_early() {
+        let corpus = small_corpus(6);
+        let cfg = EmbedConfig {
+            epochs: 50,
+            convergence_tol: Some(0.5), // absurdly lax: stops immediately
+            ..quick_config()
+        };
+        let (_, stats) = train(&corpus, &cfg).unwrap();
+        assert!(stats.converged);
+        assert!(stats.epochs_run < 50, "ran {} epochs", stats.epochs_run);
+    }
+
+    #[test]
+    fn parallel_training_produces_finite_sensible_vectors() {
+        let corpus = small_corpus(7);
+        let cfg = EmbedConfig { threads: 4, epochs: 6, ..quick_config() };
+        let (emb, _) = train(&corpus, &cfg).unwrap();
+        assert!(emb.as_flat().iter().all(|x| x.is_finite()));
+        let same = emb.cosine_similarity(VertexId(1), VertexId(2));
+        let diff = emb.cosine_similarity(VertexId(1), VertexId(8));
+        assert!(same > diff, "hogwild: same-clique {same} <= cross {diff}");
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        let g = v2v_graph::GraphBuilder::new_undirected().build().unwrap();
+        let corpus = WalkCorpus::generate(&g, &WalkConfig::default()).unwrap();
+        assert!(train(&corpus, &quick_config()).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let corpus = small_corpus(8);
+        let cfg = EmbedConfig { dimensions: 0, ..Default::default() };
+        assert!(train(&corpus, &cfg).is_err());
+    }
+
+    #[test]
+    fn embedding_len_matches_graph() {
+        let g = generators::ring(9);
+        let wc = WalkConfig { walks_per_vertex: 2, walk_length: 10, ..Default::default() };
+        let corpus = WalkCorpus::generate(&g, &wc).unwrap();
+        let (emb, _) = train(&corpus, &quick_config()).unwrap();
+        assert_eq!(emb.len(), 9);
+        assert_eq!(emb.dimensions(), 16);
+    }
+}
+
+#[cfg(test)]
+mod subsample_tests {
+    use super::*;
+    use v2v_walks::WalkConfig;
+
+    /// A star graph makes the hub vastly overrepresented in walks;
+    /// subsampling must still train and keep all vectors finite, and the
+    /// hub's effective frequency drops (measured via pair counts).
+    #[test]
+    fn subsampling_reduces_pairs_and_stays_finite() {
+        let g = v2v_graph::generators::star(40);
+        let wc = WalkConfig { walks_per_vertex: 10, walk_length: 30, ..Default::default() };
+        let corpus = WalkCorpus::generate(&g, &wc).unwrap();
+        let base = EmbedConfig { dimensions: 12, epochs: 2, threads: 1, ..Default::default() };
+
+        let (emb_plain, stats_plain) = train(&corpus, &base).unwrap();
+        let cfg = EmbedConfig { subsample: Some(1e-3), ..base };
+        let (emb_sub, stats_sub) = train(&corpus, &cfg).unwrap();
+
+        assert!(emb_plain.as_flat().iter().all(|x| x.is_finite()));
+        assert!(emb_sub.as_flat().iter().all(|x| x.is_finite()));
+        // The hub is ~half of all tokens; aggressive subsampling must cut
+        // the number of training pairs substantially.
+        assert!(
+            stats_sub.total_pairs < stats_plain.total_pairs,
+            "subsampled pairs {} not below plain {}",
+            stats_sub.total_pairs,
+            stats_plain.total_pairs
+        );
+    }
+
+    /// With a huge threshold every token is kept: identical pair counts.
+    #[test]
+    fn huge_threshold_keeps_everything() {
+        let g = v2v_graph::generators::ring(20);
+        let wc = WalkConfig { walks_per_vertex: 3, walk_length: 20, ..Default::default() };
+        let corpus = WalkCorpus::generate(&g, &wc).unwrap();
+        let base = EmbedConfig { dimensions: 8, epochs: 1, threads: 1, ..Default::default() };
+        let (_, plain) = train(&corpus, &base).unwrap();
+        let cfg = EmbedConfig { subsample: Some(1e9), ..base };
+        let (_, kept) = train(&corpus, &cfg).unwrap();
+        assert_eq!(plain.total_pairs, kept.total_pairs);
+    }
+}

@@ -1,0 +1,350 @@
+//! Mutable edge-list accumulator that produces immutable CSR [`Graph`]s.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::id::VertexId;
+
+/// One pending edge inside the builder.
+#[derive(Clone, Copy, Debug)]
+struct PendingEdge {
+    u: VertexId,
+    v: VertexId,
+    weight: f64,
+    timestamp: u64,
+}
+
+/// Accumulates edges and produces a CSR [`Graph`].
+///
+/// Vertices are implicit: adding an edge `(u, v)` grows the vertex set to
+/// `max(u, v) + 1`. Use [`GraphBuilder::ensure_vertices`] to reserve isolated
+/// vertices.
+///
+/// Weights default to `1.0`; once any weighted edge is added the graph is
+/// weighted (plain edges keep weight `1.0`). Likewise a single temporal edge
+/// makes the graph temporal (plain edges get timestamp `0`).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    directed: bool,
+    edges: Vec<PendingEdge>,
+    num_vertices: usize,
+    any_weight: bool,
+    any_timestamp: bool,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for an undirected graph.
+    pub fn new_undirected() -> Self {
+        Self::new(false)
+    }
+
+    /// Creates a builder for a directed graph.
+    pub fn new_directed() -> Self {
+        Self::new(true)
+    }
+
+    fn new(directed: bool) -> Self {
+        GraphBuilder {
+            directed,
+            edges: Vec::new(),
+            num_vertices: 0,
+            any_weight: false,
+            any_timestamp: false,
+            dedup: false,
+        }
+    }
+
+    /// Pre-allocates space for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// If set, duplicate `(u, v)` pairs collapse into one edge at build time
+    /// (keeping the first weight/timestamp). Self-loops are unaffected.
+    pub fn deduplicate(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Grows the vertex set to at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Number of vertices the built graph will have so far.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an unweighted, untimed edge.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.push(u, v, 1.0, 0);
+    }
+
+    /// Adds a weighted edge. Weight must be finite and non-negative
+    /// (checked at [`GraphBuilder::build`]).
+    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, weight: f64) {
+        self.any_weight = true;
+        self.push(u, v, weight, 0);
+    }
+
+    /// Adds an edge with a timestamp (temporal graph).
+    pub fn add_temporal_edge(&mut self, u: VertexId, v: VertexId, timestamp: u64) {
+        self.any_timestamp = true;
+        self.push(u, v, 1.0, timestamp);
+    }
+
+    /// Adds an edge that is both weighted and timestamped.
+    pub fn add_weighted_temporal_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+        timestamp: u64,
+    ) {
+        self.any_weight = true;
+        self.any_timestamp = true;
+        self.push(u, v, weight, timestamp);
+    }
+
+    fn push(&mut self, u: VertexId, v: VertexId, weight: f64, timestamp: u64) {
+        self.num_vertices = self.num_vertices.max(u.index() + 1).max(v.index() + 1);
+        self.edges.push(PendingEdge { u, v, weight, timestamp });
+    }
+
+    /// Finalizes into a CSR [`Graph`].
+    ///
+    /// Runs in `O(V + E log E)` (counting sort over sources, then a sort of
+    /// each adjacency by target).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let GraphBuilder { directed, mut edges, num_vertices, any_weight, any_timestamp, dedup } =
+            self;
+
+        for e in &edges {
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: e.weight });
+            }
+        }
+
+        if dedup {
+            let mut seen = std::collections::HashSet::with_capacity(edges.len());
+            edges.retain(|e| {
+                let key = if directed || e.u <= e.v { (e.u, e.v) } else { (e.v, e.u) };
+                seen.insert(key)
+            });
+        }
+
+        let n = num_vertices;
+        let num_edges = edges.len();
+
+        // Count arcs per source (undirected: both directions, loops once).
+        let mut counts = vec![0usize; n + 1];
+        for e in &edges {
+            counts[e.u.index() + 1] += 1;
+            if !directed && e.u != e.v {
+                counts[e.v.index() + 1] += 1;
+            }
+        }
+        let mut offsets = counts;
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        let num_arcs = *offsets.last().unwrap();
+        let mut targets = vec![VertexId(0); num_arcs];
+        let mut weights = if any_weight { vec![0.0f64; num_arcs] } else { Vec::new() };
+        let mut times = if any_timestamp { vec![0u64; num_arcs] } else { Vec::new() };
+
+        // Scatter pass; `cursor` tracks the next free slot for each vertex.
+        let mut cursor = offsets.clone();
+        let place = |src: VertexId,
+                         dst: VertexId,
+                         w: f64,
+                         t: u64,
+                         cursor: &mut [usize],
+                         targets: &mut [VertexId],
+                         weights: &mut [f64],
+                         times: &mut [u64]| {
+            let slot = cursor[src.index()];
+            cursor[src.index()] += 1;
+            targets[slot] = dst;
+            if any_weight {
+                weights[slot] = w;
+            }
+            if any_timestamp {
+                times[slot] = t;
+            }
+        };
+        for e in &edges {
+            place(e.u, e.v, e.weight, e.timestamp, &mut cursor, &mut targets, &mut weights, &mut times);
+            if !directed && e.u != e.v {
+                place(e.v, e.u, e.weight, e.timestamp, &mut cursor, &mut targets, &mut weights, &mut times);
+            }
+        }
+
+        // Sort each adjacency by (target, timestamp) so `has_edge` can use
+        // binary search and temporal walks see ordered candidates.
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let len = range.len();
+            if len <= 1 {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..len).collect();
+            let base = range.start;
+            order.sort_by_key(|&i| {
+                (
+                    targets[base + i],
+                    if any_timestamp { times[base + i] } else { 0 },
+                )
+            });
+            apply_permutation(&order, &mut targets[range.clone()]);
+            if any_weight {
+                apply_permutation(&order, &mut weights[range.clone()]);
+            }
+            if any_timestamp {
+                apply_permutation(&order, &mut times[range]);
+            }
+        }
+
+        Ok(Graph {
+            directed,
+            offsets,
+            targets,
+            edge_weights: any_weight.then_some(weights),
+            timestamps: any_timestamp.then_some(times),
+            vertex_weights: None,
+            num_edges,
+        })
+    }
+}
+
+/// Reorders `data` in place so that `data[i] = old_data[order[i]]`.
+fn apply_permutation<T: Copy>(order: &[usize], data: &mut [T]) {
+    debug_assert_eq!(order.len(), data.len());
+    let scratch: Vec<T> = order.iter().map(|&i| data[i]).collect();
+    data.copy_from_slice(&scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_are_kept() {
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(5);
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(VertexId(4)), 0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(VertexId(0), VertexId(3));
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(0), VertexId(2));
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(VertexId(0)), &[VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn weights_follow_sort() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_weighted_edge(VertexId(0), VertexId(3), 3.0);
+        b.add_weighted_edge(VertexId(0), VertexId(1), 1.0);
+        b.add_weighted_edge(VertexId(0), VertexId(2), 2.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor_weights(VertexId(0)).unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn timestamps_follow_sort() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_temporal_edge(VertexId(0), VertexId(2), 20);
+        b.add_temporal_edge(VertexId(0), VertexId(1), 10);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor_timestamps(VertexId(0)).unwrap(), &[10, 20]);
+    }
+
+    #[test]
+    fn parallel_edges_sorted_by_time() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_temporal_edge(VertexId(0), VertexId(1), 30);
+        b.add_temporal_edge(VertexId(0), VertexId(1), 10);
+        b.add_temporal_edge(VertexId(0), VertexId(1), 20);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor_timestamps(VertexId(0)).unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), -2.0);
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn nan_weight_rejected() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), f64::NAN);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let mut b = GraphBuilder::new_undirected().deduplicate(true);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(0));
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_directed_keeps_both_directions() {
+        let mut b = GraphBuilder::new_directed().deduplicate(true);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(0));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn mixed_weighted_and_plain_edges() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_weighted_edge(VertexId(1), VertexId(2), 4.0);
+        let g = b.build().unwrap();
+        assert!(g.has_edge_weights());
+        // The plain edge defaults to weight 1.0.
+        assert_eq!(g.weighted_degree(VertexId(0)), 1.0);
+        assert_eq!(g.weighted_degree(VertexId(1)), 5.0);
+    }
+
+    #[test]
+    fn builder_capacity_and_counts() {
+        let mut b = GraphBuilder::new_undirected().with_edge_capacity(16);
+        assert_eq!(b.num_edges(), 0);
+        b.add_edge(VertexId(3), VertexId(4));
+        assert_eq!(b.num_edges(), 1);
+        assert_eq!(b.num_vertices(), 5);
+    }
+}

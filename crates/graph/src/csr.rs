@@ -1,0 +1,421 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! [`Graph`] is the immutable, cache-friendly representation every V2V
+//! component reads. Adjacency is stored as a CSR (offset + target arrays);
+//! optional edge weights and edge timestamps are parallel arrays so the hot
+//! walk loop can fetch them with the same index it used for the target.
+//!
+//! Undirected edges are stored as two arcs (one per direction); self-loops
+//! are stored once. Multi-edges are permitted (each parallel edge is its own
+//! arc) because weighted datasets such as flight-route networks naturally
+//! contain them.
+
+use crate::error::GraphError;
+use crate::id::VertexId;
+
+/// One logical edge of a graph, as yielded by [`Graph::edges`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Source endpoint (for undirected graphs, the smaller endpoint).
+    pub source: VertexId,
+    /// Target endpoint.
+    pub target: VertexId,
+    /// Edge weight; `1.0` when the graph is unweighted.
+    pub weight: f64,
+    /// Edge timestamp, when the graph is temporal.
+    pub timestamp: Option<u64>,
+}
+
+/// An immutable graph in CSR form.
+///
+/// Build one with [`crate::GraphBuilder`] or a generator from
+/// [`crate::generators`].
+#[derive(Clone, Debug)]
+pub struct Graph {
+    pub(crate) directed: bool,
+    /// `offsets[v]..offsets[v+1]` indexes the arcs out of `v`.
+    pub(crate) offsets: Vec<usize>,
+    /// Arc targets, sorted by (target, timestamp) within each vertex.
+    pub(crate) targets: Vec<VertexId>,
+    /// Per-arc weights, parallel to `targets`.
+    pub(crate) edge_weights: Option<Vec<f64>>,
+    /// Per-arc timestamps, parallel to `targets`.
+    pub(crate) timestamps: Option<Vec<u64>>,
+    /// Per-vertex weights (used by vertex-weighted walks).
+    pub(crate) vertex_weights: Option<Vec<f64>>,
+    /// Logical edge count (an undirected edge counts once).
+    pub(crate) num_edges: usize,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges (an undirected edge counts once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored arcs (an undirected edge counts twice, except
+    /// self-loops which are stored once).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether arcs carry weights.
+    #[inline]
+    pub fn has_edge_weights(&self) -> bool {
+        self.edge_weights.is_some()
+    }
+
+    /// Whether arcs carry timestamps.
+    #[inline]
+    pub fn has_timestamps(&self) -> bool {
+        self.timestamps.is_some()
+    }
+
+    /// Whether vertices carry weights.
+    #[inline]
+    pub fn has_vertex_weights(&self) -> bool {
+        self.vertex_weights.is_some()
+    }
+
+    /// Iterator over all vertex ids, `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// The arc index range for vertex `v` (for indexing parallel arrays).
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v.index()]..self.offsets[v.index() + 1]
+    }
+
+    /// Out-neighbors of `v` (all neighbors for undirected graphs).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.arc_range(v)]
+    }
+
+    /// Weights of the arcs out of `v`, parallel to [`Graph::neighbors`].
+    /// `None` if the graph is unweighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[f64]> {
+        self.edge_weights.as_ref().map(|w| &w[self.arc_range(v)])
+    }
+
+    /// Timestamps of the arcs out of `v`, parallel to [`Graph::neighbors`].
+    /// `None` if the graph is not temporal.
+    #[inline]
+    pub fn neighbor_timestamps(&self, v: VertexId) -> Option<&[u64]> {
+        self.timestamps.as_ref().map(|t| &t[self.arc_range(v)])
+    }
+
+    /// Out-degree of `v` (degree, for undirected graphs; a self-loop
+    /// contributes one).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Sum of arc weights out of `v`; equals `degree(v)` when unweighted.
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        match self.neighbor_weights(v) {
+            Some(ws) => ws.iter().sum(),
+            None => self.degree(v) as f64,
+        }
+    }
+
+    /// The weight attached to vertex `v`, if vertex weights are present.
+    #[inline]
+    pub fn vertex_weight(&self, v: VertexId) -> Option<f64> {
+        self.vertex_weights.as_ref().map(|w| w[v.index()])
+    }
+
+    /// All vertex weights, if present.
+    #[inline]
+    pub fn vertex_weights(&self) -> Option<&[f64]> {
+        self.vertex_weights.as_deref()
+    }
+
+    /// Whether an arc `u -> v` exists (any parallel copy). `O(log deg(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total logical edge weight: sum over logical edges (an undirected edge
+    /// counts once). Equals [`Graph::num_edges`] for unweighted graphs.
+    pub fn total_edge_weight(&self) -> f64 {
+        match &self.edge_weights {
+            None => self.num_edges as f64,
+            Some(ws) => {
+                if self.directed {
+                    ws.iter().sum()
+                } else {
+                    // Each non-loop edge appears as two arcs with equal
+                    // weight; self-loops appear once.
+                    let mut total = 0.0;
+                    for v in self.vertices() {
+                        let range = self.arc_range(v);
+                        for (t, w) in self.targets[range.clone()].iter().zip(&ws[range]) {
+                            if *t >= v {
+                                total += *w;
+                            }
+                        }
+                    }
+                    total
+                }
+            }
+        }
+    }
+
+    /// Iterator over logical edges. For undirected graphs each edge is
+    /// yielded once, with `source <= target`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |v| {
+            let range = self.arc_range(v);
+            range.filter_map(move |arc| {
+                let t = self.targets[arc];
+                if !self.directed && t < v {
+                    return None;
+                }
+                Some(Edge {
+                    source: v,
+                    target: t,
+                    weight: self.edge_weights.as_ref().map_or(1.0, |w| w[arc]),
+                    timestamp: self.timestamps.as_ref().map(|ts| ts[arc]),
+                })
+            })
+        })
+    }
+
+    /// Iterator over all stored arcs as `(source, target, arc_index)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId, usize)> + '_ {
+        self.vertices()
+            .flat_map(move |v| self.arc_range(v).map(move |arc| (v, self.targets[arc], arc)))
+    }
+
+    /// Density: `m / (n*(n-1))` for directed, `2m / (n*(n-1))` for undirected.
+    pub fn density(&self) -> f64 {
+        let n = self.num_vertices() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let pairs = n * (n - 1.0);
+        let m = self.num_edges as f64;
+        if self.directed {
+            m / pairs
+        } else {
+            2.0 * m / pairs
+        }
+    }
+
+    /// Attaches per-vertex weights, replacing any existing ones.
+    pub fn with_vertex_weights(mut self, weights: Vec<f64>) -> Result<Self, GraphError> {
+        if weights.len() != self.num_vertices() {
+            return Err(GraphError::LengthMismatch {
+                what: "vertex weights",
+                got: weights.len(),
+                expected: self.num_vertices(),
+            });
+        }
+        if let Some(&w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(GraphError::InvalidWeight { weight: w });
+        }
+        self.vertex_weights = Some(weights);
+        Ok(self)
+    }
+
+    /// Checks internal invariants; used by tests and after deserialization.
+    ///
+    /// Verifies offset monotonicity, target bounds, parallel array lengths,
+    /// and (for undirected graphs) arc symmetry.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.num_vertices();
+        for w in self.offsets.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::Parse { line: 0, msg: "offsets not monotone".into() });
+            }
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() {
+            return Err(GraphError::LengthMismatch {
+                what: "offsets tail",
+                got: *self.offsets.last().unwrap(),
+                expected: self.targets.len(),
+            });
+        }
+        for t in &self.targets {
+            if t.index() >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: t.index(), num_vertices: n });
+            }
+        }
+        if let Some(w) = &self.edge_weights {
+            if w.len() != self.targets.len() {
+                return Err(GraphError::LengthMismatch {
+                    what: "edge weights",
+                    got: w.len(),
+                    expected: self.targets.len(),
+                });
+            }
+        }
+        if let Some(ts) = &self.timestamps {
+            if ts.len() != self.targets.len() {
+                return Err(GraphError::LengthMismatch {
+                    what: "timestamps",
+                    got: ts.len(),
+                    expected: self.targets.len(),
+                });
+            }
+        }
+        if !self.directed {
+            // Every non-loop arc must have a reverse twin.
+            for (u, v, _) in self.arcs() {
+                if u != v && !self.has_edge(v, u) {
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        msg: format!("undirected graph missing reverse arc {v} -> {u}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(2), VertexId(0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_yielded_once_undirected() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for e in &edges {
+            assert!(e.source <= e.target);
+            assert_eq!(e.weight, 1.0);
+            assert!(e.timestamp.is_none());
+        }
+    }
+
+    #[test]
+    fn directed_edges_and_degrees() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(0), VertexId(2));
+        b.add_edge(VertexId(2), VertexId(0));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(1)), 0);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(0));
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_arcs(), 3); // loop once + edge twice
+        assert_eq!(g.degree(VertexId(0)), 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_degree_and_total_weight() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), 2.5);
+        b.add_weighted_edge(VertexId(1), VertexId(2), 0.5);
+        let g = b.build().unwrap();
+        assert!(g.has_edge_weights());
+        assert_eq!(g.weighted_degree(VertexId(1)), 3.0);
+        assert_eq!(g.total_edge_weight(), 3.0);
+    }
+
+    #[test]
+    fn unweighted_total_weight_is_edge_count() {
+        let g = triangle();
+        assert_eq!(g.total_edge_weight(), 3.0);
+    }
+
+    #[test]
+    fn density_triangle_is_one() {
+        let g = triangle();
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_weights_validation() {
+        let g = triangle();
+        assert!(g.clone().with_vertex_weights(vec![1.0, 2.0]).is_err());
+        assert!(g.clone().with_vertex_weights(vec![1.0, -2.0, 3.0]).is_err());
+        let g = g.with_vertex_weights(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(g.vertex_weight(VertexId(2)), Some(3.0));
+    }
+
+    #[test]
+    fn multi_edges_are_kept() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.edges().count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn arc_iteration_covers_everything() {
+        let g = triangle();
+        assert_eq!(g.arcs().count(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v, arc) in g.arcs() {
+            assert!(seen.insert(arc));
+            assert_eq!(g.targets[arc], v);
+            assert!(g.arc_range(u).contains(&arc));
+        }
+    }
+}

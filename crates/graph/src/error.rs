@@ -1,0 +1,103 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge weight was non-finite or negative.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// Per-vertex data had the wrong length.
+    LengthMismatch {
+        /// What was being attached (e.g. "vertex weights").
+        what: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// A temporal operation was requested on a graph without timestamps,
+    /// or vice versa.
+    MissingAttribute(&'static str),
+    /// A parse error while reading an edge list, with 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "invalid edge weight {weight}: must be finite and non-negative")
+            }
+            GraphError::LengthMismatch { what, got, expected } => {
+                write!(f, "{what}: got length {got}, expected {expected}")
+            }
+            GraphError::MissingAttribute(what) => {
+                write!(f, "graph is missing required attribute: {what}")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("vertex 10"));
+        let e = GraphError::InvalidWeight { weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = GraphError::Parse { line: 3, msg: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::LengthMismatch { what: "vertex weights", got: 2, expected: 4 };
+        assert!(e.to_string().contains("vertex weights"));
+        let e = GraphError::MissingAttribute("timestamps");
+        assert!(e.to_string().contains("timestamps"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Vertex identifiers.
+//!
+//! Vertices are dense `u32` indices (perf-book guidance: prefer small integer
+//! indices over `usize` in oft-instantiated types). A graph with `n` vertices
+//! uses ids `0..n`.
+
+use std::fmt;
+
+/// A vertex identifier: a dense index into the graph's vertex set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The index as a `usize`, for indexing into per-vertex arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VertexId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in a `u32`.
+    #[inline(always)]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index {i} overflows u32");
+        VertexId(i as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", VertexId(7)), "7");
+        assert_eq!(format!("{:?}", VertexId(7)), "v7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId::default(), VertexId(0));
+    }
+
+    #[test]
+    fn conversions() {
+        let v: VertexId = 9u32.into();
+        let raw: u32 = v.into();
+        assert_eq!(raw, 9);
+    }
+}

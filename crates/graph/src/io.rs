@@ -1,0 +1,198 @@
+//! Edge-list I/O.
+//!
+//! The interchange format is whitespace-separated text, one edge per line:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <u> <v> [weight] [timestamp]
+//! ```
+//!
+//! Column meaning beyond the first two is fixed by [`EdgeListFormat`], so a
+//! three-column file is unambiguous.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::id::VertexId;
+use std::io::{BufRead, Write};
+
+/// What the optional columns of an edge list mean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeListFormat {
+    /// `u v`
+    Plain,
+    /// `u v weight`
+    Weighted,
+    /// `u v timestamp`
+    Temporal,
+    /// `u v weight timestamp`
+    WeightedTemporal,
+}
+
+impl EdgeListFormat {
+    fn columns(self) -> usize {
+        match self {
+            EdgeListFormat::Plain => 2,
+            EdgeListFormat::Weighted | EdgeListFormat::Temporal => 3,
+            EdgeListFormat::WeightedTemporal => 4,
+        }
+    }
+}
+
+/// Reads an edge list from `reader`.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    directed: bool,
+    format: EdgeListFormat,
+) -> Result<Graph, GraphError> {
+    let mut b = if directed { GraphBuilder::new_directed() } else { GraphBuilder::new_undirected() };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != format.columns() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("expected {} columns, found {}", format.columns(), toks.len()),
+            });
+        }
+        let parse_u32 = |s: &str| -> Result<u32, GraphError> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("invalid vertex id {s:?}"),
+            })
+        };
+        let u = VertexId(parse_u32(toks[0])?);
+        let v = VertexId(parse_u32(toks[1])?);
+        match format {
+            EdgeListFormat::Plain => b.add_edge(u, v),
+            EdgeListFormat::Weighted => {
+                let w: f64 = toks[2].parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("invalid weight {:?}", toks[2]),
+                })?;
+                b.add_weighted_edge(u, v, w);
+            }
+            EdgeListFormat::Temporal => {
+                let t: u64 = toks[2].parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("invalid timestamp {:?}", toks[2]),
+                })?;
+                b.add_temporal_edge(u, v, t);
+            }
+            EdgeListFormat::WeightedTemporal => {
+                let w: f64 = toks[2].parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("invalid weight {:?}", toks[2]),
+                })?;
+                let t: u64 = toks[3].parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("invalid timestamp {:?}", toks[3]),
+                })?;
+                b.add_weighted_temporal_edge(u, v, w, t);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Writes a graph as an edge list. The format is chosen from the graph's own
+/// attributes (weights/timestamps present → columns emitted).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(
+        writer,
+        "# v2v edge list: {} vertices, {} edges, directed={}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed()
+    )?;
+    for e in g.edges() {
+        match (g.has_edge_weights(), e.timestamp) {
+            (false, None) => writeln!(writer, "{} {}", e.source, e.target)?,
+            (true, None) => writeln!(writer, "{} {} {}", e.source, e.target, e.weight)?,
+            (false, Some(t)) => writeln!(writer, "{} {} {}", e.source, e.target, t)?,
+            (true, Some(t)) => writeln!(writer, "{} {} {} {}", e.source, e.target, e.weight, t)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_roundtrip() {
+        let input = "# header\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(input.as_bytes(), false, EdgeListFormat::Plain).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 =
+            read_edge_list(std::io::Cursor::new(out), false, EdgeListFormat::Plain).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let input = "0 1 2.5\n1 2 0.25\n";
+        let g = read_edge_list(input.as_bytes(), true, EdgeListFormat::Weighted).unwrap();
+        assert!(g.has_edge_weights());
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(std::io::Cursor::new(out), true, EdgeListFormat::Weighted).unwrap();
+        assert_eq!(g2.weighted_degree(VertexId(1)), 0.25);
+        assert_eq!(g2.weighted_degree(VertexId(0)), 2.5);
+    }
+
+    #[test]
+    fn temporal_roundtrip() {
+        let input = "0 1 100\n0 2 50\n";
+        let g = read_edge_list(input.as_bytes(), true, EdgeListFormat::Temporal).unwrap();
+        assert!(g.has_timestamps());
+        assert_eq!(g.neighbor_timestamps(VertexId(0)).unwrap(), &[100, 50]);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(std::io::Cursor::new(out), true, EdgeListFormat::Temporal).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_timestamps());
+    }
+
+    #[test]
+    fn weighted_temporal_parse() {
+        let input = "0 1 2.0 7\n";
+        let g = read_edge_list(input.as_bytes(), false, EdgeListFormat::WeightedTemporal).unwrap();
+        assert!(g.has_edge_weights() && g.has_timestamps());
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.weight, 2.0);
+        assert_eq!(e.timestamp, Some(7));
+    }
+
+    #[test]
+    fn bad_column_count_reports_line() {
+        let input = "0 1\n0 1 2 3 4\n";
+        let err = read_edge_list(input.as_bytes(), false, EdgeListFormat::Plain).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn bad_vertex_id_reports_line() {
+        let input = "0 x\n";
+        let err = read_edge_list(input.as_bytes(), false, EdgeListFormat::Plain).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn bad_weight_rejected() {
+        let input = "0 1 oops\n";
+        assert!(read_edge_list(input.as_bytes(), false, EdgeListFormat::Weighted).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph substrate for the V2V system.
+//!
+//! This crate provides the compressed-sparse-row (CSR) graph representation
+//! that every other V2V component consumes: the random-walk engine, the
+//! direct community-detection baselines, the dataset generators, and the
+//! visualization layouts.
+//!
+//! The paper's constrained random walks (V2V §II-A) need graphs that can be
+//! * undirected or directed,
+//! * edge-weighted and/or vertex-weighted,
+//! * time-stamped per edge,
+//!
+//! so [`Graph`] carries optional parallel arrays for weights and timestamps
+//! next to its adjacency structure, and [`GraphBuilder`] accepts any mix of
+//! plain, weighted and temporal edges.
+//!
+//! # Quick example
+//!
+//! ```
+//! use v2v_graph::{GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new_undirected();
+//! b.add_edge(VertexId(0), VertexId(1));
+//! b.add_edge(VertexId(1), VertexId(2));
+//! let g = b.build().unwrap();
+//! assert_eq!(g.num_vertices(), 3);
+//! assert_eq!(g.num_edges(), 2);
+//! assert_eq!(g.degree(VertexId(1)), 2);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod id;
+pub mod io;
+pub mod perturb;
+pub mod similarity;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use error::GraphError;
+pub use id::VertexId;

@@ -1,0 +1,152 @@
+//! Descriptive graph statistics: degree distributions and clustering
+//! coefficients. Used by the dataset generators' self-checks and by the
+//! experiment harness to report workload characteristics next to results.
+
+use crate::csr::Graph;
+use crate::id::VertexId;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+/// Computes [`DegreeStats`] over all vertices. Returns zeros for the empty
+/// graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut sum_sq = 0f64;
+    for v in g.vertices() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum as f64 / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    DegreeStats { min, max, mean, std_dev: var.sqrt() }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.vertices().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `v`: the fraction of pairs of neighbors
+/// of `v` that are themselves adjacent. Zero for degree < 2. Self-loops and
+/// parallel edges are ignored.
+pub fn local_clustering(g: &Graph, v: VertexId) -> f64 {
+    let mut nbrs: Vec<VertexId> = g.neighbors(v).iter().copied().filter(|&w| w != v).collect();
+    nbrs.dedup();
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average of the local clustering coefficients over all vertices
+/// (Watts–Strogatz definition).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    g.vertices().map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = generators::star(5); // center degree 4, leaves degree 1
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let h = degree_histogram(&generators::star(5));
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 });
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_complete_graph_is_one() {
+        let g = generators::complete(6);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_tree_is_zero() {
+        let g = generators::star(10);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(local_clustering(&g, VertexId(0)), 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_with_tail() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let g = b.build().unwrap();
+        // Vertex 0 has neighbors {1,2,3}; only (1,2) adjacent: C = 1/3.
+        assert!((local_clustering(&g, VertexId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, VertexId(3)), 0.0);
+        assert!((local_clustering(&g, VertexId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_ignored_in_clustering() {
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in [(0, 0), (0, 1), (0, 2), (1, 2)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let g = b.build().unwrap();
+        assert!((local_clustering(&g, VertexId(0)) - 1.0).abs() < 1e-12);
+    }
+}

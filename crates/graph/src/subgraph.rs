@@ -1,0 +1,138 @@
+//! Induced subgraphs with vertex re-indexing.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::id::VertexId;
+
+/// The result of [`induced_subgraph`]: the subgraph plus the mapping between
+/// old and new vertex ids.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced subgraph, with vertices renumbered `0..keep.len()`.
+    pub graph: Graph,
+    /// `original[new]` is the id the vertex had in the parent graph.
+    pub original: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Maps a parent-graph vertex id into the subgraph, if it was kept.
+    pub fn to_sub(&self, v: VertexId) -> Option<VertexId> {
+        // `original` is sorted because `induced_subgraph` sorts and dedups.
+        self.original.binary_search(&v).ok().map(VertexId::from_index)
+    }
+
+    /// Maps a subgraph vertex id back to the parent graph.
+    pub fn to_parent(&self, v: VertexId) -> VertexId {
+        self.original[v.index()]
+    }
+}
+
+/// Builds the subgraph induced by `keep` (duplicates are ignored), keeping
+/// edge weights and timestamps. Runs in `O(sum of kept degrees)`.
+pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> Subgraph {
+    let mut kept: Vec<VertexId> = keep.to_vec();
+    kept.sort_unstable();
+    kept.dedup();
+
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (i, v) in kept.iter().enumerate() {
+        new_id[v.index()] = i as u32;
+    }
+
+    let mut b =
+        if g.is_directed() { GraphBuilder::new_directed() } else { GraphBuilder::new_undirected() };
+    b.ensure_vertices(kept.len());
+
+    for &u in &kept {
+        let range = g.arc_range(u);
+        let weights = g.neighbor_weights(u);
+        let times = g.neighbor_timestamps(u);
+        for (k, arc) in range.enumerate() {
+            let v = g.neighbors(u)[k];
+            let _ = arc;
+            if new_id[v.index()] == u32::MAX {
+                continue;
+            }
+            // Undirected edges are stored as two arcs; emit each once.
+            if !g.is_directed() && v < u {
+                continue;
+            }
+            let nu = VertexId(new_id[u.index()]);
+            let nv = VertexId(new_id[v.index()]);
+            match (weights, times) {
+                (None, None) => b.add_edge(nu, nv),
+                (Some(w), None) => b.add_weighted_edge(nu, nv, w[k]),
+                (None, Some(t)) => b.add_temporal_edge(nu, nv, t[k]),
+                (Some(w), Some(t)) => b.add_weighted_temporal_edge(nu, nv, w[k], t[k]),
+            }
+        }
+    }
+
+    Subgraph { graph: b.build().expect("induced subgraph edges are valid"), original: kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn induced_triangle_from_k5() {
+        let g = generators::complete(5);
+        let sub = induced_subgraph(&g, &[VertexId(1), VertexId(3), VertexId(4)]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.to_parent(VertexId(0)), VertexId(1));
+        assert_eq!(sub.to_sub(VertexId(4)), Some(VertexId(2)));
+        assert_eq!(sub.to_sub(VertexId(0)), None);
+    }
+
+    #[test]
+    fn duplicates_in_keep_are_ignored() {
+        let g = generators::path(4);
+        let sub = induced_subgraph(&g, &[VertexId(1), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn weights_survive_extraction() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(VertexId(0), VertexId(1), 5.0);
+        b.add_weighted_edge(VertexId(1), VertexId(2), 7.0);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, &[VertexId(1), VertexId(2)]);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.graph.total_edge_weight(), 7.0);
+    }
+
+    #[test]
+    fn directed_subgraph_preserves_direction() {
+        let g = generators::directed_ring(5);
+        let sub = induced_subgraph(&g, &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert!(sub.graph.is_directed());
+        // Arcs 0->1 and 1->2 survive; 2->3 and 4->0 are cut.
+        assert_eq!(sub.graph.num_edges(), 2);
+        assert!(sub.graph.has_edge(VertexId(0), VertexId(1)));
+        assert!(!sub.graph.has_edge(VertexId(1), VertexId(0)));
+    }
+
+    #[test]
+    fn empty_keep_gives_empty_graph() {
+        let g = generators::complete(4);
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loop_kept() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(0));
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, &[VertexId(0)]);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert!(sub.graph.has_edge(VertexId(0), VertexId(0)));
+    }
+}

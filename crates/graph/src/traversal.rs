@@ -1,0 +1,196 @@
+//! Breadth-first search, connected components, and reachability.
+//!
+//! These are used by the community-detection baselines (Girvan–Newman tracks
+//! components as edges are removed) and by dataset validation (the paper's
+//! synthetic graphs are checked to be connected before benchmarking).
+
+use crate::csr::Graph;
+use crate::id::VertexId;
+use std::collections::VecDeque;
+
+/// Unweighted shortest-path distances from `source`; unreachable vertices
+/// get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices reachable from `source` by following arcs (including `source`),
+/// in BFS order.
+pub fn reachable_from(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components (weakly connected for directed graphs).
+///
+/// Returns `(component_of, num_components)` where `component_of[v]` is a
+/// dense component index in `0..num_components`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_vertices();
+    // For directed graphs, weak connectivity needs reverse arcs too.
+    let reverse = if g.is_directed() { Some(reverse_adjacency(g)) } else { None };
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(VertexId::from_index(s));
+        while let Some(v) = queue.pop_front() {
+            let visit = |w: VertexId, comp: &mut Vec<usize>, queue: &mut VecDeque<VertexId>| {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = next;
+                    queue.push_back(w);
+                }
+            };
+            for &w in g.neighbors(v) {
+                visit(w, &mut comp, &mut queue);
+            }
+            if let Some(rev) = &reverse {
+                for &w in &rev[v.index()] {
+                    visit(w, &mut comp, &mut queue);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Whether the graph is (weakly) connected. The empty graph is connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).1 == 1
+}
+
+/// In-neighbors of every vertex; only meaningful for directed graphs.
+pub fn reverse_adjacency(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut rev = vec![Vec::new(); g.num_vertices()];
+    for (u, v, _) in g.arcs() {
+        rev[v.index()].push(u);
+    }
+    rev
+}
+
+/// Graph diameter via BFS from every vertex (unweighted, exact).
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.num_vertices() == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0usize;
+    for v in g.vertices() {
+        let ecc = bfs_distances(g, v).into_iter().filter(|&d| d != usize::MAX).max()?;
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_in_directed() {
+        let mut b = crate::GraphBuilder::new_directed();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.ensure_vertices(3);
+        let g = b.build().unwrap();
+        let d = bfs_distances(&g, VertexId(1));
+        assert_eq!(d[0], usize::MAX);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut b = crate::GraphBuilder::new_undirected();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let g = b.build().unwrap();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn weak_components_directed() {
+        let mut b = crate::GraphBuilder::new_directed();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(1));
+        let g = b.build().unwrap();
+        // 1 has no out-arcs, but weakly all three are one component.
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn reachability_respects_direction() {
+        let g = generators::directed_ring(4);
+        let r = reachable_from(&g, VertexId(0));
+        assert_eq!(r.len(), 4);
+        let mut b = crate::GraphBuilder::new_directed();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.ensure_vertices(3);
+        let g = b.build().unwrap();
+        assert_eq!(reachable_from(&g, VertexId(0)).len(), 2);
+        assert_eq!(reachable_from(&g, VertexId(2)).len(), 1);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::ring(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(6)), Some(1));
+        let mut b = crate::GraphBuilder::new_undirected();
+        b.ensure_vertices(2);
+        assert_eq!(diameter(&b.build().unwrap()), None); // disconnected
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = crate::GraphBuilder::new_undirected().build().unwrap();
+        assert!(is_connected(&g));
+    }
+}

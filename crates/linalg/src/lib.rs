@@ -1,0 +1,34 @@
+//! Dense linear algebra for V2V.
+//!
+//! V2V needs only a small, predictable slice of linear algebra:
+//!
+//! * vector kernels — dot products, norms, cosine/Euclidean distances — used
+//!   by k-means, k-NN, and embedding quality checks;
+//! * a row-major dense matrix for embedding tables and projected points;
+//! * covariance + eigendecomposition for PCA (the paper's visualization
+//!   front-end, §IV): power iteration with deflation for the top-k
+//!   components, and a cyclic Jacobi solver for full spectra of small
+//!   matrices (also used to cross-check power iteration in tests).
+//!
+//! Everything is `f64`; the embedding trainer keeps its own `f32` hot path
+//! and converts at the boundary.
+
+//! ```
+//! use v2v_linalg::{Pca, RowMatrix};
+//!
+//! // Points along the x axis: PC1 is (±1, 0).
+//! let data = RowMatrix::from_rows(&[
+//!     vec![-2.0, 0.0], vec![-1.0, 0.0], vec![1.0, 0.0], vec![2.0, 0.0],
+//! ]);
+//! let pca = Pca::fit(&data, 1, 0);
+//! assert!(pca.components.row(0)[0].abs() > 0.999);
+//! assert!(pca.explained_variance[0] > 1.0);
+//! ```
+
+pub mod matrix;
+pub mod pca;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::RowMatrix;
+pub use pca::Pca;

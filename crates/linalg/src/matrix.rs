@@ -1,0 +1,288 @@
+//! Row-major dense matrix.
+//!
+//! [`RowMatrix`] stores one data point per row; this matches both the
+//! embedding table (one vector per vertex) and projected point clouds, so
+//! row slices can be handed to the distance kernels without copying.
+
+use std::fmt;
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct RowMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RowMatrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RowMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer has wrong length");
+        RowMatrix { rows, cols, data }
+    }
+
+    /// Builds from row vectors (all must share one length).
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        RowMatrix { rows: rows.len(), cols, data }
+    }
+
+    /// The `rows x rows` identity matrix.
+    pub fn identity(rows: usize) -> Self {
+        let mut m = Self::zeros(rows, rows);
+        for i in 0..rows {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> RowMatrix {
+        let mut t = RowMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &RowMatrix) -> RowMatrix {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimensions differ");
+        let mut out = RowMatrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of `rhs` and `out` (perf-book: cache-friendly access).
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        self.iter_rows().map(|r| crate::vector::dot(r, v)).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element difference against another matrix.
+    pub fn max_abs_diff(&self, other: &RowMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for RowMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for RowMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RowMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RowMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = RowMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        RowMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn bad_flat_panics() {
+        RowMatrix::from_flat(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = RowMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = RowMatrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = RowMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = RowMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = RowMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = RowMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let a = RowMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn max_abs_diff_value() {
+        let a = RowMatrix::zeros(2, 2);
+        let mut b = RowMatrix::zeros(2, 2);
+        b[(1, 1)] = -2.5;
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    fn iter_rows_handles_empty() {
+        let m = RowMatrix::zeros(0, 0);
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+}
+
+/// Returns a copy of `m` with every row scaled to unit L2 norm
+/// (zero rows stay zero) — the common preprocessing step before cosine
+/// k-means / spectral clustering / logistic regression on embeddings.
+pub fn normalize_rows(m: &RowMatrix) -> RowMatrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        crate::vector::normalize(out.row_mut(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod normalize_tests {
+    use super::*;
+
+    #[test]
+    fn rows_become_unit_length() {
+        let m = RowMatrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0], vec![-2.0, 0.0]]);
+        let n = normalize_rows(&m);
+        assert!((crate::vector::norm(n.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+        assert_eq!(n.row(2), &[-1.0, 0.0]);
+        // Original untouched.
+        assert_eq!(m.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn direction_preserved() {
+        let m = RowMatrix::from_rows(&[vec![2.0, 2.0]]);
+        let n = normalize_rows(&m);
+        assert!((n[(0, 0)] - n[(0, 1)]).abs() < 1e-12);
+        assert!(n[(0, 0)] > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Vector kernels: dot products, norms, and the distances used by V2V's
+//! clustering (Euclidean, §III) and classification (cosine, §V).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Indexing over a zipped pair lets LLVM vectorize without bounds checks.
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance (the k-means objective uses squares; skipping
+/// the `sqrt` in the hot loop is the classic optimization).
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`. Zero vectors yield similarity `0`.
+#[inline]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine distance `1 - cosine_similarity`, the proximity the paper's k-NN
+/// classifier uses (§V).
+#[inline]
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// Scales `a` in place to unit L2 norm; leaves zero vectors untouched.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel), used by centroid accumulation.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `a` in place by `alpha`.
+#[inline]
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise mean of a set of equal-length vectors. Returns an empty
+/// vector when `rows` is empty.
+pub fn mean(rows: &[&[f64]]) -> Vec<f64> {
+    let Some(first) = rows.first() else { return Vec::new() };
+    let mut out = vec![0.0; first.len()];
+    for r in rows {
+        axpy(1.0, r, &mut out);
+    }
+    scale(&mut out, 1.0 / rows.len() as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn euclidean_matches_definition() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[1.0], &[4.0]), 9.0);
+        assert_eq!(euclidean(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_identities() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-12);
+        assert!((cosine_similarity(&a, &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let m = mean(&[&a, &b]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean(&[]).is_empty());
+    }
+}

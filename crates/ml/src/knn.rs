@@ -1,0 +1,191 @@
+//! k-nearest-neighbor classification.
+//!
+//! The paper's feature-prediction application (§V): the label of an
+//! unlabeled vertex is the majority vote of its `k` nearest embedding
+//! vectors, with proximity measured by cosine distance. Brute force —
+//! `O(n d)` per query — parallelized over queries.
+
+use rayon::prelude::*;
+use v2v_linalg::vector::{cosine_distance, euclidean_sq};
+use v2v_linalg::RowMatrix;
+
+/// Which distance to rank neighbors by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceMetric {
+    /// `1 - cos(a, b)` — the paper's choice (§V).
+    Cosine,
+    /// Squared Euclidean (monotone-equivalent to Euclidean for ranking).
+    Euclidean,
+}
+
+impl DistanceMetric {
+    #[inline]
+    fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Cosine => cosine_distance(a, b),
+            DistanceMetric::Euclidean => euclidean_sq(a, b),
+        }
+    }
+}
+
+/// A fitted (memorized) k-NN classifier.
+pub struct KnnClassifier<'a> {
+    data: &'a RowMatrix,
+    labels: &'a [usize],
+    metric: DistanceMetric,
+}
+
+impl<'a> KnnClassifier<'a> {
+    /// Wraps training points (one per row) and their labels.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != data.rows()` or the training set is empty.
+    pub fn fit(data: &'a RowMatrix, labels: &'a [usize], metric: DistanceMetric) -> Self {
+        assert_eq!(data.rows(), labels.len(), "one label per training row");
+        assert!(data.rows() > 0, "k-NN needs at least one training point");
+        KnnClassifier { data, labels, metric }
+    }
+
+    /// The `k` nearest training indices to `query`, nearest first.
+    pub fn neighbors(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert!(k >= 1, "k must be positive");
+        let mut scored: Vec<(usize, f64)> = (0..self.data.rows())
+            .map(|i| (i, self.metric.eval(query, self.data.row(i))))
+            .collect();
+        // Partial selection: only the top k need full ordering.
+        let k = k.min(scored.len());
+        scored.select_nth_unstable_by(k - 1, |a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.truncate(k);
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored
+    }
+
+    /// Predicts by majority vote among the `k` nearest neighbors; ties are
+    /// broken toward the label of the nearest neighbor among the tied
+    /// labels.
+    pub fn predict(&self, query: &[f64], k: usize) -> usize {
+        let nbrs = self.neighbors(query, k);
+        let mut votes: std::collections::HashMap<usize, (usize, usize)> =
+            std::collections::HashMap::new();
+        // Track (count, best_rank) per label; lower rank = nearer.
+        for (rank, &(i, _)) in nbrs.iter().enumerate() {
+            let e = votes.entry(self.labels[i]).or_insert((0, rank));
+            e.0 += 1;
+            e.1 = e.1.min(rank);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+            .map(|(label, _)| label)
+            .expect("at least one neighbor")
+    }
+
+    /// Predicts a batch of queries in parallel.
+    pub fn predict_batch(&self, queries: &RowMatrix, k: usize) -> Vec<usize> {
+        (0..queries.rows())
+            .into_par_iter()
+            .map(|i| self.predict(queries.row(i), k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (RowMatrix, Vec<usize>) {
+        // Two clusters on the x axis.
+        let data = RowMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.1, 0.1],
+            vec![0.9, -0.1],
+            vec![-1.0, 0.0],
+            vec![-1.1, 0.1],
+            vec![-0.9, -0.1],
+        ]);
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn one_nn_predicts_nearest_label() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Euclidean);
+        assert_eq!(knn.predict(&[1.05, 0.0], 1), 0);
+        assert_eq!(knn.predict(&[-1.05, 0.0], 1), 1);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+        assert_eq!(knn.predict(&[0.8, 0.05], 3), 0);
+        assert_eq!(knn.predict(&[-0.8, 0.05], 3), 1);
+    }
+
+    #[test]
+    fn cosine_ignores_magnitude() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+        // A tiny vector pointing +x still classifies as cluster 0.
+        assert_eq!(knn.predict(&[1e-3, 0.0], 3), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Euclidean);
+        let nbrs = knn.neighbors(&[1.0, 0.0], 4);
+        assert_eq!(nbrs.len(), 4);
+        for w in nbrs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(nbrs[0].0, 0); // the exact point
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Euclidean);
+        assert_eq!(knn.neighbors(&[0.0, 0.0], 100).len(), 6);
+        // Vote over everything: tie 3-3 broken toward nearest neighbor.
+        let p = knn.predict(&[0.5, 0.0], 100);
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        let data = RowMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let labels = vec![0, 1, 1, 0];
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Euclidean);
+        // Query at 1.4: neighbors {1.0(l0), 2.0(l1), 3.0(l1), 4.0(l0)};
+        // k=4 is a 2-2 tie; nearest is label 0.
+        assert_eq!(knn.predict(&[1.4], 4), 0);
+        // Query at 2.4: nearest is 2.0 (label 1).
+        assert_eq!(knn.predict(&[2.4], 4), 1);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+        let queries = RowMatrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0]]);
+        let batch = knn.predict_batch(&queries, 3);
+        assert_eq!(batch, vec![knn.predict(&[1.0, 0.0], 3), knn.predict(&[-1.0, 0.0], 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per training row")]
+    fn label_length_mismatch_panics() {
+        let data = RowMatrix::zeros(2, 2);
+        let labels = vec![0];
+        KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+        knn.neighbors(&[0.0, 0.0], 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Machine-learning toolkit for V2V's applications.
+//!
+//! Once vertices are vectors, the paper solves graph problems with textbook
+//! ML (its whole thesis):
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and
+//!   multi-restart (the paper repeats Lloyd 100 times and keeps the best
+//!   objective, §III) for community detection in embedding space.
+//! * [`knn`] — k-nearest-neighbor classification under cosine distance for
+//!   vertex label prediction (§V).
+//! * [`cross_validation`] — the shuffled k-fold splitter behind the
+//!   paper's 10-fold evaluation protocol.
+//! * [`metrics`] — pairwise precision/recall (the paper's community
+//!   quality measure, §III-B), classification accuracy, and the standard
+//!   extras (F1, NMI, ARI, purity) used by the ablation benches.
+
+//! ```
+//! use v2v_ml::kmeans::{kmeans, KMeansConfig};
+//! use v2v_linalg::RowMatrix;
+//!
+//! // Two obvious blobs.
+//! let data = RowMatrix::from_rows(&[
+//!     vec![0.0, 0.1], vec![0.1, 0.0], vec![9.0, 9.1], vec![9.1, 9.0],
+//! ]);
+//! let result = kmeans(&data, &KMeansConfig { k: 2, restarts: 5, ..Default::default() });
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! ```
+
+pub mod cross_validation;
+pub mod kmeans;
+pub mod knn;
+pub mod logistic;
+pub mod metrics;
+pub mod model_selection;
+
+pub use kmeans::{KMeansConfig, KMeansResult};
+pub use knn::{DistanceMetric, KnnClassifier};
+pub use metrics::PairwiseScores;

@@ -1,0 +1,69 @@
+//! CSV emitters for figure data series.
+//!
+//! Each experiment binary prints its table to stdout and can also dump the
+//! raw series as CSV, so the paper's line plots (Figs 5–7, 9–10) can be
+//! regenerated with any plotting tool.
+
+use std::io::Write;
+
+/// Writes a header row and then one row per record, with each record's
+/// values formatted by `Display`.
+pub fn write_rows<W: Write, V: std::fmt::Display>(
+    mut w: W,
+    header: &[&str],
+    rows: &[Vec<V>],
+) -> std::io::Result<()> {
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes labeled 2-D points: `x,y,label` — the scatter-figure format.
+pub fn write_points<W: Write>(
+    mut w: W,
+    points: &[[f64; 2]],
+    labels: &[usize],
+) -> std::io::Result<()> {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    writeln!(w, "x,y,label")?;
+    for (p, l) in points.iter().zip(labels) {
+        writeln!(w, "{},{},{}", p[0], p[1], l)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip_textually() {
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &["alpha", "precision"], &[vec![0.1, 0.95], vec![0.2, 0.99]])
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "alpha,precision");
+        assert_eq!(lines[1], "0.1,0.95");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn points_format() {
+        let mut buf = Vec::new();
+        write_points(&mut buf, &[[1.5, -2.0]], &[3]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1.5,-2,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &["a", "b"], &[vec![1.0]]).unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//! Visualization stack for V2V.
+//!
+//! The paper draws three kinds of pictures:
+//!
+//! * Fig 3 — the synthetic graphs themselves, laid out with ForceAtlas
+//!   ([`forceatlas2`], with an optional Barnes–Hut [`quadtree`] for the
+//!   repulsion term);
+//! * Figs 4 & 8 — embeddings projected onto their top two/three principal
+//!   components ([`project`], on top of `v2v-linalg`'s PCA);
+//! * §I also names t-SNE as the other principled projection — [`tsne`]
+//!   implements the exact O(n²) version.
+//!
+//! Output goes to SVG scatter/graph plots ([`svg`]) or CSV series
+//! ([`csv`]) that the experiment binaries write next to their printed
+//! tables.
+
+pub mod csv;
+pub mod forceatlas2;
+pub mod project;
+pub mod quadtree;
+pub mod svg;
+pub mod tsne;
+
+pub use forceatlas2::{ForceAtlas2, ForceAtlasConfig};
+pub use project::{project_embedding, Projection};
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,354 @@
+//! Minimal SVG emitters for scatter plots and graph drawings.
+//!
+//! The experiment binaries write the paper's figures as standalone SVG
+//! files: Fig 3 (graph layouts), Fig 4 and Fig 8 (projected embeddings,
+//! colored by ground-truth community/continent).
+
+use std::io::Write;
+
+/// A categorical color palette (10 visually distinct colors — enough for
+/// the paper's 10 communities / 10 continents; cycles beyond that).
+pub const PALETTE: [&str; 10] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+];
+
+/// Returns the palette color for a category index.
+pub fn color_for(category: usize) -> &'static str {
+    PALETTE[category % PALETTE.len()]
+}
+
+/// Maps points into the `[margin, size - margin]` square, preserving the
+/// aspect ratio. Returns the transformed points.
+fn fit(points: &[[f64; 2]], size: f64, margin: f64) -> Vec<[f64; 2]> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let (mut min, mut max) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+    for p in points {
+        for d in 0..2 {
+            min[d] = min[d].min(p[d]);
+            max[d] = max[d].max(p[d]);
+        }
+    }
+    let span = (max[0] - min[0]).max(max[1] - min[1]).max(1e-12);
+    let scale = (size - 2.0 * margin) / span;
+    points
+        .iter()
+        .map(|p| {
+            [
+                margin + (p[0] - min[0]) * scale,
+                // SVG's y axis points down; flip so plots read math-style.
+                size - margin - (p[1] - min[1]) * scale,
+            ]
+        })
+        .collect()
+}
+
+/// Writes a scatter plot; `labels[i]` picks the point's palette color.
+pub fn write_scatter<W: Write>(
+    mut w: W,
+    points: &[[f64; 2]],
+    labels: &[usize],
+    title: &str,
+) -> std::io::Result<()> {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    let size = 800.0;
+    let fitted = fit(points, size, 40.0);
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" viewBox="0 0 {size} {size}">"#
+    )?;
+    writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+    writeln!(
+        w,
+        r#"<text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        size / 2.0,
+        title
+    )?;
+    for (p, &l) in fitted.iter().zip(labels) {
+        writeln!(
+            w,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{}" fill-opacity="0.75"/>"#,
+            p[0],
+            p[1],
+            color_for(l)
+        )?;
+    }
+    writeln!(w, "</svg>")
+}
+
+/// Writes a graph drawing: edges as lines under colored vertex dots.
+pub fn write_graph<W: Write>(
+    mut w: W,
+    positions: &[[f64; 2]],
+    edges: &[(usize, usize)],
+    labels: &[usize],
+    title: &str,
+) -> std::io::Result<()> {
+    assert_eq!(positions.len(), labels.len(), "one label per vertex");
+    let size = 800.0;
+    let fitted = fit(positions, size, 40.0);
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" viewBox="0 0 {size} {size}">"#
+    )?;
+    writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+    writeln!(
+        w,
+        r#"<text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        size / 2.0,
+        title
+    )?;
+    for &(u, v) in edges {
+        writeln!(
+            w,
+            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#cccccc" stroke-width="0.4"/>"##,
+            fitted[u][0], fitted[u][1], fitted[v][0], fitted[v][1]
+        )?;
+    }
+    for (p, &l) in fitted.iter().zip(labels) {
+        writeln!(
+            w,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="3.5" fill="{}"/>"#,
+            p[0],
+            p[1],
+            color_for(l)
+        )?;
+    }
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_contains_all_points() {
+        let points = vec![[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]];
+        let labels = vec![0, 1, 2];
+        let mut buf = Vec::new();
+        write_scatter(&mut buf, &points, &labels, "test").unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains("test"));
+        assert!(svg.contains(PALETTE[0]));
+    }
+
+    #[test]
+    fn graph_draws_edges_and_nodes() {
+        let pos = vec![[0.0, 0.0], [1.0, 0.0]];
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &pos, &[(0, 1)], &[0, 0], "g").unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_cloud() {
+        // All points identical: no NaNs, everything lands inside the box.
+        let points = vec![[5.0, 5.0]; 4];
+        let fitted = fit(&points, 800.0, 40.0);
+        for p in fitted {
+            assert!(p[0].is_finite() && p[1].is_finite());
+            assert!(p[0] >= 0.0 && p[0] <= 800.0);
+        }
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(color_for(0), color_for(10));
+        assert_ne!(color_for(0), color_for(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per point")]
+    fn mismatched_labels_panic() {
+        let mut buf = Vec::new();
+        write_scatter(&mut buf, &[[0.0, 0.0]], &[], "x").unwrap();
+    }
+}
+
+/// One named series for [`write_line_chart`].
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// `(x, y)` points, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Writes a line chart with axes, ticks, and a legend — used to render the
+/// paper's line figures (Figs 5–7, 9–10) directly from the measured series.
+pub fn write_line_chart<W: Write>(
+    mut w: W,
+    series: &[Series<'_>],
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+) -> std::io::Result<()> {
+    assert!(!series.is_empty(), "need at least one series");
+    assert!(series.iter().any(|s| !s.points.is_empty()), "all series empty");
+    let (width, height) = (860.0, 560.0);
+    let (ml, mr, mt, mb) = (70.0, 160.0, 50.0, 55.0); // margins (legend right)
+
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let sx = |x: f64| ml + (x - x0) / (x1 - x0) * (width - ml - mr);
+    let sy = |y: f64| height - mb - (y - y0) / (y1 - y0) * (height - mt - mb);
+
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    )?;
+    writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+    writeln!(
+        w,
+        r#"<text x="{}" y="28" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        width / 2.0,
+        title
+    )?;
+    // Axes.
+    writeln!(
+        w,
+        r##"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="#333"/>"##,
+        height - mb,
+        width - mr,
+        height - mb
+    )?;
+    writeln!(w, r##"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="#333"/>"##, height - mb)?;
+    // Ticks (5 per axis).
+    for i in 0..=4 {
+        let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+        let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+        writeln!(
+            w,
+            r##"<text x="{:.1}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="11" fill="#333">{:.2}</text>"##,
+            sx(fx),
+            height - mb + 18.0,
+            fx
+        )?;
+        writeln!(
+            w,
+            r##"<text x="{}" y="{:.1}" text-anchor="end" font-family="sans-serif" font-size="11" fill="#333">{:.2}</text>"##,
+            ml - 6.0,
+            sy(fy) + 4.0,
+            fy
+        )?;
+        writeln!(
+            w,
+            r##"<line x1="{ml}" y1="{:.1}" x2="{}" y2="{:.1}" stroke="#eeeeee"/>"##,
+            sy(fy),
+            width - mr,
+            sy(fy)
+        )?;
+    }
+    // Axis labels.
+    writeln!(
+        w,
+        r##"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="13">{}</text>"##,
+        (ml + width - mr) / 2.0,
+        height - 12.0,
+        x_label
+    )?;
+    writeln!(
+        w,
+        r##"<text x="18" y="{}" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 18 {})">{}</text>"##,
+        (mt + height - mb) / 2.0,
+        (mt + height - mb) / 2.0,
+        y_label
+    )?;
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = color_for(si);
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+            })
+            .collect();
+        writeln!(
+            w,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            path.join(" ")
+        )?;
+        for &(x, y) in &s.points {
+            writeln!(
+                w,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            )?;
+        }
+        // Legend.
+        let ly = mt + 18.0 * si as f64;
+        writeln!(
+            w,
+            r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            width - mr + 10.0,
+            width - mr + 34.0
+        )?;
+        writeln!(
+            w,
+            r##"<text x="{}" y="{}" font-family="sans-serif" font-size="12" fill="#333">{}</text>"##,
+            width - mr + 40.0,
+            ly + 4.0,
+            s.label
+        )?;
+    }
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod line_chart_tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_and_labels() {
+        let series = vec![
+            Series { label: "d20", points: vec![(0.1, 0.8), (0.5, 0.95), (1.0, 1.0)] },
+            Series { label: "d50", points: vec![(0.1, 0.85), (0.5, 0.97), (1.0, 1.0)] },
+        ];
+        let mut buf = Vec::new();
+        write_line_chart(&mut buf, &series, "Fig 5", "alpha", "precision").unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("d20") && svg.contains("d50"));
+        assert!(svg.contains("alpha") && svg.contains("precision"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let series = vec![Series { label: "flat", points: vec![(1.0, 0.5), (2.0, 0.5)] }];
+        let mut buf = Vec::new();
+        write_line_chart(&mut buf, &series, "t", "x", "y").unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_list_panics() {
+        let mut buf = Vec::new();
+        write_line_chart(&mut buf, &[], "t", "x", "y").unwrap();
+    }
+}

@@ -1,0 +1,253 @@
+//! Parallel, deterministic walk-corpus generation and context windows.
+//!
+//! The paper starts `t` walks of length `l` from every vertex (defaults
+//! `t = l = 1000` in the paper; scaled-down defaults here — see DESIGN.md
+//! substitution #3) and feeds the resulting sequences to CBOW with window
+//! `n = 5`. [`WalkCorpus::generate`] produces those sequences; thanks to
+//! per-walk seed derivation the corpus is byte-identical for any number of
+//! rayon threads.
+
+use crate::rng::derive_seed;
+use crate::strategy::WalkStrategy;
+use crate::walker::{WalkError, Walker};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use v2v_graph::{Graph, VertexId};
+
+/// Parameters for corpus generation.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Number of walks started from each vertex (the paper's `t`).
+    pub walks_per_vertex: usize,
+    /// Number of vertices per walk (the paper's walk length `l`).
+    pub walk_length: usize,
+    /// Step rule.
+    pub strategy: WalkStrategy,
+    /// Master seed; the corpus is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    /// Scaled-down defaults (`t = 10`, `l = 80`) suitable for interactive
+    /// use; the paper's defaults are `t = l = 1000`.
+    fn default() -> Self {
+        WalkConfig {
+            walks_per_vertex: 10,
+            walk_length: 80,
+            strategy: WalkStrategy::Uniform,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl WalkConfig {
+    /// The paper's default configuration (`t = l = 1000`, uniform walks).
+    /// Expect a corpus of `1000 * n * 1000` tokens.
+    pub fn paper_scale() -> Self {
+        WalkConfig { walks_per_vertex: 1000, walk_length: 1000, ..Default::default() }
+    }
+}
+
+/// A materialized set of walks over one graph.
+#[derive(Clone, Debug)]
+pub struct WalkCorpus {
+    walks: Vec<Vec<VertexId>>,
+    num_vertices: usize,
+}
+
+impl WalkCorpus {
+    /// Generates `t x |V|` walks in parallel. Deterministic in
+    /// `config.seed` regardless of thread count.
+    pub fn generate(graph: &Graph, config: &WalkConfig) -> Result<WalkCorpus, WalkError> {
+        let walker = Walker::new(graph, config.strategy)?;
+        let t = config.walks_per_vertex;
+        let n = graph.num_vertices();
+        let walks: Vec<Vec<VertexId>> = (0..n * t)
+            .into_par_iter()
+            .map(|job| {
+                let v = VertexId::from_index(job / t);
+                let rep = (job % t) as u64;
+                let seed = derive_seed(config.seed, v.0 as u64, rep);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                walker.walk(v, config.walk_length, &mut rng)
+            })
+            .collect();
+        Ok(WalkCorpus { walks, num_vertices: n })
+    }
+
+    /// Builds a corpus from pre-existing paths (the paper's computer-network
+    /// example, §II: when path data is already available, random walks are
+    /// unnecessary).
+    pub fn from_walks(walks: Vec<Vec<VertexId>>, num_vertices: usize) -> WalkCorpus {
+        debug_assert!(walks
+            .iter()
+            .flatten()
+            .all(|v| v.index() < num_vertices));
+        WalkCorpus { walks, num_vertices }
+    }
+
+    /// Number of walks.
+    pub fn len(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Whether the corpus holds no walks.
+    pub fn is_empty(&self) -> bool {
+        self.walks.is_empty()
+    }
+
+    /// Number of vertices of the underlying graph (the vocabulary size).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Total number of tokens across all walks.
+    pub fn num_tokens(&self) -> usize {
+        self.walks.iter().map(Vec::len).sum()
+    }
+
+    /// The walks.
+    pub fn walks(&self) -> &[Vec<VertexId>] {
+        &self.walks
+    }
+
+    /// How many times each vertex occurs in the corpus (the unigram counts
+    /// that the embedding trainer's negative-sampling table is built from).
+    pub fn token_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_vertices];
+        for walk in &self.walks {
+            for v in walk {
+                counts[v.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Visits every (center, context) training pair under a symmetric
+    /// window of `window` positions on each side, exactly as CBOW consumes
+    /// them (V2V §II-B, default `n = 5`).
+    pub fn for_each_window<F: FnMut(VertexId, &[VertexId])>(&self, window: usize, mut f: F) {
+        let mut ctx: Vec<VertexId> = Vec::with_capacity(2 * window);
+        for walk in &self.walks {
+            for (i, &center) in walk.iter().enumerate() {
+                ctx.clear();
+                let lo = i.saturating_sub(window);
+                let hi = (i + window + 1).min(walk.len());
+                ctx.extend_from_slice(&walk[lo..i]);
+                ctx.extend_from_slice(&walk[i + 1..hi]);
+                f(center, &ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::generators;
+
+    #[test]
+    fn generate_counts_and_shape() {
+        let g = generators::complete(6);
+        let cfg = WalkConfig { walks_per_vertex: 3, walk_length: 10, ..Default::default() };
+        let c = WalkCorpus::generate(&g, &cfg).unwrap();
+        assert_eq!(c.len(), 18);
+        assert!(!c.is_empty());
+        assert_eq!(c.num_tokens(), 180);
+        assert_eq!(c.num_vertices(), 6);
+        // Each vertex starts exactly t walks.
+        let mut starts = vec![0usize; 6];
+        for w in c.walks() {
+            starts[w[0].index()] += 1;
+        }
+        assert_eq!(starts, vec![3; 6]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generators::gnm(40, 150, 3);
+        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 15, ..Default::default() };
+        let a = WalkCorpus::generate(&g, &cfg).unwrap();
+        let b = WalkCorpus::generate(&g, &cfg).unwrap();
+        assert_eq!(a.walks(), b.walks());
+        let cfg2 = WalkConfig { seed: 999, ..cfg };
+        let c = WalkCorpus::generate(&g, &cfg2).unwrap();
+        assert_ne!(a.walks(), c.walks());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::gnm(30, 100, 5);
+        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 12, ..Default::default() };
+        let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let a = single.install(|| WalkCorpus::generate(&g, &cfg).unwrap());
+        let b = WalkCorpus::generate(&g, &cfg).unwrap(); // global pool
+        assert_eq!(a.walks(), b.walks());
+    }
+
+    #[test]
+    fn token_counts_sum_to_tokens() {
+        let g = generators::ring(10);
+        let cfg = WalkConfig { walks_per_vertex: 4, walk_length: 7, ..Default::default() };
+        let c = WalkCorpus::generate(&g, &cfg).unwrap();
+        let counts = c.token_counts();
+        assert_eq!(counts.iter().sum::<u64>() as usize, c.num_tokens());
+        // On a ring every vertex is visited at least as a start.
+        assert!(counts.iter().all(|&x| x >= 4));
+    }
+
+    #[test]
+    fn window_pairs_on_known_walk() {
+        let corpus = WalkCorpus::from_walks(
+            vec![vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]],
+            4,
+        );
+        let mut seen = Vec::new();
+        corpus.for_each_window(1, |center, ctx| {
+            seen.push((center, ctx.to_vec()));
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (VertexId(0), vec![VertexId(1)]),
+                (VertexId(1), vec![VertexId(0), VertexId(2)]),
+                (VertexId(2), vec![VertexId(1), VertexId(3)]),
+                (VertexId(3), vec![VertexId(2)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_larger_than_walk_is_clamped() {
+        let corpus = WalkCorpus::from_walks(vec![vec![VertexId(0), VertexId(1)]], 2);
+        let mut count = 0;
+        corpus.for_each_window(10, |_, ctx| {
+            assert_eq!(ctx.len(), 1);
+            count += 1;
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_graph_corpus() {
+        let g = v2v_graph::GraphBuilder::new_undirected().build().unwrap();
+        let c = WalkCorpus::generate(&g, &WalkConfig::default()).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.num_tokens(), 0);
+    }
+
+    #[test]
+    fn paper_scale_config_values() {
+        let cfg = WalkConfig::paper_scale();
+        assert_eq!(cfg.walks_per_vertex, 1000);
+        assert_eq!(cfg.walk_length, 1000);
+    }
+
+    #[test]
+    fn strategy_error_propagates() {
+        let g = generators::complete(3);
+        let cfg = WalkConfig { strategy: WalkStrategy::EdgeWeighted, ..Default::default() };
+        assert!(WalkCorpus::generate(&g, &cfg).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Walk-corpus diagnostics.
+//!
+//! The trainer's quality depends on corpus properties the paper never
+//! tunes explicitly: does the corpus cover every vertex, and does the
+//! empirical visit distribution match the walk's stationary distribution
+//! (degree-proportional for uniform walks on undirected graphs)? These
+//! helpers quantify both, and the tests double as a verification of the
+//! walk engine against random-walk theory.
+
+use crate::corpus::WalkCorpus;
+use v2v_graph::Graph;
+
+/// Summary statistics of a corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Fraction of vertices that appear at least once.
+    pub coverage: f64,
+    /// Mean walk length.
+    pub mean_walk_length: f64,
+    /// Minimum walk length (shorter than requested = walks got stuck).
+    pub min_walk_length: usize,
+    /// Shannon entropy (nats) of the visit distribution.
+    pub visit_entropy: f64,
+    /// Maximum possible entropy (`ln` of the number of visited vertices).
+    pub max_entropy: f64,
+}
+
+/// Computes [`CorpusStats`].
+pub fn corpus_stats(corpus: &WalkCorpus) -> CorpusStats {
+    let counts = corpus.token_counts();
+    let visited = counts.iter().filter(|&&c| c > 0).count();
+    let coverage = if counts.is_empty() { 0.0 } else { visited as f64 / counts.len() as f64 };
+    let total = corpus.num_tokens() as f64;
+    let visit_entropy = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum();
+    let (mut min_len, mut sum_len) = (usize::MAX, 0usize);
+    for w in corpus.walks() {
+        min_len = min_len.min(w.len());
+        sum_len += w.len();
+    }
+    CorpusStats {
+        coverage,
+        mean_walk_length: if corpus.is_empty() { 0.0 } else { sum_len as f64 / corpus.len() as f64 },
+        min_walk_length: if corpus.is_empty() { 0 } else { min_len },
+        visit_entropy,
+        max_entropy: if visited > 0 { (visited as f64).ln() } else { 0.0 },
+    }
+}
+
+/// Total-variation distance between the corpus's empirical visit
+/// distribution and the theoretical stationary distribution of a uniform
+/// walk on an undirected graph (`pi(v) ∝ deg(v)`). Small values mean the
+/// corpus is long enough to have mixed.
+pub fn stationary_divergence(corpus: &WalkCorpus, graph: &Graph) -> f64 {
+    assert_eq!(corpus.num_vertices(), graph.num_vertices());
+    let counts = corpus.token_counts();
+    let total: u64 = counts.iter().sum();
+    let degree_total: f64 = graph.vertices().map(|v| graph.degree(v) as f64).sum();
+    if total == 0 || degree_total == 0.0 {
+        return 1.0;
+    }
+    0.5 * graph
+        .vertices()
+        .map(|v| {
+            let empirical = counts[v.index()] as f64 / total as f64;
+            let stationary = graph.degree(v) as f64 / degree_total;
+            (empirical - stationary).abs()
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::WalkConfig;
+    use v2v_graph::generators;
+
+    #[test]
+    fn full_coverage_on_connected_graph() {
+        let g = generators::gnm(50, 200, 1);
+        let cfg = WalkConfig { walks_per_vertex: 5, walk_length: 20, ..Default::default() };
+        let c = WalkCorpus::generate(&g, &cfg).unwrap();
+        let s = corpus_stats(&c);
+        assert_eq!(s.coverage, 1.0);
+        assert_eq!(s.mean_walk_length, 20.0);
+        assert_eq!(s.min_walk_length, 20);
+        assert!(s.visit_entropy > 0.0 && s.visit_entropy <= s.max_entropy + 1e-9);
+    }
+
+    #[test]
+    fn truncated_walks_detected() {
+        // Directed path: walks hit the sink and stop early.
+        let mut b = v2v_graph::GraphBuilder::new_directed();
+        for u in 0..5u32 {
+            b.add_edge(v2v_graph::VertexId(u), v2v_graph::VertexId(u + 1));
+        }
+        let g = b.build().unwrap();
+        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 50, ..Default::default() };
+        let c = WalkCorpus::generate(&g, &cfg).unwrap();
+        let s = corpus_stats(&c);
+        assert!(s.min_walk_length < 50);
+        assert!(s.mean_walk_length < 50.0);
+    }
+
+    #[test]
+    fn long_walks_converge_to_degree_stationary() {
+        // Random-walk theory: on a connected non-bipartite undirected
+        // graph the stationary visit rate is proportional to degree.
+        let g = generators::barabasi_albert(60, 3, 2);
+        let short = WalkConfig { walks_per_vertex: 2, walk_length: 3, ..Default::default() };
+        let long = WalkConfig { walks_per_vertex: 20, walk_length: 200, ..Default::default() };
+        let d_short =
+            stationary_divergence(&WalkCorpus::generate(&g, &short).unwrap(), &g);
+        let d_long = stationary_divergence(&WalkCorpus::generate(&g, &long).unwrap(), &g);
+        assert!(d_long < d_short, "long {d_long} !< short {d_short}");
+        assert!(d_long < 0.08, "long-walk divergence {d_long}");
+    }
+
+    #[test]
+    fn entropy_bounded_by_uniform() {
+        let g = generators::star(30); // very skewed visits (hub dominates)
+        let cfg = WalkConfig { walks_per_vertex: 5, walk_length: 20, ..Default::default() };
+        let s = corpus_stats(&WalkCorpus::generate(&g, &cfg).unwrap());
+        // The hub absorbs ~half the visits: entropy well below max.
+        assert!(s.visit_entropy < 0.9 * s.max_entropy);
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let g = v2v_graph::GraphBuilder::new_undirected().build().unwrap();
+        let c = WalkCorpus::generate(&g, &WalkConfig::default()).unwrap();
+        let s = corpus_stats(&c);
+        assert_eq!(s.coverage, 0.0);
+        assert_eq!(s.mean_walk_length, 0.0);
+        assert_eq!(s.max_entropy, 0.0);
+    }
+}

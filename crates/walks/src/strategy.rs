@@ -1,0 +1,115 @@
+//! The menu of walk constraints from V2V §II-A.
+
+use v2v_graph::Graph;
+
+/// How the next step of a walk is chosen.
+///
+/// Every strategy follows edge direction on directed graphs (a walk
+/// terminates at a vertex with no outgoing arc, as the paper specifies).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum WalkStrategy {
+    /// Uniform over the (out-)neighbors — the basic walk.
+    #[default]
+    Uniform,
+    /// Probability proportional to edge weight (paper: "the probability of
+    /// choosing an edge to be proportional to the edge weight").
+    EdgeWeighted,
+    /// Probability proportional to the *target vertex's* weight (paper's
+    /// rule for vertex-weighted graphs with unweighted edges).
+    VertexWeighted,
+    /// Time-respecting walk: each traversed edge's timestamp must be `>=`
+    /// the previous edge's. With `window = Some(w)`, consecutive timestamps
+    /// must additionally be within `w` of each other. The walk terminates
+    /// when no edge qualifies.
+    Temporal {
+        /// Maximum allowed gap between consecutive edge timestamps.
+        window: Option<u64>,
+    },
+    /// node2vec-style second-order bias (Grover & Leskovec, §VI of the
+    /// paper): from `prev -> cur`, a candidate `x` is weighted `1/p` if
+    /// `x == prev`, `1` if `x` is adjacent to `prev`, `1/q` otherwise;
+    /// multiplied by the edge weight when the graph is weighted.
+    Node2Vec {
+        /// Return parameter; small `p` encourages backtracking.
+        p: f64,
+        /// In-out parameter; small `q` encourages outward exploration.
+        q: f64,
+    },
+}
+
+impl WalkStrategy {
+    /// Checks that `graph` carries the attributes this strategy samples on.
+    pub fn validate(&self, graph: &Graph) -> Result<(), crate::walker::WalkError> {
+        use crate::walker::WalkError;
+        match self {
+            WalkStrategy::EdgeWeighted if !graph.has_edge_weights() => {
+                Err(WalkError::MissingAttribute("edge weights"))
+            }
+            WalkStrategy::VertexWeighted if !graph.has_vertex_weights() => {
+                Err(WalkError::MissingAttribute("vertex weights"))
+            }
+            WalkStrategy::Temporal { .. } if !graph.has_timestamps() => {
+                Err(WalkError::MissingAttribute("timestamps"))
+            }
+            WalkStrategy::Node2Vec { p, q } => {
+                if *p > 0.0 && *q > 0.0 && p.is_finite() && q.is_finite() {
+                    Ok(())
+                } else {
+                    Err(WalkError::InvalidParameter("node2vec p and q must be positive"))
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v2v_graph::{GraphBuilder, VertexId};
+
+    fn plain_graph() -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_always_valid() {
+        assert!(WalkStrategy::Uniform.validate(&plain_graph()).is_ok());
+    }
+
+    #[test]
+    fn weighted_strategies_need_attributes() {
+        let g = plain_graph();
+        assert!(WalkStrategy::EdgeWeighted.validate(&g).is_err());
+        assert!(WalkStrategy::VertexWeighted.validate(&g).is_err());
+        assert!(WalkStrategy::Temporal { window: None }.validate(&g).is_err());
+    }
+
+    #[test]
+    fn weighted_strategies_pass_with_attributes() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_temporal_edge(VertexId(0), VertexId(1), 2.0, 5);
+        let g = b.build().unwrap().with_vertex_weights(vec![1.0, 2.0]).unwrap();
+        assert!(WalkStrategy::EdgeWeighted.validate(&g).is_ok());
+        assert!(WalkStrategy::VertexWeighted.validate(&g).is_ok());
+        assert!(WalkStrategy::Temporal { window: Some(3) }.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn node2vec_parameter_validation() {
+        let g = plain_graph();
+        assert!(WalkStrategy::Node2Vec { p: 1.0, q: 0.5 }.validate(&g).is_ok());
+        assert!(WalkStrategy::Node2Vec { p: 0.0, q: 1.0 }.validate(&g).is_err());
+        assert!(WalkStrategy::Node2Vec { p: 1.0, q: f64::NAN }.validate(&g).is_err());
+        assert!(WalkStrategy::Node2Vec { p: -1.0, q: 1.0 }.validate(&g).is_err());
+    }
+
+    #[test]
+    fn default_is_uniform() {
+        assert_eq!(WalkStrategy::default(), WalkStrategy::Uniform);
+    }
+}

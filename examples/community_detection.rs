@@ -1,0 +1,89 @@
+//! Community detection: V2V's embedding-space clustering against the
+//! direct graph algorithms, on the paper's synthetic benchmark — a
+//! miniature of Table I for a single α.
+//!
+//! ```text
+//! cargo run --release --example community_detection [alpha]
+//! ```
+
+use std::time::Instant;
+use v2v::{V2vConfig, V2vModel};
+use v2v_community::{cnm, girvan_newman, louvain};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_ml::metrics::pairwise_scores;
+
+fn main() {
+    let alpha: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let data = quasi_clique_graph(&QuasiCliqueConfig {
+        n: 200,
+        groups: 10,
+        alpha,
+        inter_edges: 40,
+        seed: 3,
+    });
+    println!(
+        "synthetic benchmark: n = 200, 10 communities, alpha = {alpha} ({} edges)\n",
+        data.graph.num_edges()
+    );
+
+    // --- V2V: embed, then cluster the vectors. ---
+    let t0 = Instant::now();
+    let mut cfg = V2vConfig::default().with_dimensions(10).with_seed(1);
+    cfg.walks.walks_per_vertex = 10;
+    cfg.walks.walk_length = 80;
+    cfg.embedding.epochs = 2;
+    let model = V2vModel::train(&data.graph, &cfg).expect("training succeeds");
+    let result = model.detect_communities(10, 20);
+    let v2v_total = t0.elapsed();
+    let s = pairwise_scores(&data.labels, &result.labels);
+    println!(
+        "V2V (10-dim):      precision {:.3}  recall {:.3}  | train {:.2?}, cluster {:.2?}",
+        s.precision,
+        s.recall,
+        model.timing().total(),
+        result.clustering_time
+    );
+    let _ = v2v_total;
+
+    // --- CNM greedy modularity. ---
+    let t0 = Instant::now();
+    let p = cnm(&data.graph, Some(10));
+    let s = pairwise_scores(&data.labels, &p.labels);
+    println!(
+        "CNM:               precision {:.3}  recall {:.3}  | {:.2?} (Q = {:.3})",
+        s.precision,
+        s.recall,
+        t0.elapsed(),
+        p.modularity
+    );
+
+    // --- Louvain. ---
+    let t0 = Instant::now();
+    let p = louvain(&data.graph, 1);
+    let s = pairwise_scores(&data.labels, &p.labels);
+    println!(
+        "Louvain:           precision {:.3}  recall {:.3}  | {:.2?} ({} communities)",
+        s.precision,
+        s.recall,
+        t0.elapsed(),
+        p.num_communities
+    );
+
+    // --- Girvan–Newman (the slow, O(m^2 n) one). ---
+    let t0 = Instant::now();
+    let gn = girvan_newman(&data.graph, Some(10));
+    let s = pairwise_scores(&data.labels, &gn.partition.labels);
+    println!(
+        "Girvan-Newman:     precision {:.3}  recall {:.3}  | {:.2?} ({} edges cut)",
+        s.precision,
+        s.recall,
+        t0.elapsed(),
+        gn.removed_edges.len()
+    );
+
+    println!(
+        "\nThe paper's trade-off in one view: the graph algorithms are exact\n\
+         but their runtime explodes with the edge count; V2V pays a one-time\n\
+         embedding cost and then clusters in microseconds."
+    );
+}

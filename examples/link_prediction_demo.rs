@@ -1,0 +1,64 @@
+//! Link prediction (paper §VII future work): hide edges, train V2V on the
+//! rest, and rank hidden edges against non-edges — with the classical
+//! topological indices as baselines.
+//!
+//! ```text
+//! cargo run --release --example link_prediction_demo
+//! ```
+
+use v2v::{V2vConfig, V2vModel};
+use v2v_core::link_prediction::{auc_of_scorer, make_split};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_graph::similarity;
+
+fn main() {
+    let data = quasi_clique_graph(&QuasiCliqueConfig {
+        n: 200,
+        groups: 10,
+        alpha: 0.3, // weak-ish structure: the interesting regime
+        inter_edges: 40,
+        seed: 17,
+    });
+    println!(
+        "graph: {} vertices, {} edges, alpha = 0.3 (weak communities)",
+        data.graph.num_vertices(),
+        data.graph.num_edges()
+    );
+
+    // Hide 10% of edges; sample an equal number of non-edges.
+    let split = make_split(&data.graph, 0.1, 23);
+    println!(
+        "hidden {} edges; training on the remaining {}\n",
+        split.positives.len(),
+        split.train_graph.num_edges()
+    );
+
+    // Train V2V on the censored graph only.
+    let mut cfg = V2vConfig::default().with_dimensions(32).with_seed(29);
+    cfg.walks.walks_per_vertex = 10;
+    cfg.walks.walk_length = 80;
+    cfg.embedding.epochs = 2;
+    let model = V2vModel::train(&split.train_graph, &cfg).expect("training succeeds");
+
+    // Rank hidden edges vs non-edges with each scorer (higher AUC = the
+    // scorer puts real edges above non-edges more often).
+    let g = &split.train_graph;
+    let scorers: Vec<(&str, Box<dyn Fn(v2v::VertexId, v2v::VertexId) -> f64 + '_>)> = vec![
+        ("v2v cosine", Box::new(|u, v| model.edge_score(u, v))),
+        ("common neighbors", Box::new(|u, v| similarity::common_neighbors(g, u, v) as f64)),
+        ("jaccard", Box::new(|u, v| similarity::jaccard(g, u, v))),
+        ("adamic-adar", Box::new(|u, v| similarity::adamic_adar(g, u, v))),
+        ("resource allocation", Box::new(|u, v| similarity::resource_allocation(g, u, v))),
+        ("pref. attachment", Box::new(|u, v| similarity::preferential_attachment(g, u, v))),
+    ];
+    println!("ROC AUC per scorer:");
+    for (name, scorer) in &scorers {
+        let auc = auc_of_scorer(&split, scorer);
+        println!("  {name:<20} {auc:.3}");
+    }
+    println!(
+        "\nAt weak alpha most hidden pairs share no common neighbor, so the\n\
+         local indices go blind while the embedding still ranks them — the\n\
+         relationship-prediction capability the paper's conclusion promises."
+    );
+}

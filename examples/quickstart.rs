@@ -1,0 +1,56 @@
+//! Quickstart: embed a small graph and explore the vector space.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use v2v::{V2vConfig, V2vModel, VertexId};
+use v2v_data::karate::{karate_club, karate_labels};
+
+fn main() {
+    // Zachary's karate club: 34 members, two factions.
+    let graph = karate_club();
+    println!(
+        "karate club: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Train V2V: random walks -> CBOW. Small graph, so a 16-dim embedding
+    // and a couple of epochs are plenty.
+    let mut config = V2vConfig::default().with_dimensions(16).with_seed(7);
+    config.walks.walks_per_vertex = 20;
+    config.walks.walk_length = 40;
+    config.embedding.epochs = 2;
+    config.embedding.threads = 1; // reproducible
+    let model = V2vModel::train(&graph, &config).expect("training succeeds");
+    println!(
+        "trained {} vectors of {} dims in {:.2?} (walks {:.2?})",
+        model.embedding().len(),
+        model.embedding().dimensions(),
+        model.timing().training,
+        model.timing().walk_generation,
+    );
+
+    // Nearest neighbors of the two faction leaders in embedding space.
+    for leader in [VertexId(0), VertexId(33)] {
+        let similar = model.embedding().most_similar(leader, 5);
+        let ids: Vec<String> = similar.iter().map(|(v, s)| format!("{v}({s:.2})")).collect();
+        println!("most similar to member {leader}: {}", ids.join(", "));
+    }
+
+    // Detect the two factions by k-means in embedding space.
+    let communities = model.detect_communities(2, 50);
+    let truth = karate_labels();
+    let scores = v2v_ml::metrics::pairwise_scores(&truth, &communities.labels);
+    println!(
+        "2 communities via k-means: pairwise precision {:.3}, recall {:.3} (clustering took {:?})",
+        scores.precision, scores.recall, communities.clustering_time
+    );
+
+    // Persist the embedding in word2vec text format.
+    let out = std::env::temp_dir().join("karate.v2v.txt");
+    let f = std::fs::File::create(&out).expect("create file");
+    v2v_embed::io::write_embedding(model.embedding(), f).expect("write embedding");
+    println!("embedding saved to {}", out.display());
+}

@@ -1,0 +1,92 @@
+//! Constrained walks (paper §II-A): directed, weighted, and
+//! time-respecting random walks — the flexibility that distinguishes V2V's
+//! context generation from plain DeepWalk.
+//!
+//! ```text
+//! cargo run --release --example temporal_walks
+//! ```
+
+use v2v::{GraphBuilder, V2vConfig, V2vModel, VertexId, WalkStrategy};
+
+fn main() {
+    // A temporal interaction network: two teams (0-4 and 5-9) that
+    // interact internally at all times, plus a cross-team edge that only
+    // exists "early" (timestamp 0). Time-respecting walks that start late
+    // can never cross; uniform walks cross freely.
+    let mut b = GraphBuilder::new_undirected();
+    for base in [0u32, 5] {
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                // Intra-team edges recur at several timestamps.
+                for t in [10, 20, 30] {
+                    b.add_temporal_edge(VertexId(base + u), VertexId(base + v), t);
+                }
+            }
+        }
+    }
+    b.add_temporal_edge(VertexId(0), VertexId(5), 0); // early bridge only
+    let graph = b.build().expect("graph builds");
+    println!(
+        "temporal network: {} vertices, {} timestamped edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Generate corpora under both walk semantics and compare how often
+    // walks cross between teams.
+    let cross_rate = |strategy: WalkStrategy| -> f64 {
+        let cfg = v2v_walks::WalkConfig {
+            walks_per_vertex: 200,
+            walk_length: 10,
+            strategy,
+            seed: 9,
+        };
+        let corpus = v2v_walks::WalkCorpus::generate(&graph, &cfg).expect("walks succeed");
+        let crossing = corpus
+            .walks()
+            .iter()
+            .filter(|w| {
+                let teams: std::collections::HashSet<bool> =
+                    w.iter().map(|v| v.0 < 5).collect();
+                teams.len() == 2
+            })
+            .count();
+        crossing as f64 / corpus.len() as f64
+    };
+
+    let uniform = cross_rate(WalkStrategy::Uniform);
+    let temporal = cross_rate(WalkStrategy::Temporal { window: None });
+    let windowed = cross_rate(WalkStrategy::Temporal { window: Some(5) });
+    println!("fraction of walks that cross teams:");
+    println!("  uniform walks:            {uniform:.3}");
+    println!("  time-respecting walks:    {temporal:.3}");
+    println!("  + window <= 5:            {windowed:.3}");
+    assert!(temporal < uniform, "temporal constraint must reduce crossing");
+
+    // The constraint changes the learned geometry: train V2V under both
+    // and compare the similarity across the (stale) bridge.
+    let mut cfg = V2vConfig::default().with_dimensions(12).with_seed(3);
+    cfg.walks.walks_per_vertex = 50;
+    cfg.walks.walk_length = 20;
+    cfg.embedding.epochs = 3;
+    cfg.embedding.threads = 1;
+
+    let sim_across = |strategy: WalkStrategy| -> f32 {
+        let mut c = cfg;
+        c.walks.strategy = strategy;
+        let model = V2vModel::train(&graph, &c).expect("training succeeds");
+        model.embedding().cosine_similarity(VertexId(0), VertexId(5))
+    };
+    let s_uniform = sim_across(WalkStrategy::Uniform);
+    let s_temporal = sim_across(WalkStrategy::Temporal { window: None });
+    println!("\ncosine similarity of the two bridge endpoints (vertices 0 and 5):");
+    println!("  trained on uniform walks:  {s_uniform:.3}");
+    println!("  trained on temporal walks: {s_temporal:.3}");
+    println!(
+        "\nThe walk constraint is what changes: time-respecting walks cross the\n\
+         stale bridge an order of magnitude less often, so temporal contexts\n\
+         describe who interacts *when* — the flexibility §II-A claims. (On a\n\
+         graph this tiny the endpoint-similarity numbers themselves are noisy;\n\
+         the crossing rates above are the robust signal.)"
+    );
+}

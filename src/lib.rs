@@ -1,0 +1,2 @@
+//! Facade crate for the V2V workspace; re-exports the public API.
+pub use v2v_core::*;

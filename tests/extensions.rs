@@ -1,0 +1,157 @@
+//! Integration tests for the future-work extensions: link prediction,
+//! robustness, model selection, spectral/Walktrap baselines, LFR, and the
+//! corpus/embedding quality diagnostics.
+
+use v2v::{V2vConfig, V2vModel};
+use v2v_community::{spectral_clustering, walktrap};
+use v2v_core::link_prediction::{auc_of_scorer, make_split, v2v_link_prediction_auc};
+use v2v_data::lfr::{lfr_graph, LfrConfig};
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_graph::perturb::rewire_random_edges;
+use v2v_graph::similarity;
+use v2v_ml::metrics::pairwise_scores;
+use v2v_ml::model_selection::select_k_by_silhouette;
+
+fn quick_cfg(dims: usize, seed: u64) -> V2vConfig {
+    let mut cfg = V2vConfig::default().with_dimensions(dims).with_seed(seed);
+    cfg.walks.walks_per_vertex = 10;
+    cfg.walks.walk_length = 60;
+    cfg.embedding.epochs = 2;
+    cfg.embedding.threads = 1;
+    cfg
+}
+
+fn benchmark() -> v2v_data::SyntheticCommunities {
+    quasi_clique_graph(&QuasiCliqueConfig {
+        n: 150,
+        groups: 5,
+        alpha: 0.7,
+        inter_edges: 30,
+        seed: 42,
+    })
+}
+
+/// §VII link prediction: the embedding scorer beats chance decisively and
+/// the hide-split bookkeeping is exact.
+#[test]
+fn link_prediction_end_to_end() {
+    let data = benchmark();
+    let (auc, split) =
+        v2v_link_prediction_auc(&data.graph, &quick_cfg(16, 1), 0.1, 2).unwrap();
+    assert!(auc > 0.85, "v2v auc {auc}");
+    // Baselines computed on the same split agree on difficulty ordering.
+    let g = &split.train_graph;
+    let aa = auc_of_scorer(&split, |u, v| similarity::adamic_adar(g, u, v));
+    assert!(aa > 0.8, "adamic-adar {aa}");
+}
+
+/// §III-C robustness: V2V's community quality survives rewiring noise
+/// better than CNM's on the same corrupted graph.
+#[test]
+fn robustness_v2v_beats_cnm_under_noise() {
+    let data = benchmark();
+    let noisy = rewire_random_edges(&data.graph, 0.3, 7).graph;
+    let model = V2vModel::train(&noisy, &quick_cfg(24, 3)).unwrap();
+    let v2v = model.detect_communities(5, 20);
+    let v2v_f1 = pairwise_scores(&data.labels, &v2v.labels).f1;
+    let cnm_f1 =
+        pairwise_scores(&data.labels, &v2v_community::cnm(&noisy, Some(5)).labels).f1;
+    assert!(
+        v2v_f1 > cnm_f1 - 0.02,
+        "v2v {v2v_f1} not >= cnm {cnm_f1} under 30% noise"
+    );
+    assert!(v2v_f1 > 0.8, "v2v f1 under noise {v2v_f1}");
+}
+
+/// §VII parameter selection: silhouette over the embedding recovers the
+/// planted k without labels.
+#[test]
+fn silhouette_recovers_planted_k() {
+    let data = benchmark();
+    let model = V2vModel::train(&data.graph, &quick_cfg(24, 5)).unwrap();
+    let (best_k, scores) = select_k_by_silhouette(
+        &model.to_matrix(),
+        &[2, 3, 4, 5, 6, 7, 8],
+        &v2v_ml::kmeans::KMeansConfig { restarts: 5, ..Default::default() },
+    );
+    assert!(
+        best_k == 5 || best_k == 4 || best_k == 6,
+        "selected k = {best_k}, scores {scores:?}"
+    );
+}
+
+/// The two extra direct baselines agree with ground truth on strong
+/// structure.
+#[test]
+fn spectral_and_walktrap_recover_structure() {
+    let data = benchmark();
+    let sp = spectral_clustering(&data.graph, 5, 10, 1);
+    let sp_f1 = pairwise_scores(&data.labels, &sp.labels).f1;
+    assert!(sp_f1 > 0.9, "spectral f1 {sp_f1}");
+
+    let wt = walktrap(&data.graph, 4, Some(5));
+    let wt_f1 = pairwise_scores(&data.labels, &wt.labels).f1;
+    assert!(wt_f1 > 0.9, "walktrap f1 {wt_f1}");
+}
+
+/// LFR + the full pipeline: harder benchmark, still recoverable at low mu.
+#[test]
+fn lfr_pipeline() {
+    let bench = lfr_graph(&LfrConfig {
+        n: 300,
+        min_degree: 5,
+        max_degree: 30,
+        min_community: 20,
+        max_community: 60,
+        mu: 0.15,
+        seed: 3,
+        ..Default::default()
+    });
+    let k = bench.labels.iter().copied().max().unwrap() + 1;
+    let model = V2vModel::train(&bench.graph, &quick_cfg(24, 9)).unwrap();
+    let result = model.detect_communities(k, 20);
+    let nmi = v2v_ml::metrics::nmi(&bench.labels, &result.labels);
+    assert!(nmi > 0.7, "LFR nmi {nmi}");
+}
+
+/// Corpus diagnostics and embedding quality form a consistent story:
+/// full coverage, near-stationary visits, positive similarity margin.
+#[test]
+fn diagnostics_consistency() {
+    let data = benchmark();
+    let cfg = quick_cfg(16, 11);
+    let corpus = v2v_walks::WalkCorpus::generate(&data.graph, &cfg.walks).unwrap();
+    let stats = v2v_walks::stats::corpus_stats(&corpus);
+    assert_eq!(stats.coverage, 1.0);
+    let divergence = v2v_walks::stats::stationary_divergence(&corpus, &data.graph);
+    assert!(divergence < 0.1, "stationary divergence {divergence}");
+
+    let model =
+        V2vModel::train_on_corpus(&corpus, &cfg, std::time::Duration::ZERO).unwrap();
+    let margin =
+        v2v_embed::quality::similarity_margin(&data.graph, model.embedding(), 13);
+    assert!(margin > 0.1, "similarity margin {margin}");
+    let preservation =
+        v2v_embed::quality::neighborhood_preservation(&data.graph, model.embedding());
+    assert!(preservation > 0.3, "preservation {preservation}");
+}
+
+/// Subsampled training still solves the downstream task on a hubby graph.
+#[test]
+fn subsampling_preserves_downstream_quality() {
+    let data = benchmark();
+    let mut cfg = quick_cfg(16, 15);
+    cfg.embedding.subsample = Some(1e-2);
+    let model = V2vModel::train(&data.graph, &cfg).unwrap();
+    let result = model.detect_communities(5, 20);
+    let f1 = pairwise_scores(&data.labels, &result.labels).f1;
+    assert!(f1 > 0.85, "subsampled f1 {f1}");
+}
+
+/// make_split rejects hiding nothing.
+#[test]
+#[should_panic(expected = "no edges were hidden")]
+fn empty_split_panics() {
+    let data = benchmark();
+    make_split(&data.graph, 0.0, 1);
+}
