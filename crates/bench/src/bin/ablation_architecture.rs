@@ -61,4 +61,6 @@ fn main() {
          graph corpora but costs more time per epoch (one update per\n\
          (center, context-word) pair instead of per window)."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_architecture");
 }

@@ -96,4 +96,6 @@ fn main() {
         "\nReading: Louvain/LPA reach graph-algorithm quality at near-V2V\n\
          cost — the modern points on the trade-off curve Table I sketches."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_baselines");
 }

@@ -86,4 +86,6 @@ fn main() {
          embedding quality, not the classifier, is the binding constraint —\n\
          which is the paper's §V claim."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_classifiers");
 }

@@ -60,4 +60,6 @@ fn main() {
          the inertia elbow flattens past it — the label-free selection the\n\
          paper's future work asks for."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_k_selection");
 }

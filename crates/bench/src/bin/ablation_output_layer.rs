@@ -67,4 +67,6 @@ fn main() {
          sampling with 5 negatives is the standard quality/cost point, and\n\
          hierarchical softmax's cost grows with log |V| instead of k."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_output_layer");
 }

@@ -80,4 +80,6 @@ fn main() {
          stay inside weak communities); node2vec's bias moves quality only\n\
          mildly on this benchmark, matching its published sensitivity."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "ablation_walks");
 }

@@ -71,4 +71,6 @@ fn main() {
         "\nShape check vs paper: communities visibly tighten as alpha grows\n\
          (the inter/intra distance ratio increases with alpha)."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig3_layout");
 }

@@ -73,4 +73,6 @@ fn main() {
         "\nShape check vs paper: communities form distinct clusters in the top-2\n\
          PCA plane (ratio well above 1) even though training saw no labels."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig4_pca");
 }

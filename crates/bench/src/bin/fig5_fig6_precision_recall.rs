@@ -97,4 +97,6 @@ fn main() {
          communities are easier), recall sits above precision, and the\n\
          dimension choice matters less than alpha."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig5_fig6_precision_recall");
 }

@@ -120,4 +120,6 @@ fn main() {
          trends downward as alpha rises, while precision/recall trend up —\n\
          stronger structure is both easier and faster to learn."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig7_time_vs_alpha");
 }

@@ -112,4 +112,6 @@ fn main() {
         "\nShape check vs paper: airports of a continent cluster together in\n\
          the projection although no geographic feature was used in training."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig8_openflights_pca");
 }

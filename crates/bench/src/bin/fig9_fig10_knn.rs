@@ -130,4 +130,6 @@ fn main() {
          on the same corpus (overfitting); small k (~3) is near-optimal.",
         dims[best_dim_idx]
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "fig9_fig10_knn");
 }

@@ -63,4 +63,6 @@ fn main() {
          the embedding matches the strong local indices while also being the\n\
          only scorer defined for vertex pairs with no common neighbors."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "link_prediction");
 }

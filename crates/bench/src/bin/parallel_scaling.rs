@@ -79,4 +79,6 @@ fn main() {
          updates do not hurt embedding quality at this sparsity, which is why\n\
          word2vec (and therefore V2V) can train lock-free."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "parallel_scaling");
 }

@@ -68,4 +68,6 @@ fn main() {
          structure; the embedding's walk-averaging smooths moderate noise,\n\
          which is the paper's §III-C conjecture made measurable."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "robustness");
 }

@@ -101,4 +101,6 @@ fn main() {
          GN's explodes and CNM's grows super-linearly with density — the\n\
          scaling regime the paper argues V2V targets."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "scaling");
 }

@@ -130,4 +130,6 @@ fn main() {
          algorithms' ~1.0, but V2V's clustering step is orders of magnitude\n\
          faster than CNM/GN, whose runtimes grow steeply with alpha (edge count)."
     );
+
+    v2v_bench::write_telemetry_sidecar(&args, "table1");
 }

@@ -19,11 +19,11 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments.
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut values = HashMap::new();
         let mut flags = Vec::new();
         let mut it = iter.into_iter().peekable();
@@ -95,13 +95,28 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
 /// Standard α sweep of the paper's Table I / Figs 5-7.
 pub const ALPHAS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
+/// Writes the run's telemetry (span tree + metrics + provenance) as a
+/// sidecar JSON next to the experiment's results, so every table/figure
+/// CSV has a machine-readable account of how it was produced.
+pub fn write_telemetry_sidecar(args: &Args, experiment: &str) {
+    let path = args.out_dir().join(format!("{experiment}.telemetry.json"));
+    let telemetry = v2v_obs::Telemetry::capture_global()
+        .with("tool", "v2v-bench")
+        .with("experiment", experiment)
+        .with("args", std::env::args().skip(1).collect::<Vec<_>>().join(" "));
+    match telemetry.write_json(&path.display().to_string()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write telemetry sidecar: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn args_parse_values_and_flags() {
-        let a = Args::from_iter(
+        let a = Args::from_args(
             ["--n", "500", "--full", "--alpha", "0.5"].iter().map(|s| s.to_string()),
         );
         assert_eq!(a.get("n", 0usize), 500);

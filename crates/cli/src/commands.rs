@@ -4,6 +4,7 @@
 
 use crate::opts::Opts;
 use std::fs::File;
+use v2v_obs::obs_info;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use v2v_core::{V2vConfig, V2vModel};
 use v2v_graph::io::EdgeListFormat;
@@ -61,7 +62,7 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
     config.embedding.epochs = opts.get("epochs", 2usize)?;
     config.embedding.threads = opts.get("threads", 0usize)?;
 
-    eprintln!(
+    obs_info!(
         "embedding {} vertices / {} edges: {} dims, {} walks x {} steps, {} epochs",
         graph.num_vertices(),
         graph.num_edges(),
@@ -71,7 +72,7 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         config.embedding.epochs
     );
     let model = V2vModel::train(&graph, &config).map_err(|e| e.to_string())?;
-    eprintln!(
+    obs_info!(
         "trained in {:.2?} (walks {:.2?}); final loss {:.4}",
         model.timing().training,
         model.timing().walk_generation,
@@ -81,7 +82,7 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
     v2v_embed::io::write_embedding(model.embedding(), BufWriter::new(file))
         .map_err(|e| e.to_string())?;
-    eprintln!("wrote {output}");
+    obs_info!("wrote {output}");
     Ok(())
 }
 
@@ -106,8 +107,14 @@ pub fn communities(opts: &Opts) -> Result<(), String> {
         seed: opts.get("seed", 0xC1A55u64)?,
         ..Default::default()
     };
-    let result = v2v_ml::kmeans::kmeans(&matrix, &cfg);
-    eprintln!("k-means: k = {k}, {restarts} restarts, inertia {:.4}", result.inertia);
+    let result = {
+        let _span = v2v_obs::span("cluster");
+        v2v_ml::kmeans::kmeans(&matrix, &cfg)
+    };
+    let metrics = v2v_obs::global_metrics();
+    metrics.counter("cluster.kmeans.runs").inc();
+    metrics.gauge("cluster.kmeans.inertia").set(result.inertia);
+    obs_info!("k-means: k = {k}, {restarts} restarts, inertia {:.4}", result.inertia);
 
     let mut out: Box<dyn Write> = match opts.get_str("output") {
         Some(path) => Box::new(BufWriter::new(
@@ -190,7 +197,7 @@ pub fn predict(opts: &Opts) -> Result<(), String> {
         let label = knn.predict(matrix.row(t), k);
         writeln!(out, "{t} {label}").map_err(|e| e.to_string())?;
     }
-    eprintln!("predicted {} labels with k = {k}", targets.len());
+    obs_info!("predicted {} labels with k = {k}", targets.len());
     Ok(())
 }
 
@@ -202,9 +209,11 @@ pub fn project(opts: &Opts) -> Result<(), String> {
         return Err(format!("--dims must be in 1..={}", embedding.dimensions()));
     }
     let matrix = embedding.to_matrix();
-    let (pca, points) =
-        v2v_linalg::Pca::fit_transform(&matrix, dims, opts.get("seed", 0u64)?);
-    eprintln!("explained variance: {:?}", pca.explained_variance);
+    let (pca, points) = {
+        let _span = v2v_obs::span("project");
+        v2v_linalg::Pca::fit_transform(&matrix, dims, opts.get("seed", 0u64)?)
+    };
+    obs_info!("explained variance: {:?}", pca.explained_variance);
 
     let output = opts.require("output")?;
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
@@ -215,7 +224,7 @@ pub fn project(opts: &Opts) -> Result<(), String> {
         let row: Vec<String> = points.row(i).iter().map(|x| x.to_string()).collect();
         writeln!(w, "{}", row.join(",")).map_err(|e| e.to_string())?;
     }
-    eprintln!("wrote {output}");
+    obs_info!("wrote {output}");
 
     if let Some(svg_path) = opts.get_str("svg") {
         if dims < 2 {
@@ -233,7 +242,7 @@ pub fn project(opts: &Opts) -> Result<(), String> {
         let f = File::create(svg_path).map_err(|e| format!("cannot create {svg_path}: {e}"))?;
         v2v_viz::svg::write_scatter(f, &pts, &labels, "V2V embedding (PCA)")
             .map_err(|e| e.to_string())?;
-        eprintln!("wrote {svg_path}");
+        obs_info!("wrote {svg_path}");
     }
     Ok(())
 }

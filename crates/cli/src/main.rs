@@ -15,11 +15,18 @@
 //! v2v quality     --input edges.txt --embedding emb.txt
 //!                 (corpus + embedding diagnostics)
 //! ```
+//!
+//! Every subcommand also accepts `--metrics <path>`: after the command
+//! finishes, the run's telemetry (span tree, metrics, provenance) is
+//! written there as JSON (`.csv` extension switches to CSV) and a
+//! human-readable summary goes to stderr. Stderr verbosity is controlled
+//! by `V2V_LOG` (`off`, `error`, `info` (default), `debug`, `trace`).
 
 mod commands;
 mod opts;
 
 use opts::Opts;
+use v2v_obs::{obs_error, obs_info};
 
 const USAGE: &str = "usage: v2v <embed|communities|predict|project|stats|quality> [options]
 run `v2v help` or see the crate docs for the option list";
@@ -28,10 +35,14 @@ fn main() {
     let opts = match Opts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
+            obs_error!("{e}");
+            if v2v_obs::log_enabled(v2v_obs::Level::Error) {
+                eprintln!("{USAGE}");
+            }
             std::process::exit(2);
         }
     };
+    let command = opts.command.clone().unwrap_or_default();
     let result = match opts.command.as_deref() {
         Some("embed") => commands::embed(&opts),
         Some("communities") => commands::communities(&opts),
@@ -46,7 +57,35 @@ fn main() {
         Some(other) => Err(format!("unknown command {other:?}")),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}\n{USAGE}");
+        obs_error!("{e}");
+        if v2v_obs::log_enabled(v2v_obs::Level::Error) {
+            eprintln!("{USAGE}");
+        }
         std::process::exit(1);
     }
+    if let Err(e) = export_metrics(&opts, &command) {
+        obs_error!("{e}");
+        std::process::exit(1);
+    }
+}
+
+/// Writes the run's telemetry to `--metrics <path>` (JSON, or CSV when the
+/// path ends in `.csv`) and prints a summary to stderr.
+fn export_metrics(opts: &Opts, command: &str) -> Result<(), String> {
+    let Some(path) = opts.get_str("metrics") else {
+        return Ok(());
+    };
+    let telemetry = v2v_obs::Telemetry::capture_global()
+        .with("tool", "v2v-cli")
+        .with("command", command)
+        .with("args", std::env::args().skip(1).collect::<Vec<_>>().join(" "));
+    let result = if path.ends_with(".csv") {
+        telemetry.write_csv(path)
+    } else {
+        telemetry.write_json(path)
+    };
+    result.map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    obs_info!("{}", telemetry.summary().trim_end());
+    obs_info!("wrote telemetry to {path}");
+    Ok(())
 }

@@ -133,6 +133,7 @@ pub fn cnm(graph: &Graph, target_k: Option<usize>) -> Partition {
         num_communities -= 1;
         q += current;
         merges.push((i, j));
+        v2v_obs::global_metrics().counter("community.cnm.merges").inc();
         if q > best_q {
             best_q = q;
             best_merges = merges.len();

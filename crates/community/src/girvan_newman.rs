@@ -70,6 +70,7 @@ pub fn girvan_newman(graph: &Graph, target_k: Option<usize>) -> GnResult {
         let (u, v) = max_betweenness_edge(&adj);
         remove_edge(&mut adj, u, v);
         removed.push((u, v));
+        v2v_obs::global_metrics().counter("community.gn.edges_removed").inc();
     }
 
     GnResult {

@@ -144,6 +144,7 @@ pub fn louvain(graph: &Graph, seed: u64) -> Partition {
     let mut labels_full: Vec<usize> = (0..n).collect();
 
     for _ in 0..32 {
+        v2v_obs::global_metrics().counter("community.louvain.levels").inc();
         let (labels, improved) = one_level(&wg, &mut rng);
         if !improved {
             break;

@@ -98,8 +98,11 @@ pub fn walktrap(graph: &Graph, t: usize, target_k: Option<usize>) -> Partition {
 
         // Merge b into a: weighted mean of probability vectors.
         let (sa, sb) = (size[a] as f64, size[b] as f64);
-        for k in 0..n {
-            mean[a][k] = (mean[a][k] * sa + mean[b][k] * sb) / (sa + sb);
+        // Split-borrow: rows a and b are distinct, so borrow each half.
+        let (lo, hi) = mean.split_at_mut(a.max(b));
+        let (row_a, row_b) = if a < b { (&mut lo[a], &hi[0]) } else { (&mut hi[0], &lo[b]) };
+        for (ma, &mb) in row_a.iter_mut().zip(row_b.iter()) {
+            *ma = (*ma * sa + mb * sb) / (sa + sb);
         }
         size[a] += size[b];
         alive[b] = false;

@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn single_community_zero(edges in proptest::collection::vec((0u32..15, 0u32..15), 1..40)) {
         let g = graph_from(&edges, 15);
-        prop_assert!(modularity(&g, &vec![0; 15]).abs() < 1e-12);
+        prop_assert!(modularity(&g, &[0; 15]).abs() < 1e-12);
     }
 
     /// CNM always returns a valid partition whose reported modularity

@@ -42,9 +42,21 @@ impl V2vModel {
     /// Detects communities with full control over the k-means settings.
     pub fn detect_communities_with(&self, config: &KMeansConfig) -> CommunityResult {
         let matrix = self.to_matrix();
+        let _span = v2v_obs::span("cluster");
         let t0 = Instant::now();
         let result = kmeans(&matrix, config);
         let clustering_time = t0.elapsed();
+        self.add_phase_time(crate::pipeline::Phase::Clustering, clustering_time);
+        let metrics = v2v_obs::global_metrics();
+        metrics.counter("cluster.kmeans.runs").inc();
+        metrics.gauge("cluster.kmeans.inertia").set(result.inertia);
+        v2v_obs::obs_debug!(
+            "k-means k={} ({} restarts) clustered in {:.4}s, inertia {:.4}",
+            config.k,
+            config.restarts,
+            clustering_time.as_secs_f64(),
+            result.inertia
+        );
         CommunityResult {
             labels: result.assignments,
             k: config.k,

@@ -8,20 +8,31 @@ use v2v_graph::Graph;
 use v2v_linalg::{Pca, RowMatrix};
 use v2v_walks::WalkCorpus;
 
-/// Wall-clock breakdown of a training run; Table I reports the training
-/// time separately from the (sub-millisecond) clustering time.
-#[derive(Clone, Copy, Debug)]
+/// Wall-clock breakdown of a run; Table I reports the training time
+/// separately from the (sub-millisecond) clustering time. The same
+/// durations are also recorded as spans on the process-wide
+/// [`v2v_obs`] span tree (`pipeline → walks` / `train`, plus top-level
+/// `cluster` and `project`), which `--metrics` exports.
+///
+/// `clustering` and `projection` accumulate across repeated
+/// [`V2vModel::detect_communities`] / [`V2vModel::project`] calls on the
+/// same model and are zero until those phases run.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Timing {
     /// Time spent generating the walk corpus.
     pub walk_generation: Duration,
     /// Time spent in SGD.
     pub training: Duration,
+    /// Cumulative time spent clustering the embedding (k-means).
+    pub clustering: Duration,
+    /// Cumulative time spent PCA-projecting the embedding.
+    pub projection: Duration,
 }
 
 impl Timing {
-    /// Total pipeline time.
+    /// Total time across all phases run so far.
     pub fn total(&self) -> Duration {
-        self.walk_generation + self.training
+        self.walk_generation + self.training + self.clustering + self.projection
     }
 }
 
@@ -29,13 +40,17 @@ impl Timing {
 pub struct V2vModel {
     embedding: Embedding,
     stats: TrainStats,
-    timing: Timing,
+    /// Interior mutability: the post-training phases (`detect_communities`,
+    /// `project`) take `&self` but still account their time here.
+    timing: std::sync::Mutex<Timing>,
 }
 
 impl V2vModel {
     /// Runs the full pipeline: constrained walks → CBOW → embedding.
     pub fn train(graph: &Graph, config: &V2vConfig) -> Result<V2vModel, V2vError> {
+        let _pipeline = v2v_obs::span("pipeline");
         let t0 = Instant::now();
+        // WalkCorpus::generate opens the nested "walks" span itself.
         let corpus = WalkCorpus::generate(graph, &config.walks)?;
         let walk_generation = t0.elapsed();
         Self::train_on_corpus(&corpus, config, walk_generation)
@@ -50,10 +65,37 @@ impl V2vModel {
         walk_generation: Duration,
     ) -> Result<V2vModel, V2vError> {
         let t1 = Instant::now();
+        // v2v_embed::train opens the "train" span (with per-epoch children);
+        // when called via `train` above it nests under "pipeline".
         let (embedding, stats) =
             v2v_embed::train(corpus, &config.embedding).map_err(V2vError::Training)?;
         let training = t1.elapsed();
-        Ok(V2vModel { embedding, stats, timing: Timing { walk_generation, training } })
+        v2v_obs::obs_info!(
+            "trained {} vertices x {} dims in {:.3}s ({} epochs, final loss {:.5})",
+            embedding.len(),
+            embedding.dimensions(),
+            training.as_secs_f64(),
+            stats.epochs_run,
+            stats.epoch_losses.last().copied().unwrap_or(0.0)
+        );
+        Ok(V2vModel {
+            embedding,
+            stats,
+            timing: std::sync::Mutex::new(Timing {
+                walk_generation,
+                training,
+                ..Timing::default()
+            }),
+        })
+    }
+
+    /// Adds `elapsed` to one accumulated phase (crate-internal).
+    pub(crate) fn add_phase_time(&self, phase: Phase, elapsed: Duration) {
+        let mut t = self.timing.lock().unwrap();
+        match phase {
+            Phase::Clustering => t.clustering += elapsed,
+            Phase::Projection => t.projection += elapsed,
+        }
     }
 
     /// The per-vertex embedding.
@@ -73,7 +115,7 @@ impl V2vModel {
 
     /// Wall-clock breakdown.
     pub fn timing(&self) -> Timing {
-        self.timing
+        *self.timing.lock().unwrap()
     }
 
     /// The embedding as an `f64` matrix (one vertex per row).
@@ -84,8 +126,18 @@ impl V2vModel {
     /// PCA-projects the embedding to `dims` components (the paper's
     /// visualization front-end, §IV). Returns `(pca, projected points)`.
     pub fn project(&self, dims: usize, seed: u64) -> (Pca, RowMatrix) {
-        Pca::fit_transform(&self.to_matrix(), dims, seed)
+        let _span = v2v_obs::span("project");
+        let t0 = Instant::now();
+        let result = Pca::fit_transform(&self.to_matrix(), dims, seed);
+        self.add_phase_time(Phase::Projection, t0.elapsed());
+        result
     }
+}
+
+/// Post-training pipeline phases accounted in [`Timing`].
+pub(crate) enum Phase {
+    Clustering,
+    Projection,
 }
 
 #[cfg(test)]

@@ -129,14 +129,13 @@ pub fn lfr_graph(config: &LfrConfig) -> LfrBenchmark {
     by_size.sort_by_key(|&ci| std::cmp::Reverse(sizes[ci]));
     let mut labels = vec![usize::MAX; c.n];
     {
-        let mut slot = 0usize; // index into a flattened (community, seat) list
+        // Flattened (community, seat) list, one seat per vertex.
         let seats: Vec<usize> = by_size
             .iter()
             .flat_map(|&ci| std::iter::repeat_n(ci, sizes[ci]))
             .collect();
-        for &v in &order {
-            labels[v] = seats[slot];
-            slot += 1;
+        for (&v, &seat) in order.iter().zip(&seats) {
+            labels[v] = seat;
         }
     }
 
@@ -173,8 +172,8 @@ pub fn lfr_graph(config: &LfrConfig) -> LfrBenchmark {
             i += 2;
         }
     };
-    for ci in 0..sizes.len() {
-        pair_up(&mut intra_stubs[ci], &mut rng, &mut b, false, &labels);
+    for stubs in intra_stubs.iter_mut() {
+        pair_up(stubs, &mut rng, &mut b, false, &labels);
     }
     pair_up(&mut inter_stubs, &mut rng, &mut b, true, &labels);
 

@@ -110,18 +110,42 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
         converged: false,
     };
 
+    // All telemetry is per-epoch: one span + a handful of atomics per
+    // epoch, invisible next to millions of pair updates.
+    let train_span = v2v_obs::span("train");
+    let metrics = v2v_obs::global_metrics();
     let run_all = |stats: &mut TrainStats| {
         for epoch in 0..config.epochs {
+            let epoch_started = std::time::Instant::now();
+            let epoch_span = v2v_obs::span("epoch");
             let (loss, pairs) = if config.threads == 1 {
                 run_epoch_sequential(corpus, &ctx, epoch as u64)
             } else {
                 run_epoch_parallel(corpus, &ctx, epoch as u64)
             };
+            drop(epoch_span);
             stats.epochs_run += 1;
             stats.total_pairs += pairs;
             let avg = if pairs == 0 { 0.0 } else { loss / pairs as f64 };
             let prev = stats.epoch_losses.last().copied();
             stats.epoch_losses.push(avg);
+
+            let epoch_secs = epoch_started.elapsed().as_secs_f64();
+            let done = processed.load(Ordering::Relaxed);
+            let frac = done as f64 / schedule_total.max(1) as f64;
+            let lr = (config.initial_lr as f64 * (1.0 - frac))
+                .max(config.initial_lr as f64 * 1e-4);
+            metrics.counter("train.epochs").inc();
+            metrics.counter("train.pairs").add(pairs);
+            metrics.gauge("train.loss").set(avg);
+            metrics.gauge("train.lr").set(lr);
+            if epoch_secs > 0.0 {
+                metrics.gauge("train.pairs_per_sec").set(pairs as f64 / epoch_secs);
+            }
+            v2v_obs::obs_debug!(
+                "epoch {epoch}: loss {avg:.5}, {pairs} pairs in {epoch_secs:.3}s (lr {lr:.5})"
+            );
+
             if let (Some(tol), Some(prev)) = (config.convergence_tol, prev) {
                 let rel_improvement = if prev > 0.0 { (prev - avg) / prev } else { 0.0 };
                 if rel_improvement < tol {
@@ -141,6 +165,7 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
     } else {
         run_all(&mut stats);
     }
+    drop(train_span);
 
     Ok((Embedding::from_flat(dim, syn0.to_vec()), stats))
 }

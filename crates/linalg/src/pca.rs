@@ -290,11 +290,11 @@ mod tests {
         let (vals, vecs) = jacobi_eigen(&m, 100, 1e-14);
         // Reconstruct sum_i lambda_i v_i v_i^T.
         let mut rec = RowMatrix::zeros(3, 3);
-        for i in 0..3 {
+        for (i, &val) in vals.iter().enumerate() {
             let v = vecs.row(i);
             for a in 0..3 {
                 for b in 0..3 {
-                    rec[(a, b)] += vals[i] * v[a] * v[b];
+                    rec[(a, b)] += val * v[a] * v[b];
                 }
             }
         }

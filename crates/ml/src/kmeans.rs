@@ -142,8 +142,8 @@ fn lloyd_once(data: &RowMatrix, config: &KMeansConfig, rng: &mut StdRng) -> KMea
                 *s += x;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Empty cluster: restart it at the point farthest from its
                 // current centroid assignment (standard fix).
                 let far = (0..n)
@@ -156,7 +156,7 @@ fn lloyd_once(data: &RowMatrix, config: &KMeansConfig, rng: &mut StdRng) -> KMea
                 centroids.row_mut(c).copy_from_slice(data.row(far));
                 continue;
             }
-            let inv = 1.0 / counts[c] as f64;
+            let inv = 1.0 / count as f64;
             let row = sums.row(c).to_vec();
             for (cc, s) in centroids.row_mut(c).iter_mut().zip(row) {
                 *cc = s * inv;
@@ -220,10 +220,10 @@ fn init_plus_plus(data: &RowMatrix, k: usize, rng: &mut StdRng) -> RowMatrix {
             pick
         };
         centroids.row_mut(c).copy_from_slice(data.row(next));
-        for i in 0..n {
+        for (i, slot) in dist2.iter_mut().enumerate() {
             let d = euclidean_sq(data.row(i), centroids.row(c));
-            if d < dist2[i] {
-                dist2[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
     }

@@ -68,8 +68,8 @@ impl LogisticRegression {
                     |mut g, i| {
                         let x = data.row(i);
                         let p = softmax_scores(&weights, x);
-                        for c in 0..k {
-                            let err = p[c] - f64::from(labels[i] == c);
+                        for (c, &pc) in p.iter().enumerate() {
+                            let err = pc - f64::from(labels[i] == c);
                             let base = c * (d + 1);
                             for (j, &xj) in x.iter().enumerate() {
                                 g[base + j] += err * xj;

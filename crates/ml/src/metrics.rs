@@ -24,8 +24,11 @@ fn choose2(n: u64) -> u64 {
     n * n.saturating_sub(1) / 2
 }
 
+/// Contingency cells `count[(truth, pred)]` plus the two marginals.
+type Contingency = (HashMap<(usize, usize), u64>, HashMap<usize, u64>, HashMap<usize, u64>);
+
 /// Builds the contingency table `count[(truth, pred)]` plus marginals.
-fn contingency(truth: &[usize], pred: &[usize]) -> (HashMap<(usize, usize), u64>, HashMap<usize, u64>, HashMap<usize, u64>) {
+fn contingency(truth: &[usize], pred: &[usize]) -> Contingency {
     assert_eq!(truth.len(), pred.len(), "label slices must align");
     let mut cells: HashMap<(usize, usize), u64> = HashMap::new();
     let mut truth_sizes: HashMap<usize, u64> = HashMap::new();

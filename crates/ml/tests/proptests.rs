@@ -93,7 +93,7 @@ proptest! {
                       neg in proptest::collection::vec(0.0f64..1.0, 1..40)) {
         let mut scores: Vec<f64> = pos.iter().copied().chain(neg.iter().copied()).collect();
         let labels: Vec<bool> =
-            std::iter::repeat(true).take(pos.len()).chain(std::iter::repeat(false).take(neg.len())).collect();
+            std::iter::repeat_n(true, pos.len()).chain(std::iter::repeat_n(false, neg.len())).collect();
         let auc = roc_auc(&scores, &labels);
         prop_assert!((0.0..=1.0).contains(&auc));
         for s in scores.iter_mut() {

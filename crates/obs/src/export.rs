@@ -1,0 +1,332 @@
+//! Telemetry capture and export.
+//!
+//! A [`Telemetry`] value freezes the span tree + metrics registry (global
+//! or explicit instances) together with free-form config provenance
+//! (`key = value` pairs recording what produced the run). It serializes to
+//! JSON (one self-describing document) or CSV (two flat tables —
+//! spans and metrics — separated by a blank line) using only `std`.
+
+use crate::json;
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::span::{SpanSnapshot, SpanTree};
+use std::fmt::Write as _;
+
+/// Schema version stamped into every export, bumped on layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A frozen view of one run's observability state.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// `key = value` provenance (config knobs, dataset name, thread count).
+    pub provenance: Vec<(String, String)>,
+    pub spans: Vec<SpanSnapshot>,
+    pub metrics: MetricsSnapshot,
+}
+
+impl Telemetry {
+    /// Captures the process-global span tree and metrics registry.
+    pub fn capture_global() -> Telemetry {
+        Telemetry::capture(crate::span::global_spans(), crate::metrics::global())
+    }
+
+    /// Captures explicit instances (tests, embedded registries).
+    pub fn capture(spans: &SpanTree, metrics: &Registry) -> Telemetry {
+        Telemetry {
+            provenance: Vec::new(),
+            spans: spans.snapshot(),
+            metrics: metrics.snapshot(),
+        }
+    }
+
+    /// Adds one provenance entry (builder-style).
+    pub fn with(mut self, key: &str, value: impl ToString) -> Telemetry {
+        self.provenance.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes to a single JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"version\": ");
+        let _ = write!(out, "{FORMAT_VERSION}");
+        out.push_str(",\n  \"provenance\": {");
+        for (i, (k, v)) in self.provenance.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_escaped(&mut out, k);
+            out.push_str(": ");
+            json::write_escaped(&mut out, v);
+        }
+        if !self.provenance.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_span(&mut out, s);
+        }
+        out.push_str("],\n  \"metrics\": {\n    \"counters\": {");
+        for (i, (k, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_escaped(&mut out, k);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("},\n    \"gauges\": {");
+        for (i, (k, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_escaped(&mut out, k);
+            out.push_str(": ");
+            json::write_f64(&mut out, *v);
+        }
+        out.push_str("},\n    \"histograms\": {");
+        for (i, (k, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_escaped(&mut out, k);
+            out.push_str(": {\"count\": ");
+            let _ = write!(out, "{}", h.count);
+            out.push_str(", \"sum\": ");
+            json::write_f64(&mut out, h.sum);
+            out.push_str(", \"min\": ");
+            match h.min {
+                Some(v) => json::write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"max\": ");
+            match h.max {
+                Some(v) => json::write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"bounds\": [");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json::write_f64(&mut out, *b);
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, c) in h.bucket_counts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}\n  }\n}\n");
+        out
+    }
+
+    /// Serializes to CSV: a span table (`path,count,total_secs`), a blank
+    /// line, then a metric table (`kind,name,value`; histograms expand to
+    /// count/sum/mean rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("path,count,total_secs\n");
+        for span in &self.spans {
+            write_span_csv(&mut out, span, "");
+        }
+        out.push('\n');
+        out.push_str("kind,name,value\n");
+        for (k, v) in &self.metrics.counters {
+            let _ = writeln!(out, "counter,{},{v}", csv_field(k));
+        }
+        for (k, v) in &self.metrics.gauges {
+            let _ = writeln!(out, "gauge,{},{v}", csv_field(k));
+        }
+        for (k, h) in &self.metrics.histograms {
+            let name = csv_field(k);
+            let _ = writeln!(out, "histogram_count,{name},{}", h.count);
+            let _ = writeln!(out, "histogram_sum,{name},{}", h.sum);
+            let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
+            let _ = writeln!(out, "histogram_mean,{name},{mean}");
+        }
+        out
+    }
+
+    /// Writes the JSON form to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the CSV form to `path`.
+    pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Human-readable span-tree + headline-metrics summary for stderr.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n");
+        for span in &self.spans {
+            write_span_text(&mut out, span, 1);
+        }
+        for (k, v) in &self.metrics.counters {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+        for (k, v) in &self.metrics.gauges {
+            let _ = writeln!(out, "  {k} = {v:.4}");
+        }
+        for (k, h) in &self.metrics.histograms {
+            let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
+            let _ = writeln!(out, "  {k}: n={} mean={mean:.4}", h.count);
+        }
+        out
+    }
+
+    /// Total number of named metrics of any kind.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.counters.len()
+            + self.metrics.gauges.len()
+            + self.metrics.histograms.len()
+    }
+}
+
+fn write_span(out: &mut String, span: &SpanSnapshot) {
+    out.push_str("{\"name\": ");
+    json::write_escaped(out, &span.name);
+    let _ = write!(out, ", \"count\": {}, \"total_secs\": ", span.count);
+    json::write_f64(out, span.total.as_secs_f64());
+    out.push_str(", \"children\": [");
+    for (i, c) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span(out, c);
+    }
+    out.push_str("]}");
+}
+
+fn write_span_csv(out: &mut String, span: &SpanSnapshot, prefix: &str) {
+    let path = if prefix.is_empty() {
+        span.name.clone()
+    } else {
+        format!("{prefix}/{}", span.name)
+    };
+    let _ = writeln!(out, "{},{},{}", csv_field(&path), span.count, span.total.as_secs_f64());
+    for c in &span.children {
+        write_span_csv(out, c, &path);
+    }
+}
+
+fn write_span_text(out: &mut String, span: &SpanSnapshot, depth: usize) {
+    let _ = writeln!(
+        out,
+        "{}{} {:.3}s (x{})",
+        "  ".repeat(depth),
+        span.name,
+        span.total.as_secs_f64(),
+        span.count
+    );
+    for c in &span.children {
+        write_span_text(out, c, depth + 1);
+    }
+}
+
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanTree;
+    use std::time::Duration;
+
+    fn sample() -> Telemetry {
+        let spans = SpanTree::new();
+        let p = spans.enter("pipeline");
+        let t = spans.enter_under(p.id(), "train");
+        spans.record_under(t.id(), "epoch", Duration::from_millis(10));
+        spans.record_under(t.id(), "epoch", Duration::from_millis(12));
+        drop(t);
+        drop(p);
+        let metrics = Registry::new();
+        metrics.counter("walks.generated").add(42);
+        metrics.gauge("train.loss").set(0.125);
+        metrics.histogram("walk.len", &[10.0, 40.0]).record(35.0);
+        Telemetry::capture(&spans, &metrics).with("dataset", "karate").with("dim", 16)
+    }
+
+    #[test]
+    fn json_roundtrip_via_own_parser() {
+        let t = sample();
+        let doc = json::parse(&t.to_json()).expect("export must be valid JSON");
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(FORMAT_VERSION as u64));
+        let prov = doc.get("provenance").unwrap();
+        assert_eq!(prov.get("dataset").unwrap().as_str(), Some("karate"));
+        assert_eq!(prov.get("dim").unwrap().as_str(), Some("16"));
+
+        // Span tree survives with 3 nesting levels.
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("pipeline"));
+        let train = &spans[0].get("children").unwrap().as_array().unwrap()[0];
+        let epoch = &train.get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(epoch.get("name").unwrap().as_str(), Some("epoch"));
+        assert_eq!(epoch.get("count").unwrap().as_u64(), Some(2));
+        let total = epoch.get("total_secs").unwrap().as_f64().unwrap();
+        assert!((total - 0.022).abs() < 1e-9);
+
+        // Metrics of all three kinds survive.
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("counters").unwrap().get("walks.generated").unwrap().as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            metrics.get("gauges").unwrap().get("train.loss").unwrap().as_f64(),
+            Some(0.125)
+        );
+        let h = metrics.get("histograms").unwrap().get("walk.len").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn csv_has_both_tables() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("path,count,total_secs\n"));
+        assert!(csv.contains("pipeline/train/epoch,2,"));
+        assert!(csv.contains("counter,walks.generated,42"));
+        assert!(csv.contains("gauge,train.loss,0.125"));
+        assert!(csv.contains("histogram_count,walk.len,1"));
+    }
+
+    #[test]
+    fn csv_quotes_awkward_names() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_metrics() {
+        let s = sample().summary();
+        assert!(s.contains("pipeline"));
+        assert!(s.contains("epoch"));
+        assert!(s.contains("walks.generated = 42"));
+    }
+
+    #[test]
+    fn metric_count_spans_kinds() {
+        assert_eq!(sample().metric_count(), 3);
+    }
+
+    #[test]
+    fn empty_telemetry_exports_cleanly() {
+        let t = Telemetry::default();
+        assert!(json::parse(&t.to_json()).is_ok());
+        assert!(t.to_csv().contains("kind,name,value"));
+    }
+}

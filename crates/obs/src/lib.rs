@@ -1,0 +1,37 @@
+//! `v2v-obs` — the measurement substrate for the V2V workspace.
+//!
+//! The paper's headline claims are *performance* claims (Table I training
+//! breakdowns, Fig 7 time-to-convergence, the parallel-scaling study), so
+//! every layer of this workspace records what it does through this crate:
+//!
+//! * **Spans** ([`span`], [`SpanTree`]) — RAII wall-clock timers that nest
+//!   (`pipeline → walks`, `pipeline → train → epoch`) and aggregate
+//!   repeated entries, producing a timing tree for a whole run.
+//! * **Metrics** ([`metrics`]) — atomic counters, gauges, and fixed-bucket
+//!   histograms cheap enough for the Hogwild hot loop (relaxed atomics;
+//!   [`metrics::LocalCounter`] shards per thread and merges on drop).
+//! * **Logging** (`obs_error!` / `obs_info!` / `obs_debug!` /
+//!   `obs_trace!`) — leveled stderr logging gated by the `V2V_LOG`
+//!   environment variable (`off`, `error`, `info` (default), `debug`,
+//!   `trace`).
+//! * **Export** ([`export`]) — serializes a run's span tree + metrics +
+//!   config provenance to JSON or CSV with a hand-written writer; the CLI
+//!   exposes this as `--metrics <path>` and the bench binaries emit it as
+//!   a sidecar next to their results.
+//!
+//! Everything is process-global by default (like any metrics runtime) but
+//! the underlying [`SpanTree`] and [`metrics::Registry`] types are plain
+//! values too, so tests can use private instances without cross-talk.
+//!
+//! The crate has **zero external dependencies** and builds offline.
+
+pub mod export;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use export::Telemetry;
+pub use log::{log_enabled, max_level, Level};
+pub use metrics::{global as global_metrics, Counter, Gauge, Histogram, Registry};
+pub use span::{global_spans, span, SpanGuard, SpanSnapshot, SpanTree};

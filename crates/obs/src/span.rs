@@ -1,0 +1,298 @@
+//! Hierarchical RAII wall-clock spans.
+//!
+//! A [`SpanTree`] is an arena of named nodes; entering a span returns a
+//! [`SpanGuard`] that adds its elapsed time to the node on drop. Repeated
+//! entries of the same child name under the same parent aggregate into one
+//! node (`count` += 1, `total` += elapsed), so `epoch[i]`-style loops stay
+//! bounded. Within one thread, nesting is tracked automatically via a
+//! thread-local stack on the *global* tree; for work handed to other
+//! threads, capture [`current_span_id`] (or a guard's
+//! [`SpanGuard::id`]) before spawning and open children with
+//! [`SpanTree::enter_under`].
+
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Index of a node in a [`SpanTree`] arena. `ROOT` is the implicit,
+/// unnamed top of the tree.
+pub type SpanId = usize;
+
+/// The implicit root node every top-level span hangs off.
+pub const ROOT: SpanId = 0;
+
+struct SpanNode {
+    name: String,
+    children: Vec<SpanId>,
+    /// Number of times this span has been entered and closed.
+    count: u64,
+    /// Total wall-clock time across all entries.
+    total: Duration,
+}
+
+/// Arena of aggregated, nested timing spans. Thread-safe; cloning is not
+/// supported (share by reference, or use the process [`global_spans`]).
+#[derive(Default)]
+pub struct SpanTree {
+    nodes: Mutex<Vec<SpanNode>>,
+}
+
+impl SpanTree {
+    pub fn new() -> SpanTree {
+        SpanTree::default()
+    }
+
+    fn ensure_root(nodes: &mut Vec<SpanNode>) {
+        if nodes.is_empty() {
+            nodes.push(SpanNode {
+                name: String::new(),
+                children: Vec::new(),
+                count: 0,
+                total: Duration::ZERO,
+            });
+        }
+    }
+
+    /// Finds or creates the child of `parent` named `name`.
+    fn child_id(&self, parent: SpanId, name: &str) -> SpanId {
+        let mut nodes = self.nodes.lock().unwrap();
+        Self::ensure_root(&mut nodes);
+        assert!(parent < nodes.len(), "parent span id out of range");
+        if let Some(&id) =
+            nodes[parent].children.iter().find(|&&c| nodes[c].name == name)
+        {
+            return id;
+        }
+        let id = nodes.len();
+        nodes.push(SpanNode {
+            name: name.to_string(),
+            children: Vec::new(),
+            count: 0,
+            total: Duration::ZERO,
+        });
+        nodes[parent].children.push(id);
+        id
+    }
+
+    /// Opens a span named `name` directly under `parent` (cross-thread
+    /// nesting: capture the parent id on the coordinating thread, open
+    /// children from workers).
+    pub fn enter_under(&self, parent: SpanId, name: &str) -> SpanGuard<'_> {
+        let id = self.child_id(parent, name);
+        SpanGuard { tree: self, id, started: Instant::now(), on_global_stack: false }
+    }
+
+    /// Opens a top-level span (directly under the root).
+    pub fn enter(&self, name: &str) -> SpanGuard<'_> {
+        self.enter_under(ROOT, name)
+    }
+
+    fn close(&self, id: SpanId, elapsed: Duration) {
+        let mut nodes = self.nodes.lock().unwrap();
+        nodes[id].count += 1;
+        nodes[id].total += elapsed;
+    }
+
+    /// Records an already-measured duration under `parent` without RAII —
+    /// for retrofitting externally-timed phases into the tree.
+    pub fn record_under(&self, parent: SpanId, name: &str, elapsed: Duration) -> SpanId {
+        let id = self.child_id(parent, name);
+        self.close(id, elapsed);
+        id
+    }
+
+    /// Snapshot of the whole tree (root's children are the top level).
+    pub fn snapshot(&self) -> Vec<SpanSnapshot> {
+        let nodes = self.nodes.lock().unwrap();
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        fn build(nodes: &[SpanNode], id: SpanId) -> SpanSnapshot {
+            let n = &nodes[id];
+            SpanSnapshot {
+                name: n.name.clone(),
+                count: n.count,
+                total: n.total,
+                children: n.children.iter().map(|&c| build(nodes, c)).collect(),
+            }
+        }
+        nodes[ROOT].children.iter().map(|&c| build(&nodes, c)).collect()
+    }
+
+    /// Drops every recorded span (tests).
+    pub fn clear(&self) {
+        self.nodes.lock().unwrap().clear();
+    }
+}
+
+/// Frozen copy of one span node and its subtree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub total: Duration,
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Depth of this subtree (a leaf is 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(SpanSnapshot::depth).max().unwrap_or(0)
+    }
+
+    /// Finds a descendant (or self) by name, depth-first.
+    pub fn find(&self, name: &str) -> Option<&SpanSnapshot> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// RAII handle: adds elapsed time to its node when dropped.
+pub struct SpanGuard<'a> {
+    tree: &'a SpanTree,
+    id: SpanId,
+    started: Instant,
+    on_global_stack: bool,
+}
+
+impl SpanGuard<'_> {
+    /// This span's node id — pass to [`SpanTree::enter_under`] from other
+    /// threads to nest their work under this span.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tree.close(self.id, self.started.elapsed());
+        if self.on_global_stack {
+            CURRENT.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                debug_assert_eq!(stack.last(), Some(&self.id), "span drop out of order");
+                stack.pop();
+            });
+        }
+    }
+}
+
+static GLOBAL: OnceLock<SpanTree> = OnceLock::new();
+
+/// The process-wide span tree backing [`span`].
+pub fn global_spans() -> &'static SpanTree {
+    GLOBAL.get_or_init(SpanTree::new)
+}
+
+thread_local! {
+    /// Stack of open global-tree spans on this thread.
+    static CURRENT: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span on the global tree, nested under this thread's innermost
+/// open global span (or at top level). Guards must drop in LIFO order —
+/// which RAII scoping gives for free.
+pub fn span(name: &str) -> SpanGuard<'static> {
+    let tree = global_spans();
+    let parent = CURRENT.with(|stack| stack.borrow().last().copied()).unwrap_or(ROOT);
+    let id = tree.child_id(parent, name);
+    CURRENT.with(|stack| stack.borrow_mut().push(id));
+    SpanGuard { tree, id, started: Instant::now(), on_global_stack: true }
+}
+
+/// This thread's innermost open global span (for handing to workers).
+pub fn current_span_id() -> SpanId {
+    CURRENT.with(|stack| stack.borrow().last().copied()).unwrap_or(ROOT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn nesting_and_aggregation() {
+        let tree = SpanTree::new();
+        {
+            let outer = tree.enter("pipeline");
+            for _ in 0..3 {
+                let _inner = tree.enter_under(outer.id(), "epoch");
+            }
+        }
+        let snap = tree.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].name, "pipeline");
+        assert_eq!(snap[0].count, 1);
+        assert_eq!(snap[0].children.len(), 1, "repeated entries aggregate");
+        assert_eq!(snap[0].children[0].name, "epoch");
+        assert_eq!(snap[0].children[0].count, 3);
+        assert_eq!(snap[0].depth(), 2);
+    }
+
+    #[test]
+    fn record_under_retrofit() {
+        let tree = SpanTree::new();
+        let p = tree.enter("pipeline");
+        tree.record_under(p.id(), "walks", Duration::from_millis(5));
+        tree.record_under(p.id(), "walks", Duration::from_millis(7));
+        drop(p);
+        let snap = tree.snapshot();
+        let walks = snap[0].find("walks").unwrap();
+        assert_eq!(walks.count, 2);
+        assert_eq!(walks.total, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn cross_thread_nesting() {
+        let tree = SpanTree::new();
+        let outer = tree.enter("train");
+        let parent = outer.id();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = tree.enter_under(parent, "worker");
+                });
+            }
+        });
+        drop(outer);
+        let snap = tree.snapshot();
+        let worker = snap[0].find("worker").unwrap();
+        assert_eq!(worker.count, 4);
+        assert_eq!(snap[0].depth(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_name_children_stay_one_node() {
+        let tree = SpanTree::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _g = tree.enter("load");
+                    }
+                });
+            }
+        });
+        let snap = tree.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].count, 8 * 50);
+    }
+
+    #[test]
+    fn global_thread_local_stack_nests() {
+        // Use unique names so this test tolerates other tests touching the
+        // global tree in the same process.
+        let a = span("tl_outer_xyz");
+        let a_id = a.id();
+        {
+            let b = span("tl_inner_xyz");
+            assert_eq!(current_span_id(), b.id());
+        }
+        assert_eq!(current_span_id(), a_id);
+        drop(a);
+        let snap = global_spans().snapshot();
+        let outer = snap.iter().find_map(|s| s.find("tl_outer_xyz")).unwrap();
+        assert!(outer.find("tl_inner_xyz").is_some(), "inner nested under outer");
+    }
+}

@@ -95,9 +95,8 @@ fn insert(node: &mut Node, body: Body, origin: [f64; 2], size: f64, depth: usize
         Node::Internal { children, center_of_mass, total_mass, .. } => {
             // Update aggregate.
             let new_mass = *total_mass + body.mass;
-            for d in 0..2 {
-                center_of_mass[d] =
-                    (center_of_mass[d] * *total_mass + body.pos[d] * body.mass) / new_mass;
+            for (com, &pos) in center_of_mass.iter_mut().zip(&body.pos) {
+                *com = (*com * *total_mass + pos * body.mass) / new_mass;
             }
             *total_mass = new_mass;
             // Route into the quadrant.

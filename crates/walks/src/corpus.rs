@@ -63,6 +63,7 @@ impl WalkCorpus {
         let walker = Walker::new(graph, config.strategy)?;
         let t = config.walks_per_vertex;
         let n = graph.num_vertices();
+        let _span = v2v_obs::span("walks");
         let walks: Vec<Vec<VertexId>> = (0..n * t)
             .into_par_iter()
             .map(|job| {
@@ -73,6 +74,23 @@ impl WalkCorpus {
                 walker.walk(v, config.walk_length, &mut rng)
             })
             .collect();
+        // Telemetry is recorded once per corpus, outside the hot loop. A
+        // walk shorter than requested means the walker got stuck (directed
+        // sink, temporal dead end, isolated vertex, or zero-weight
+        // neighborhood) — the only early-termination reasons that exist.
+        let metrics = v2v_obs::global_metrics();
+        let full = walks.iter().filter(|w| w.len() == config.walk_length).count();
+        let tokens: usize = walks.iter().map(Vec::len).sum();
+        metrics.counter("walks.generated").add(walks.len() as u64);
+        metrics.counter("walks.completed_full_length").add(full as u64);
+        metrics.counter("walks.terminated_early").add((walks.len() - full) as u64);
+        metrics.counter("walks.tokens").add(tokens as u64);
+        v2v_obs::obs_debug!(
+            "generated {} walks ({} tokens, {} cut short) over {n} vertices",
+            walks.len(),
+            tokens,
+            walks.len() - full
+        );
         Ok(WalkCorpus { walks, num_vertices: n })
     }
 

@@ -42,6 +42,7 @@ impl<'g> Walker<'g> {
     /// tables (for the weighted strategies: `O(arcs)`).
     pub fn new(graph: &'g Graph, strategy: WalkStrategy) -> Result<Self, WalkError> {
         strategy.validate(graph)?;
+        let t0 = std::time::Instant::now();
         let tables = match strategy {
             WalkStrategy::EdgeWeighted => Some(build_tables(graph, |g, v| {
                 g.neighbor_weights(v).map(<[f64]>::to_vec)
@@ -51,6 +52,12 @@ impl<'g> Walker<'g> {
             })),
             _ => None,
         };
+        if tables.is_some() {
+            let secs = t0.elapsed().as_secs_f64();
+            v2v_obs::global_metrics().gauge("walks.alias_build_secs").set(secs);
+            v2v_obs::obs_debug!("alias tables for {} vertices built in {secs:.4}s",
+                graph.num_vertices());
+        }
         Ok(Walker { graph, strategy, tables })
     }
 

@@ -82,7 +82,7 @@ proptest! {
                 let nb = g.neighbors(u);
                 // The only valid arcs are those to v with t >= last.
                 let ok = nb.iter().zip(ts).any(|(&x, &t)| {
-                    x == v && last.map_or(true, |lt| t >= lt)
+                    x == v && last.is_none_or(|lt| t >= lt)
                 });
                 prop_assert!(ok, "step {u}->{v} impossible at time {last:?}");
                 // Advance `last` to the smallest feasible timestamp of this
@@ -90,7 +90,7 @@ proptest! {
                 let min_t = nb
                     .iter()
                     .zip(ts)
-                    .filter(|&(&x, &t)| x == v && last.map_or(true, |lt| t >= lt))
+                    .filter(|&(&x, &t)| x == v && last.is_none_or(|lt| t >= lt))
                     .map(|(_, &t)| t)
                     .min()
                     .unwrap();

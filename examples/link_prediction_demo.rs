@@ -43,7 +43,8 @@ fn main() {
     // Rank hidden edges vs non-edges with each scorer (higher AUC = the
     // scorer puts real edges above non-edges more often).
     let g = &split.train_graph;
-    let scorers: Vec<(&str, Box<dyn Fn(v2v::VertexId, v2v::VertexId) -> f64 + '_>)> = vec![
+    type Scorer<'a> = Box<dyn Fn(v2v::VertexId, v2v::VertexId) -> f64 + 'a>;
+    let scorers: Vec<(&str, Scorer)> = vec![
         ("v2v cosine", Box::new(|u, v| model.edge_score(u, v))),
         ("common neighbors", Box::new(|u, v| similarity::common_neighbors(g, u, v) as f64)),
         ("jaccard", Box::new(|u, v| similarity::jaccard(g, u, v))),

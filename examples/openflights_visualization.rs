@@ -48,7 +48,7 @@ fn main() {
 
     // How well do the 2-D projected points already separate continents?
     // Mean distance to own-continent centroid vs global spread.
-    for ci in 0..6 {
+    for (ci, name) in CONTINENT_NAMES.iter().enumerate() {
         let members: Vec<usize> =
             (0..net.num_airports()).filter(|&v| net.continents[v] == ci).collect();
         let cx = members.iter().map(|&v| pts[v][0]).sum::<f64>() / members.len() as f64;
@@ -59,8 +59,7 @@ fn main() {
             .sum::<f64>()
             / members.len() as f64;
         println!(
-            "{:<15} centroid ({cx:+.2}, {cy:+.2}), mean spread {spread:.3}",
-            CONTINENT_NAMES[ci]
+            "{name:<15} centroid ({cx:+.2}, {cy:+.2}), mean spread {spread:.3}"
         );
     }
     println!(

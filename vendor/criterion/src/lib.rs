@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the bench suite uses — `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, `benchmark_group` with
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and `black_box` —
+//! as a plain wall-clock harness: warm up briefly, run until a time
+//! budget, report mean ns/iter on stdout. No statistics, plots, or saved
+//! baselines; compare runs by eye or via the telemetry JSON the bench
+//! binaries emit.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle; collects nothing, just runs and prints.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// A named group; the group name prefixes each benchmark id.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (no-op; prints happen per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Default)]
+pub struct Bencher {
+    /// (iterations, elapsed) of the measured phase; `None` until `iter` ran.
+    measured: Option<(u64, Duration)>,
+}
+
+/// Wall-clock budget for the measured phase of each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Measures `f`, called repeatedly until the time budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: one untimed call (fills caches, resolves lazy statics).
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET && iters >= 5 {
+                break;
+            }
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+
+    fn report(&self, name: &str) {
+        match self.measured {
+            Some((iters, total)) => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{name:<44} {:>14.0} ns/iter  ({iters} iters)", ns);
+            }
+            None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

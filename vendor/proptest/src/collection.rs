@@ -1,0 +1,54 @@
+//! Collection strategies: `vec(element, size_range)`.
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Length specifications accepted by [`vec`]: `lo..hi`, `lo..=hi`, or a
+/// fixed `usize`.
+pub trait SizeRange {
+    /// Half-open `(lo, hi)` bounds on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// Strategy producing `Vec`s of `element` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// `vec(strategy, size)`: vectors whose length is drawn uniformly from
+/// `size` (`lo..hi`, `lo..=hi`, or an exact `usize`).
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty vec size range");
+    VecStrategy { element, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.hi - self.lo) as u64;
+        let len = self.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest! { #[test] fn f(x in strategy, ...) { ... } }` macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, `any::<T>()`,
+//! integer range strategies, tuple strategies, and
+//! `proptest::collection::vec`. Each test runs a fixed number of cases
+//! with inputs drawn from an RNG seeded by the test's module path and the
+//! case index, so failures are reproducible run-to-run. There is no
+//! shrinking: a failing case panics with the generated inputs left to the
+//! assertion message.
+
+pub mod collection;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+// ----------------------------------------------------------- primitives
+
+macro_rules! int_strategy {
+    ($($t:ty => $sample:ident),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+int_strategy!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+              i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+
+macro_rules! float_strategy {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Uniform in [0, 1) with $bits mantissa bits, then scale.
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                    / (1u64 << $bits) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+float_strategy!(f32 => 24, f64 => 53);
+
+/// Full-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)`; enough for the probabilistic knobs tested here.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Declares property tests. Each `#[test]` fn binds its arguments from
+/// strategies and runs [`cases`] times with per-case seeds.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::cases() {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Like `assert!`, named for proptest-source compatibility.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u32..4, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!(u32::from(b) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec((0u32..5, 0u32..5), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,62 @@
+//! The generator types the workspace names: `SmallRng` and `StdRng`.
+//!
+//! Both are xoshiro256++ here. Upstream they differ (xoshiro vs ChaCha12),
+//! but nothing in this repo needs cryptographic strength — `StdRng` is
+//! only ever used as a seeded deterministic source in tests, generators,
+//! and shuffles.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+macro_rules! xoshiro_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            s: [u64; 4],
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                let mut sm = state;
+                let mut s = [0u64; 4];
+                for w in &mut s {
+                    *w = splitmix64(&mut sm);
+                }
+                // All-zero state would be a fixed point; SplitMix64 cannot
+                // produce four zeros from any seed, but guard anyway.
+                if s == [0; 4] {
+                    s[0] = 0x9E3779B97F4A7C15;
+                }
+                $name { s }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                // xoshiro256++ step.
+                let result = self.s[0]
+                    .wrapping_add(self.s[3])
+                    .rotate_left(23)
+                    .wrapping_add(self.s[0]);
+                let t = self.s[1] << 17;
+                self.s[2] ^= self.s[0];
+                self.s[3] ^= self.s[1];
+                self.s[1] ^= self.s[2];
+                self.s[0] ^= self.s[3];
+                self.s[2] ^= t;
+                self.s[3] = self.s[3].rotate_left(45);
+                result
+            }
+        }
+    };
+}
+
+xoshiro_rng!(
+    /// Small, fast, non-cryptographic generator (xoshiro256++).
+    SmallRng
+);
+xoshiro_rng!(
+    /// The "standard" generator; here identical to [`SmallRng`].
+    StdRng
+);

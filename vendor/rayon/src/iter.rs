@@ -1,0 +1,634 @@
+//! The parallel-iterator subset used by this workspace.
+//!
+//! A pipeline is a tree of adapters over an indexed base (a range or a
+//! slice). `split(pieces)` partitions the base index space into contiguous
+//! chunks in order, threading each adapter's closure through an `Arc` so
+//! chunks can run on scoped worker threads. Terminals drive the chunks in
+//! parallel and combine per-chunk results in chunk order, which preserves
+//! sequential semantics for `collect` and yields rayon's
+//! one-accumulator-per-split semantics for `fold`.
+
+use crate::pool::current_num_threads;
+use std::sync::Arc;
+
+/// A data-parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item> + Send;
+
+    /// Splits into at most `pieces` `(global_offset, sequential iterator)`
+    /// parts covering the items in order. Offsets are exact for indexed
+    /// pipelines (the only place `enumerate` is allowed).
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Maps each item to a *sequential* iterator and flattens in order.
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        I::IntoIter: Send,
+        F: Fn(Self::Item) -> I + Send + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// One accumulator per chunk, seeded by `init` and folded with `f`;
+    /// the accumulators are themselves the items of the returned iterator.
+    fn fold<A, INIT, F>(self, init: INIT, f: F) -> Fold<Self, INIT, F>
+    where
+        A: Send,
+        INIT: Fn() -> A + Send + Sync,
+        F: Fn(A, Self::Item) -> A + Send + Sync,
+    {
+        Fold { base: self, init, f }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        drive(self, |seq| seq.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self, |seq| seq.sum::<S>()).into_iter().sum()
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self, |seq| seq.for_each(&f));
+    }
+
+    fn count(self) -> usize {
+        drive(self, |seq| seq.count()).into_iter().sum()
+    }
+}
+
+/// Runs one closure per chunk on scoped threads; results in chunk order.
+fn drive<P, R, W>(pipeline: P, work: W) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(P::Seq) -> R + Sync,
+{
+    let parts = pipeline.split(current_num_threads());
+    if parts.len() <= 1 {
+        return parts.into_iter().map(|(_, seq)| work(seq)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|(_, seq)| scope.spawn(|| work(seq)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(pipeline: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(pipeline: P) -> Self {
+        let parts = drive(pipeline, |seq| seq.collect::<Vec<_>>());
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Splits `len` items into at most `pieces` contiguous chunk boundaries.
+fn chunk_bounds(len: usize, pieces: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let chunk = len.div_ceil(pieces);
+    (0..len).step_by(chunk).map(|lo| (lo, (lo + chunk).min(len))).collect()
+}
+
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let base = self.range.start;
+        chunk_bounds(self.range.len(), pieces)
+            .into_iter()
+            .map(|(lo, hi)| (lo, base + lo..base + hi))
+            .collect()
+    }
+}
+
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        chunk_bounds(self.slice.len(), pieces)
+            .into_iter()
+            .map(|(lo, hi)| (lo, self.slice[lo..hi].iter()))
+            .collect()
+    }
+}
+
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let bounds = chunk_bounds(self.slice.len(), pieces);
+        let mut rest = self.slice;
+        let mut taken = 0usize;
+        let mut out = Vec::with_capacity(bounds.len());
+        for (lo, hi) in bounds {
+            let (head, tail) = rest.split_at_mut(hi - taken);
+            debug_assert_eq!(taken, lo);
+            out.push((lo, head.iter_mut()));
+            rest = tail;
+            taken = hi;
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+pub struct MapSeq<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<S, F, R> Iterator for MapSeq<S, F>
+where
+    S: Iterator,
+    F: Fn(S::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    type Seq = MapSeq<P::Seq, F>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let f = Arc::new(self.f);
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|(off, seq)| (off, MapSeq { inner: seq, f: f.clone() }))
+            .collect()
+    }
+}
+
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+pub struct FilterMapSeq<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<S, F, R> Iterator for FilterMapSeq<S, F>
+where
+    S: Iterator,
+    F: Fn(S::Item) -> Option<R>,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        for x in self.inner.by_ref() {
+            if let Some(y) = (self.f)(x) {
+                return Some(y);
+            }
+        }
+        None
+    }
+}
+
+impl<P, F, R> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+    type Seq = FilterMapSeq<P::Seq, F>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let f = Arc::new(self.f);
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|(off, seq)| (off, FilterMapSeq { inner: seq, f: f.clone() }))
+            .collect()
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+pub struct FlatMapIterSeq<S, F, I: IntoIterator> {
+    inner: S,
+    f: Arc<F>,
+    cur: Option<I::IntoIter>,
+}
+
+impl<S, F, I> Iterator for FlatMapIterSeq<S, F, I>
+where
+    S: Iterator,
+    I: IntoIterator,
+    F: Fn(S::Item) -> I,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(y) = cur.next() {
+                    return Some(y);
+                }
+            }
+            self.cur = Some((self.f)(self.inner.next()?).into_iter());
+        }
+    }
+}
+
+impl<P, F, I> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    I::IntoIter: Send,
+    F: Fn(P::Item) -> I + Send + Sync,
+{
+    type Item = I::Item;
+    type Seq = FlatMapIterSeq<P::Seq, F, I>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let f = Arc::new(self.f);
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|(off, seq)| (off, FlatMapIterSeq { inner: seq, f: f.clone(), cur: None }))
+            .collect()
+    }
+}
+
+pub struct Enumerate<P> {
+    base: P,
+}
+
+pub struct EnumerateSeq<S> {
+    inner: S,
+    idx: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<(usize, S::Item)> {
+        let x = self.inner.next()?;
+        let i = self.idx;
+        self.idx += 1;
+        Some((i, x))
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|(off, seq)| (off, EnumerateSeq { inner: seq, idx: off }))
+            .collect()
+    }
+}
+
+pub struct Fold<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+pub struct FoldSeq<S, INIT, F> {
+    state: Option<(S, Arc<INIT>, Arc<F>)>,
+}
+
+impl<S, A, INIT, F> Iterator for FoldSeq<S, INIT, F>
+where
+    S: Iterator,
+    INIT: Fn() -> A,
+    F: Fn(A, S::Item) -> A,
+{
+    type Item = A;
+
+    fn next(&mut self) -> Option<A> {
+        let (seq, init, f) = self.state.take()?;
+        Some(seq.fold(init(), |a, x| f(a, x)))
+    }
+}
+
+impl<P, A, INIT, F> ParallelIterator for Fold<P, INIT, F>
+where
+    P: ParallelIterator,
+    A: Send,
+    INIT: Fn() -> A + Send + Sync,
+    F: Fn(A, P::Item) -> A + Send + Sync,
+{
+    type Item = A;
+    type Seq = FoldSeq<P::Seq, INIT, F>;
+
+    fn split(self, pieces: usize) -> Vec<(usize, Self::Seq)> {
+        let init = Arc::new(self.init);
+        let f = Arc::new(self.f);
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|(off, seq)| (off, FoldSeq { state: Some((seq, init.clone(), f.clone())) }))
+            .collect()
+    }
+}
+
+// ------------------------------------------------------------ conversions
+
+/// `into_par_iter()` on owned/borrowed collections.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// `par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<usize> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn slice_par_iter_enumerate_offsets_are_global() {
+        let data: Vec<u32> = (0..500).collect();
+        let out: Vec<(usize, u32)> = data.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        for (i, x) in out {
+            assert_eq!(i as u32, x);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut data = vec![0usize; 777];
+        data.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn reduce_sums_like_sequential() {
+        let (a, b) = (0..10_000usize)
+            .into_par_iter()
+            .map(|x| (x as f64, 1u64))
+            .reduce(|| (0.0, 0), |p, q| (p.0 + q.0, p.1 + q.1));
+        assert_eq!(b, 10_000);
+        assert_eq!(a, (0..10_000).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn fold_then_collect_covers_all_items() {
+        let maps: Vec<std::collections::HashMap<usize, usize>> = (0..100)
+            .into_par_iter()
+            .fold(std::collections::HashMap::new, |mut m, i| {
+                *m.entry(i % 7).or_insert(0) += 1;
+                m
+            })
+            .collect();
+        let total: usize = maps.iter().flat_map(|m| m.values()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fold_reduce_pipeline() {
+        let acc: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .fold(
+                || vec![0u64; 4],
+                |mut a, i| {
+                    a[i % 4] += 1;
+                    a
+                },
+            )
+            .reduce(
+                || vec![0u64; 4],
+                |mut x, y| {
+                    for (a, b) in x.iter_mut().zip(y) {
+                        *a += b;
+                    }
+                    x
+                },
+            );
+        assert_eq!(acc, vec![16; 4]);
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let out: Vec<usize> =
+            (0..100).into_par_iter().filter_map(|x| (x % 3 == 0).then_some(x)).collect();
+        let expect: Vec<usize> = (0..100).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> =
+            (0..50).into_par_iter().flat_map_iter(|i| vec![i, i]).collect();
+        let expect: Vec<usize> = (0..50).flat_map(|i| vec![i, i]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: usize = (0..1001usize).into_par_iter().sum();
+        assert_eq!(s, 500_500);
+        assert_eq!((0..123usize).into_par_iter().count(), 123);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let r = (0..0usize).into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn install_limits_split_width() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let a = pool.install(|| {
+            (0..100usize).into_par_iter().map(|x| x * 3).collect::<Vec<_>>()
+        });
+        let b: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(a, b);
+    }
+}

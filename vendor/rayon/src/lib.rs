@@ -1,0 +1,32 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The real rayon cannot be fetched in this air-gapped container, so this
+//! crate re-implements the data-parallel subset the workspace uses:
+//! `par_iter` / `par_iter_mut` / `into_par_iter` with `map`, `enumerate`,
+//! `filter_map`, `flat_map_iter`, and `fold` adapters and `collect`,
+//! `reduce`, `sum`, `for_each`, and `count` terminals, plus
+//! `ThreadPoolBuilder` / `ThreadPool::install`.
+//!
+//! Execution model: instead of work stealing, a pipeline splits its index
+//! space into one contiguous chunk per thread up front and runs each chunk
+//! on a `std::thread::scope` worker. For the workloads in this repo
+//! (uniform-cost walks, epochs, gradient folds) static chunking is within
+//! noise of work stealing, and it keeps the implementation dependency-free
+//! and obviously correct: `collect` concatenates chunk outputs in order,
+//! so indexed pipelines produce exactly the sequential result.
+
+mod iter;
+mod pool;
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}

@@ -1,0 +1,111 @@
+//! Thread-count control: a `ThreadPool` here is just a requested degree of
+//! parallelism. `install` pins it for the duration of a closure via a
+//! thread-local, which the iterator driver consults when splitting work.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Default parallelism: the machine's logical CPU count.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The degree of parallelism in effect on this thread.
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Builder matching rayon's; only `num_threads` is supported.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction here cannot
+/// actually fail, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requested thread count; `0` means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed degree of parallelism (threads are spawned per operation).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect for any parallel
+    /// iterators it drives (from the calling thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
+        let guard = RestoreGuard(prev);
+        let out = f();
+        drop(guard);
+        out
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Restores the previous thread count even if the closure panics.
+struct RestoreGuard(usize);
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_pins_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn zero_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
