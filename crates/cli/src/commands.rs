@@ -79,17 +79,40 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         model.stats().epoch_losses.last().copied().unwrap_or(f64::NAN)
     );
 
-    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    v2v_embed::io::write_embedding(model.embedding(), BufWriter::new(file))
-        .map_err(|e| e.to_string())?;
+    write_embedding_file(model.embedding(), output)?;
     obs_info!("wrote {output}");
     Ok(())
 }
 
+/// `.bin` / `.v2e` outputs get the checksummed binary format, everything
+/// else the word2vec text format.
+fn write_embedding_file(emb: &v2v_embed::Embedding, output: &str) -> Result<(), String> {
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let w = BufWriter::new(file);
+    if output.ends_with(".bin") || output.ends_with(".v2e") {
+        v2v_embed::binary::write_embedding_binary(emb, w).map_err(|e| e.to_string())
+    } else {
+        v2v_embed::io::write_embedding(emb, w).map_err(|e| e.to_string())
+    }
+}
+
+/// Loads `--embedding`, sniffing the `V2VE` magic so both the binary and
+/// the text format work regardless of file extension.
 fn load_embedding(opts: &Opts) -> Result<v2v_embed::Embedding, String> {
     let path = opts.require("embedding")?;
+    load_embedding_path(path)
+}
+
+fn load_embedding_path(path: &str) -> Result<v2v_embed::Embedding, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    v2v_embed::io::read_embedding(BufReader::new(file)).map_err(|e| e.to_string())
+    let mut reader = BufReader::new(file);
+    let head = reader.fill_buf().map_err(|e| format!("cannot read {path}: {e}"))?;
+    if v2v_embed::binary::is_binary_header(head) {
+        v2v_embed::binary::read_embedding_binary(reader)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        v2v_embed::io::read_embedding(reader).map_err(|e| e.to_string())
+    }
 }
 
 /// `v2v communities`: embedding file → one `vertex community` line each.
@@ -187,6 +210,27 @@ pub fn predict(opts: &Opts) -> Result<(), String> {
         &train_labels,
         v2v_ml::knn::DistanceMetric::Cosine,
     );
+
+    // `--ann` swaps the exact scan for an HNSW index over the labeled
+    // rows; vote semantics are unchanged (`KnnClassifier::predict_with`).
+    let ann_index = if opts.flag("ann") {
+        let flat: Vec<f32> =
+            train_rows.iter().flat_map(|r| r.iter().map(|&x| x as f32)).collect();
+        let config = v2v_serve::HnswConfig {
+            ef_search: opts.get("ef-search", 64usize)?,
+            ..Default::default()
+        };
+        let index = v2v_serve::HnswIndex::build(embedding.dimensions(), flat, config);
+        obs_info!(
+            "built ANN index over {} labeled rows in {:.2?}",
+            index.len(),
+            index.build_time()
+        );
+        Some(index)
+    } else {
+        None
+    };
+
     let mut out: Box<dyn Write> = match opts.get_str("output") {
         Some(path) => Box::new(BufWriter::new(
             File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
@@ -194,10 +238,53 @@ pub fn predict(opts: &Opts) -> Result<(), String> {
         None => Box::new(std::io::stdout().lock()),
     };
     for &t in &targets {
-        let label = knn.predict(matrix.row(t), k);
+        let label = match &ann_index {
+            Some(index) => knn.predict_with(index, matrix.row(t), k),
+            None => knn.predict(matrix.row(t), k),
+        };
         writeln!(out, "{t} {label}").map_err(|e| e.to_string())?;
     }
     obs_info!("predicted {} labels with k = {k}", targets.len());
+    Ok(())
+}
+
+/// `v2v serve`: load an embedding (text or binary), build the ANN index,
+/// and answer `/neighbors`, `/similarity`, `/predict`, `/healthz`, and
+/// `/metricz` over HTTP until SIGINT/SIGTERM.
+pub fn serve(opts: &Opts) -> Result<(), String> {
+    let embedding = load_embedding(opts)?;
+    let labels = match opts.get_str("labels") {
+        Some(path) => Some(read_labels(path, embedding.len())?.0),
+        None => None,
+    };
+    let config = v2v_serve::HnswConfig {
+        ef_search: opts.get("ef-search", 64usize)?,
+        ..Default::default()
+    };
+    obs_info!(
+        "indexing {} vectors x {} dims (ef_search = {})",
+        embedding.len(),
+        embedding.dimensions(),
+        config.ef_search
+    );
+    let state = std::sync::Arc::new(
+        v2v_serve::ServeState::new(embedding, config, labels).map_err(|e| e.to_string())?,
+    );
+    obs_info!("index built in {:.2?}", state.index().build_time());
+
+    let server_config = v2v_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", opts.get("port", 7878u16)?),
+        threads: opts.get("threads", 0usize)?,
+        ..Default::default()
+    };
+    let server = v2v_serve::Server::bind(server_config, state.into_handler())
+        .map_err(|e| format!("cannot bind: {e}"))?;
+    v2v_serve::signal::install();
+    // The smoke test and scripts parse this line for the resolved port.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| format!("server error: {e}"))?;
+    obs_info!("shut down cleanly");
     Ok(())
 }
 
@@ -416,6 +503,63 @@ mod tests {
         assert!(parse_format(&opts(&["embed", "--format", "csv"])).is_err());
         assert!(parse_strategy(&opts(&["embed", "--strategy", "quantum"])).is_err());
         assert!(communities(&opts(&["communities", "--embedding", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn embedding_file_format_follows_extension_and_load_sniffs_both() {
+        let emb = v2v_embed::Embedding::from_flat(
+            2,
+            vec![1.0, 0.0, 1.0, 0.1, 0.9, -0.1, -1.0, 0.0, -1.0, 0.1, -0.9, -0.1],
+        );
+        let dir = std::env::temp_dir();
+        let bin = dir.join(format!("v2v_cli_fmt_{}.bin", std::process::id()));
+        let txt = dir.join(format!("v2v_cli_fmt_{}.txt", std::process::id()));
+        write_embedding_file(&emb, bin.to_str().unwrap()).unwrap();
+        write_embedding_file(&emb, txt.to_str().unwrap()).unwrap();
+
+        let bin_bytes = std::fs::read(&bin).unwrap();
+        assert!(v2v_embed::binary::is_binary_header(&bin_bytes));
+        assert!(std::fs::read_to_string(&txt).unwrap().starts_with("6 2"));
+
+        for path in [&bin, &txt] {
+            let loaded = load_embedding_path(path.to_str().unwrap()).unwrap();
+            assert_eq!(loaded.len(), 6);
+            assert_eq!(loaded.dimensions(), 2);
+        }
+        // Binary survives the trip bit-exactly.
+        let loaded = load_embedding_path(bin.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.vector(v2v_graph::VertexId(0)), emb.vector(v2v_graph::VertexId(0)));
+    }
+
+    #[test]
+    fn predict_ann_agrees_with_exact_scan() {
+        let emb = v2v_embed::Embedding::from_flat(
+            2,
+            vec![1.0, 0.0, 1.0, 0.1, 0.9, -0.1, -1.0, 0.0, -1.0, 0.1, -0.9, -0.1],
+        );
+        let dir = std::env::temp_dir();
+        let emb_path = dir.join(format!("v2v_cli_ann_{}.bin", std::process::id()));
+        write_embedding_file(&emb, emb_path.to_str().unwrap()).unwrap();
+        let labels = write_temp("ann_labels", "0 0\n1 0\n2 0\n3 1\n4 1\n5 ?\n");
+
+        let mut outputs = Vec::new();
+        for ann in [false, true] {
+            let out = dir.join(format!("v2v_cli_ann_out_{}_{ann}", std::process::id()));
+            let mut args = vec![
+                "predict",
+                "--embedding", emb_path.to_str().unwrap(),
+                "--labels", labels.to_str().unwrap(),
+                "--k", "3",
+                "--output", out.to_str().unwrap(),
+            ];
+            if ann {
+                args.push("--ann");
+            }
+            predict(&opts(&args)).unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(outputs[0].trim(), "5 1");
+        assert_eq!(outputs[0], outputs[1], "--ann must not change predictions here");
     }
 
     #[test]

@@ -6,9 +6,17 @@
 //!                 [--strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
 //!                 [--walks 10] [--length 80] [--epochs 2] [--window 5]
 //!                 [--p 1.0 --q 1.0] [--time-window T] [--threads 0] [--seed S]
+//!                 (a `.bin`/`.v2e` --output writes the checksummed binary format)
 //! v2v communities --embedding emb.txt --k 10 [--restarts 100] [--output labels.txt]
 //! v2v predict     --embedding emb.txt --labels labels.txt [--k 3] [--output out.txt]
-//!                 (label file lines: "<vertex> <label>" or "<vertex> ?" to predict)
+//!                 [--ann [--ef-search 64]]
+//!                 (label file lines: "<vertex> <label>" or "<vertex> ?" to predict;
+//!                 --ann ranks neighbors with an HNSW index instead of a full scan)
+//! v2v serve       --embedding emb.txt [--labels labels.txt] [--port 7878]
+//!                 [--ef-search 64] [--threads 0]
+//!                 (HTTP JSON endpoints: /neighbors?v=&k=  /similarity?a=&b=
+//!                 /predict?v=&k= (or POST {"vector":[...],"k":n})  /healthz  /metricz;
+//!                 --embedding may be text or binary; SIGINT shuts down cleanly)
 //! v2v project     --embedding emb.txt --output points.csv [--dims 2]
 //!                 [--svg plot.svg [--labels labels.txt]]
 //! v2v stats       --input edges.txt [--directed] [--format ...]
@@ -28,7 +36,7 @@ mod opts;
 use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
-const USAGE: &str = "usage: v2v <embed|communities|predict|project|stats|quality> [options]
+const USAGE: &str = "usage: v2v <embed|communities|predict|serve|project|stats|quality> [options]
 run `v2v help` or see the crate docs for the option list";
 
 fn main() {
@@ -47,6 +55,7 @@ fn main() {
         Some("embed") => commands::embed(&opts),
         Some("communities") => commands::communities(&opts),
         Some("predict") => commands::predict(&opts),
+        Some("serve") => commands::serve(&opts),
         Some("project") => commands::project(&opts),
         Some("stats") => commands::stats(&opts),
         Some("quality") => commands::quality(&opts),

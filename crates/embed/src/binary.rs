@@ -1,0 +1,245 @@
+//! Versioned binary persistence for embeddings.
+//!
+//! The text format in [`crate::io`] is the interchange format; this is the
+//! serving format: fixed-width little-endian `f32` rows that load with one
+//! bulk read and no per-token parsing, which is what `v2v-serve` memory-maps
+//! its index source from. Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic  b"V2VE"
+//! 4       4               format version (currently 1)
+//! 8       4               dimensions (u32, > 0)
+//! 12      8               vertex count (u64)
+//! 20      4*count*dims    row-major f32 vectors
+//! end-8   8               FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! The trailing checksum turns silent truncation or bit rot into a hard
+//! load error instead of a corrupted index.
+
+use crate::embedding::Embedding;
+use std::io::{Read, Write};
+
+/// File magic: "V2V Embedding".
+pub const MAGIC: [u8; 4] = *b"V2VE";
+
+/// Current format version, bumped on layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors while reading or writing a binary embedding file.
+#[derive(Debug)]
+pub enum BinaryIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content (bad magic/version/shape/checksum).
+    Format(String),
+}
+
+impl std::fmt::Display for BinaryIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryIoError::Io(e) => write!(f, "i/o error: {e}"),
+            BinaryIoError::Format(msg) => write!(f, "binary embedding format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryIoError {}
+
+impl From<std::io::Error> for BinaryIoError {
+    fn from(e: std::io::Error) -> Self {
+        BinaryIoError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`, seeded by `state` (chainable).
+fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The FNV-1a offset basis (the checksum's initial state).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Whether `head` starts with the binary-embedding magic (format sniffing
+/// for loaders that accept both text and binary files).
+pub fn is_binary_header(head: &[u8]) -> bool {
+    head.len() >= MAGIC.len() && head[..MAGIC.len()] == MAGIC
+}
+
+/// Writes `emb` in the binary format described in the module docs.
+pub fn write_embedding_binary<W: Write>(emb: &Embedding, mut w: W) -> Result<(), BinaryIoError> {
+    let mut header = Vec::with_capacity(20);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(emb.dimensions() as u32).to_le_bytes());
+    header.extend_from_slice(&(emb.len() as u64).to_le_bytes());
+
+    let mut payload = Vec::with_capacity(emb.as_flat().len() * 4);
+    for &x in emb.as_flat() {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+
+    let checksum = fnv1a64(fnv1a64(FNV_OFFSET, &header), &payload);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.write_all(&checksum.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads an embedding written by [`write_embedding_binary`], rejecting
+/// wrong magic, unknown versions, shape overflow, truncation, trailing
+/// garbage, and checksum mismatches.
+pub fn read_embedding_binary<R: Read>(mut r: R) -> Result<Embedding, BinaryIoError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    parse_embedding_binary(&bytes)
+}
+
+/// [`read_embedding_binary`] over an in-memory buffer.
+pub fn parse_embedding_binary(bytes: &[u8]) -> Result<Embedding, BinaryIoError> {
+    let fail = |msg: String| Err(BinaryIoError::Format(msg));
+    if bytes.len() < 28 {
+        return fail(format!("file too short ({} bytes) for header + checksum", bytes.len()));
+    }
+    if !is_binary_header(bytes) {
+        return fail("bad magic (not a V2VE file)".into());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return fail(format!("unsupported format version {version} (expected {FORMAT_VERSION})"));
+    }
+    let dims = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let count = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if dims == 0 {
+        return fail("zero dimensions".into());
+    }
+    let values = usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(dims))
+        .ok_or_else(|| BinaryIoError::Format(format!("shape {count} x {dims} overflows")))?;
+    let expected = 20 + values * 4 + 8;
+    if bytes.len() < expected {
+        return fail(format!(
+            "truncated: {} bytes but {count} x {dims} vectors need {expected}",
+            bytes.len()
+        ));
+    }
+    if bytes.len() > expected {
+        return fail(format!("{} trailing bytes after checksum", bytes.len() - expected));
+    }
+
+    let body = &bytes[..expected - 8];
+    let stored = u64::from_le_bytes(bytes[expected - 8..].try_into().unwrap());
+    let computed = fnv1a64(FNV_OFFSET, body);
+    if stored != computed {
+        return fail(format!("checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"));
+    }
+
+    let data = bytes[20..20 + values * 4]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(Embedding::from_flat(dims, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding {
+        let data: Vec<f32> = (0..6 * 5).map(|i| (i as f32 - 14.5) * 0.25).collect();
+        Embedding::from_flat(5, data)
+    }
+
+    fn encode(e: &Embedding) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_embedding_binary(e, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let e = sample();
+        assert_eq!(read_embedding_binary(encode(&e).as_slice()).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_preserves_special_values() {
+        let e = Embedding::from_flat(2, vec![f32::MAX, f32::MIN_POSITIVE, -0.0, 1e-38]);
+        assert_eq!(read_embedding_binary(encode(&e).as_slice()).unwrap(), e);
+    }
+
+    #[test]
+    fn sniffs_magic() {
+        assert!(is_binary_header(&encode(&sample())));
+        assert!(!is_binary_header(b"4 5\n0 1.0"));
+        assert!(!is_binary_header(b"V2"));
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut buf = encode(&sample());
+        buf[0] = b'X';
+        let err = read_embedding_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut buf = encode(&sample());
+        buf[4] = 99;
+        // Version is upstream of the checksum, so it must fail on version,
+        // not checksum, to give an actionable message.
+        let err = read_embedding_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let buf = encode(&sample());
+        for cut in [0, 10, 19, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_embedding_binary(&buf[..cut]).is_err(),
+                "accepted a {cut}-byte prefix of a {}-byte file",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = encode(&sample());
+        buf.push(0);
+        assert!(read_embedding_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn payload_bitflip_rejected() {
+        let mut buf = encode(&sample());
+        let mid = 20 + (buf.len() - 28) / 2;
+        buf[mid] ^= 0x40;
+        let err = read_embedding_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut buf = encode(&sample());
+        buf[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_embedding_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_embedding_roundtrips() {
+        let e = Embedding::from_flat(3, Vec::new());
+        let back = read_embedding_binary(encode(&e).as_slice()).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.dimensions(), 3);
+    }
+}

@@ -67,16 +67,15 @@ impl Embedding {
     }
 
     /// The `k` vertices most cosine-similar to `v` (excluding `v` itself),
-    /// most similar first. Brute force, `O(n d)`.
+    /// most similar first. Brute force, `O(n d)` scoring with partial
+    /// selection of the `k` kept entries (ties break toward the lower id).
     pub fn most_similar(&self, v: VertexId, k: usize) -> Vec<(VertexId, f32)> {
-        let mut scored: Vec<(VertexId, f32)> = (0..self.len())
+        let scored: Vec<(VertexId, f32)> = (0..self.len())
             .map(VertexId::from_index)
             .filter(|&u| u != v)
             .map(|u| (u, self.cosine_similarity(v, u)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored
+        v2v_linalg::top_k_by(scored, k, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 
     /// Converts to an `f64` [`RowMatrix`] for the downstream ML toolkit

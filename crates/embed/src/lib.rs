@@ -21,6 +21,8 @@
 //! * [`quality`] — intrinsic embedding-quality diagnostics
 //!   (neighborhood preservation, similarity margin).
 //! * [`io`] — word2vec-compatible text save/load.
+//! * [`binary`] — versioned binary save/load (header + checksum), the
+//!   serving format `v2v-serve` loads without re-parsing text.
 //!
 //! ```
 //! use v2v_embed::{train, EmbedConfig};
@@ -37,6 +39,7 @@
 //! assert_eq!(stats.epochs_run, 2);
 //! ```
 
+pub mod binary;
 pub mod config;
 pub mod embedding;
 pub mod hogwild;

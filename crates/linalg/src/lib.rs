@@ -28,7 +28,9 @@
 pub mod matrix;
 pub mod pca;
 pub mod stats;
+pub mod topk;
 pub mod vector;
 
 pub use matrix::RowMatrix;
 pub use pca::Pca;
+pub use topk::top_k_by;

@@ -1,0 +1,76 @@
+//! Partial top-k selection, shared by every neighbor-ranking path
+//! (`Embedding::most_similar`, `KnnClassifier::neighbors`, the ANN
+//! recall harness).
+//!
+//! Sorting all `n` candidates to keep `k` of them is `O(n log n)`;
+//! `select_nth_unstable_by` partitions in `O(n)` and only the `k` kept
+//! items pay for ordering. The comparator must be a *total* order —
+//! callers ranking by floats should go through `f64::total_cmp` /
+//! `f32::total_cmp` (possibly with an index tiebreak) so NaNs from
+//! degenerate vectors rank deterministically instead of panicking.
+
+use std::cmp::Ordering;
+
+/// Keeps the `k` least items of `items` under `cmp`, sorted ascending.
+///
+/// Returns all items (sorted) when `k >= items.len()`, and an empty vector
+/// when `k == 0`. The comparator must be a total order.
+pub fn top_k_by<T>(
+    mut items: Vec<T>,
+    k: usize,
+    cmp: impl Fn(&T, &T) -> Ordering,
+) -> Vec<T> {
+    if k == 0 {
+        items.clear();
+        return items;
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, &cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(&cmp);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_sorted() {
+        let items = vec![5, 1, 4, 2, 3];
+        assert_eq!(top_k_by(items, 3, |a, b| a.cmp(b)), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k_zero_and_k_large() {
+        assert_eq!(top_k_by(vec![2, 1], 0, |a, b| a.cmp(b)), Vec::<i32>::new());
+        assert_eq!(top_k_by(vec![2, 1, 3], 10, |a, b| a.cmp(b)), vec![1, 2, 3]);
+        assert_eq!(top_k_by(Vec::<i32>::new(), 3, |a, b| a.cmp(b)), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn reverse_comparator_keeps_largest() {
+        let items = vec![0.5f64, 2.5, 1.5, -1.0];
+        let top = top_k_by(items, 2, |a, b| b.total_cmp(a));
+        assert_eq!(top, vec![2.5, 1.5]);
+    }
+
+    #[test]
+    fn nan_ranks_last_under_total_cmp() {
+        let items = vec![1.0f64, f64::NAN, 0.5];
+        let top = top_k_by(items, 2, |a, b| a.total_cmp(b));
+        assert_eq!(top, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn matches_full_sort_on_every_prefix() {
+        let items: Vec<i64> = (0..40).map(|i| (i * 7919) % 100 - 50).collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        for k in 0..=items.len() + 1 {
+            let got = top_k_by(items.clone(), k, |a, b| a.cmp(b));
+            assert_eq!(got, sorted[..k.min(items.len())].to_vec(), "k = {k}");
+        }
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! The paper's feature-prediction application (§V): the label of an
 //! unlabeled vertex is the majority vote of its `k` nearest embedding
-//! vectors, with proximity measured by cosine distance. Brute force —
-//! `O(n d)` per query — parallelized over queries.
+//! vectors, with proximity measured by cosine distance. The classifier
+//! itself ranks by brute force — `O(n d)` per query, parallelized over
+//! queries — but the vote is decoupled from the ranking through
+//! [`NeighborSearch`], so a sub-linear ANN index (`v2v-serve`'s HNSW)
+//! can stand in for the exact scan via [`KnnClassifier::predict_with`].
 
 use rayon::prelude::*;
 use v2v_linalg::vector::{cosine_distance, euclidean_sq};
@@ -28,6 +31,39 @@ impl DistanceMetric {
     }
 }
 
+/// A source of nearest-neighbor candidates over the training rows.
+///
+/// Implemented by the brute-force [`KnnClassifier`] itself and by ANN
+/// indexes (HNSW in `v2v-serve`); `nearest` returns `(training row,
+/// distance)` pairs, nearest first. Implementations must return at most
+/// `k` pairs and must not panic on NaN distances.
+pub trait NeighborSearch {
+    /// The up-to-`k` nearest training rows to `query`, nearest first.
+    fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)>;
+}
+
+/// Majority vote over `(training row, distance)` neighbor pairs, nearest
+/// first; ties break toward the label of the nearest neighbor among the
+/// tied labels.
+///
+/// # Panics
+/// Panics if `neighbors` is empty or names a row outside `labels`.
+pub fn vote(labels: &[usize], neighbors: &[(usize, f64)]) -> usize {
+    let mut votes: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
+    // Track (count, best_rank) per label; lower rank = nearer.
+    for (rank, &(i, _)) in neighbors.iter().enumerate() {
+        let e = votes.entry(labels[i]).or_insert((0, rank));
+        e.0 += 1;
+        e.1 = e.1.min(rank);
+    }
+    votes
+        .into_iter()
+        .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+        .map(|(label, _)| label)
+        .expect("at least one neighbor")
+}
+
 /// A fitted (memorized) k-NN classifier.
 pub struct KnnClassifier<'a> {
     data: &'a RowMatrix,
@@ -47,37 +83,38 @@ impl<'a> KnnClassifier<'a> {
     }
 
     /// The `k` nearest training indices to `query`, nearest first.
+    ///
+    /// Ranking uses `f64::total_cmp`, so a NaN distance (a degenerate
+    /// embedding row under cosine) sorts last instead of panicking.
     pub fn neighbors(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
         assert!(k >= 1, "k must be positive");
-        let mut scored: Vec<(usize, f64)> = (0..self.data.rows())
+        let scored: Vec<(usize, f64)> = (0..self.data.rows())
             .map(|i| (i, self.metric.eval(query, self.data.row(i))))
             .collect();
         // Partial selection: only the top k need full ordering.
-        let k = k.min(scored.len());
-        scored.select_nth_unstable_by(k - 1, |a, b| a.1.partial_cmp(&b.1).unwrap());
-        scored.truncate(k);
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        scored
+        v2v_linalg::top_k_by(scored, k, |a, b| a.1.total_cmp(&b.1))
     }
 
     /// Predicts by majority vote among the `k` nearest neighbors; ties are
     /// broken toward the label of the nearest neighbor among the tied
     /// labels.
     pub fn predict(&self, query: &[f64], k: usize) -> usize {
-        let nbrs = self.neighbors(query, k);
-        let mut votes: std::collections::HashMap<usize, (usize, usize)> =
-            std::collections::HashMap::new();
-        // Track (count, best_rank) per label; lower rank = nearer.
-        for (rank, &(i, _)) in nbrs.iter().enumerate() {
-            let e = votes.entry(self.labels[i]).or_insert((0, rank));
-            e.0 += 1;
-            e.1 = e.1.min(rank);
-        }
-        votes
-            .into_iter()
-            .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
-            .map(|(label, _)| label)
-            .expect("at least one neighbor")
+        vote(self.labels, &self.neighbors(query, k))
+    }
+
+    /// Predicts like [`predict`](KnnClassifier::predict) but sources the
+    /// neighbor candidates from `index` (e.g. an HNSW ANN index built over
+    /// the same training rows) instead of the exact scan.
+    pub fn predict_with<I: NeighborSearch + ?Sized>(
+        &self,
+        index: &I,
+        query: &[f64],
+        k: usize,
+    ) -> usize {
+        assert!(k >= 1, "k must be positive");
+        let nbrs = index.nearest(query, k);
+        assert!(!nbrs.is_empty(), "neighbor index returned no candidates");
+        vote(self.labels, &nbrs)
     }
 
     /// Predicts a batch of queries in parallel.
@@ -86,6 +123,12 @@ impl<'a> KnnClassifier<'a> {
             .into_par_iter()
             .map(|i| self.predict(queries.row(i), k))
             .collect()
+    }
+}
+
+impl NeighborSearch for KnnClassifier<'_> {
+    fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        self.neighbors(query, k)
     }
 }
 
@@ -187,5 +230,44 @@ mod tests {
         let (data, labels) = toy();
         let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
         knn.neighbors(&[0.0, 0.0], 0);
+    }
+
+    #[test]
+    fn nan_rows_rank_last_instead_of_panicking() {
+        // Row 1 is degenerate: NaN components give a NaN distance under
+        // both metrics; total_cmp must push it past every finite row.
+        let data = RowMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![f64::NAN, f64::NAN],
+            vec![0.9, 0.1],
+            vec![-1.0, 0.0],
+        ]);
+        let labels = vec![0, 9, 0, 1];
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            let knn = KnnClassifier::fit(&data, &labels, metric);
+            let nbrs = knn.neighbors(&[1.0, 0.0], 4);
+            assert_eq!(nbrs.len(), 4);
+            assert_eq!(nbrs[3].0, 1, "NaN row must rank last under {metric:?}");
+            assert_eq!(knn.predict(&[1.0, 0.0], 2), 0);
+        }
+    }
+
+    #[test]
+    fn predict_with_exact_index_matches_predict() {
+        let (data, labels) = toy();
+        let knn = KnnClassifier::fit(&data, &labels, DistanceMetric::Cosine);
+        for q in [[1.0, 0.05], [-0.7, 0.2], [0.1, 0.9]] {
+            for k in [1, 3, 5] {
+                assert_eq!(knn.predict_with(&knn, &q, k), knn.predict(&q, k));
+            }
+        }
+    }
+
+    #[test]
+    fn vote_majority_and_tiebreak() {
+        let labels = vec![7, 8, 8, 7];
+        assert_eq!(vote(&labels, &[(1, 0.1), (2, 0.2), (0, 0.3)]), 8);
+        // 1-1 tie between labels 7 and 8: nearest neighbor wins.
+        assert_eq!(vote(&labels, &[(0, 0.1), (1, 0.2)]), 7);
     }
 }

@@ -35,5 +35,5 @@ pub mod metrics;
 pub mod model_selection;
 
 pub use kmeans::{KMeansConfig, KMeansResult};
-pub use knn::{DistanceMetric, KnnClassifier};
+pub use knn::{DistanceMetric, KnnClassifier, NeighborSearch};
 pub use metrics::PairwiseScores;

@@ -1,0 +1,494 @@
+//! The query API: server state plus the JSON endpoint handlers.
+//!
+//! Routes (all responses are JSON):
+//!
+//! * `GET /healthz` — liveness + index shape.
+//! * `GET /neighbors?v=<id>&k=<k>[&ef=<ef>]` — the `k` nearest vertices to
+//!   vertex `v` (excluding `v`), via the ANN index.
+//! * `GET /similarity?a=<id>&b=<id>` — cosine similarity of two vertices.
+//! * `GET /predict?v=<id>[&k=<k>]` — k-NN majority vote over *labeled*
+//!   neighbors of `v` (requires a label file at startup).
+//! * `POST /predict` with body `{"vector": [...], "k": <k>}` — the same
+//!   vote for an out-of-sample query vector, parsed with the `v2v-obs`
+//!   JSON parser.
+//! * `GET /metricz` — the process metrics registry (request counters,
+//!   latency histogram, index build time) as JSON.
+
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::http::{Handler, Request, Response};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use v2v_embed::Embedding;
+use v2v_graph::VertexId;
+use v2v_obs::json;
+
+/// Everything a worker thread needs to answer queries, built once.
+pub struct ServeState {
+    embedding: Embedding,
+    index: HnswIndex,
+    /// Per-vertex labels (`None` = unlabeled); present iff a label file
+    /// was supplied.
+    labels: Option<Vec<Option<usize>>>,
+    /// `labels` with unlabeled slots collapsed to a sentinel, indexable by
+    /// the vote helper (only labeled rows are ever passed to it).
+    dense_labels: Vec<usize>,
+}
+
+impl ServeState {
+    /// Builds the ANN index over `embedding` and records build telemetry
+    /// (`serve.index.build_ms`, `serve.index.vectors`).
+    pub fn new(
+        embedding: Embedding,
+        config: HnswConfig,
+        labels: Option<Vec<Option<usize>>>,
+    ) -> Result<ServeState, String> {
+        if let Some(l) = &labels {
+            if l.len() != embedding.len() {
+                return Err(format!(
+                    "label file covers {} vertices but the embedding has {}",
+                    l.len(),
+                    embedding.len()
+                ));
+            }
+        }
+        let index = HnswIndex::from_embedding(&embedding, config);
+        let metrics = v2v_obs::global_metrics();
+        metrics.gauge("serve.index.build_ms").set(index.build_time().as_secs_f64() * 1e3);
+        metrics.gauge("serve.index.vectors").set(index.len() as f64);
+        let dense_labels = labels
+            .as_deref()
+            .map(|l| l.iter().map(|o| o.unwrap_or(usize::MAX)).collect())
+            .unwrap_or_default();
+        Ok(ServeState { embedding, index, labels, dense_labels })
+    }
+
+    /// The underlying ANN index.
+    pub fn index(&self) -> &HnswIndex {
+        &self.index
+    }
+
+    /// Wraps this state into the server's request handler.
+    pub fn into_handler(self: Arc<Self>) -> Handler {
+        Arc::new(move |req: &Request| handle(&self, req))
+    }
+}
+
+/// Routes one request.
+pub fn handle(state: &ServeState, req: &Request) -> Response {
+    let route = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/neighbors") => neighbors(state, req),
+        ("GET", "/similarity") => similarity(state, req),
+        ("GET", "/predict") => predict_vertex(state, req),
+        ("POST", "/predict") => predict_vector(state, req),
+        ("GET", "/metricz") => metricz(),
+        (_, "/healthz" | "/neighbors" | "/similarity" | "/predict" | "/metricz") => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no such route {path}")),
+    };
+    let name = req.path.trim_start_matches('/');
+    if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric()) {
+        v2v_obs::global_metrics().counter(&format!("serve.requests.{name}")).inc();
+    }
+    route
+}
+
+/// A `usize` query parameter, or a 400 explaining what's wrong.
+fn usize_param(req: &Request, key: &str) -> Result<usize, Response> {
+    match req.param(key) {
+        None => Err(Response::error(400, &format!("missing query parameter {key}"))),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("query parameter {key}={raw:?} is not a non-negative integer"))),
+    }
+}
+
+fn vertex_param(state: &ServeState, req: &Request, key: &str) -> Result<usize, Response> {
+    let v = usize_param(req, key)?;
+    if v >= state.embedding.len() {
+        return Err(Response::error(
+            404,
+            &format!("vertex {v} out of range (embedding has {} vectors)", state.embedding.len()),
+        ));
+    }
+    Ok(v)
+}
+
+fn healthz(state: &ServeState) -> Response {
+    let mut body = String::from("{\"status\": \"ok\"");
+    let _ = write!(
+        body,
+        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
+        state.embedding.len(),
+        state.embedding.dimensions(),
+        if state.index.is_graph() { "hnsw" } else { "exact" },
+        state.index.config().metric.name(),
+        state.index.config().ef_search,
+        state.labels.is_some(),
+    );
+    Response::json(200, body)
+}
+
+fn neighbors(state: &ServeState, req: &Request) -> Response {
+    let v = match vertex_param(state, req, "v") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let k = match req.param("k") {
+        None => 10,
+        Some(_) => match usize_param(req, "k") {
+            Ok(0) => return Response::error(400, "k must be at least 1"),
+            Ok(k) => k,
+            Err(r) => return r,
+        },
+    };
+    let query = state.embedding.vector(VertexId::from_index(v));
+    // Over-fetch by one so the query vertex itself can be dropped.
+    let found = match req.param("ef") {
+        None => state.index.search(query, k + 1),
+        Some(_) => match usize_param(req, "ef") {
+            Ok(ef) => state.index.search_ef(query, k + 1, ef),
+            Err(r) => return r,
+        },
+    };
+
+    let mut body = String::with_capacity(64 + found.len() * 48);
+    let _ = write!(
+        body,
+        "{{\"vertex\": {v}, \"k\": {k}, \"metric\": \"{}\", \"neighbors\": [",
+        state.index.config().metric.name()
+    );
+    let mut first = true;
+    for (u, d) in found.into_iter().filter(|&(u, _)| u != v).take(k) {
+        if !first {
+            body.push_str(", ");
+        }
+        first = false;
+        let _ = write!(body, "{{\"vertex\": {u}, \"distance\": ");
+        json::write_f64(&mut body, d as f64);
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn similarity(state: &ServeState, req: &Request) -> Response {
+    let (a, b) = match (vertex_param(state, req, "a"), vertex_param(state, req, "b")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let sim = state
+        .embedding
+        .cosine_similarity(VertexId::from_index(a), VertexId::from_index(b));
+    let mut body = format!("{{\"a\": {a}, \"b\": {b}, \"cosine\": ");
+    json::write_f64(&mut body, sim as f64);
+    body.push('}');
+    Response::json(200, body)
+}
+
+/// Votes among the `k` nearest *labeled* neighbors of `query`, skipping
+/// `exclude` (the query vertex itself, when predicting in-sample).
+fn vote_labeled(
+    state: &ServeState,
+    query: &[f32],
+    k: usize,
+    exclude: Option<usize>,
+) -> Result<usize, Response> {
+    let labels = state
+        .labels
+        .as_deref()
+        .ok_or_else(|| Response::error(400, "server was started without --labels"))?;
+    // Over-fetch so unlabeled vertices between the true neighbors don't
+    // starve the vote; falls back to exact top-k when the beam runs short.
+    let fetch = (k * 4 + 16).min(state.index.len());
+    let candidates: Vec<(usize, f64)> = state
+        .index
+        .search_ef(query, fetch, fetch.max(state.index.config().ef_search))
+        .into_iter()
+        .filter(|&(u, _)| Some(u) != exclude && labels[u].is_some())
+        .take(k)
+        .map(|(u, d)| (u, d as f64))
+        .collect();
+    if candidates.is_empty() {
+        return Err(Response::error(400, "no labeled neighbors to vote with"));
+    }
+    Ok(v2v_ml::knn::vote(&state.dense_labels, &candidates))
+}
+
+fn predict_vertex(state: &ServeState, req: &Request) -> Response {
+    let v = match vertex_param(state, req, "v") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let k = match req.param("k") {
+        None => 3,
+        Some(_) => match usize_param(req, "k") {
+            Ok(0) => return Response::error(400, "k must be at least 1"),
+            Ok(k) => k,
+            Err(r) => return r,
+        },
+    };
+    let query = state.embedding.vector(VertexId::from_index(v)).to_vec();
+    match vote_labeled(state, &query, k, Some(v)) {
+        Ok(label) => Response::json(200, format!("{{\"vertex\": {v}, \"k\": {k}, \"label\": {label}}}")),
+        Err(r) => r,
+    }
+}
+
+fn predict_vector(state: &ServeState, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(vector) = doc.get("vector").and_then(|v| v.as_array()) else {
+        return Response::error(400, "body must be an object with a \"vector\" array");
+    };
+    let query: Option<Vec<f32>> =
+        vector.iter().map(|x| x.as_f64().map(|f| f as f32)).collect();
+    let Some(query) = query else {
+        return Response::error(400, "\"vector\" must contain only numbers");
+    };
+    if query.len() != state.embedding.dimensions() {
+        return Response::error(
+            400,
+            &format!(
+                "\"vector\" has {} components, embedding has {}",
+                query.len(),
+                state.embedding.dimensions()
+            ),
+        );
+    }
+    let k = match doc.get("k") {
+        None => 3,
+        Some(v) => match v.as_u64() {
+            Some(k) if k >= 1 => k as usize,
+            _ => return Response::error(400, "\"k\" must be a positive integer"),
+        },
+    };
+    match vote_labeled(state, &query, k, None) {
+        Ok(label) => Response::json(200, format!("{{\"k\": {k}, \"label\": {label}}}")),
+        Err(r) => r,
+    }
+}
+
+/// Serializes the global metrics registry (counters, gauges, histogram
+/// summaries) as one JSON object.
+fn metricz() -> Response {
+    let snap = v2v_obs::global_metrics().snapshot();
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        json::write_escaped(&mut body, name);
+        let _ = write!(body, ": {value}");
+    }
+    body.push_str("}, \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        json::write_escaped(&mut body, name);
+        body.push_str(": ");
+        json::write_f64(&mut body, *value);
+    }
+    body.push_str("}, \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        json::write_escaped(&mut body, name);
+        let _ = write!(body, ": {{\"count\": {}, \"sum\": ", h.count);
+        json::write_f64(&mut body, h.sum);
+        body.push_str(", \"min\": ");
+        match h.min {
+            Some(v) => json::write_f64(&mut body, v),
+            None => body.push_str("null"),
+        }
+        body.push_str(", \"max\": ");
+        match h.max {
+            Some(v) => json::write_f64(&mut body, v),
+            None => body.push_str("null"),
+        }
+        body.push_str(", \"bounds\": [");
+        for (j, b) in h.bounds.iter().enumerate() {
+            if j > 0 {
+                body.push_str(", ");
+            }
+            json::write_f64(&mut body, *b);
+        }
+        body.push_str("], \"bucket_counts\": [");
+        for (j, c) in h.bucket_counts.iter().enumerate() {
+            if j > 0 {
+                body.push_str(", ");
+            }
+            let _ = write!(body, "{c}");
+        }
+        body.push_str("]}");
+    }
+    body.push_str("}}");
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_labels() -> ServeState {
+        // Two clusters on the x axis, labels 0 / 1, vertex 5 unlabeled.
+        let embedding = Embedding::from_flat(
+            2,
+            vec![1.0, 0.0, 1.0, 0.1, 0.9, -0.1, -1.0, 0.0, -1.0, 0.1, -0.9, -0.1],
+        );
+        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), None];
+        ServeState::new(embedding, HnswConfig::default(), Some(labels)).unwrap()
+    }
+
+    fn get(state: &ServeState, path_query: &str) -> Response {
+        let (path, q) = path_query.split_once('?').unwrap_or((path_query, ""));
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: q
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+            body: Vec::new(),
+        };
+        handle(state, &req)
+    }
+
+    #[test]
+    fn healthz_shape() {
+        let state = state_with_labels();
+        let r = get(&state, "/healthz");
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("vectors").unwrap().as_u64(), Some(6));
+        assert_eq!(v.get("index").unwrap().as_str(), Some("exact"));
+    }
+
+    #[test]
+    fn neighbors_excludes_self_and_orders() {
+        let state = state_with_labels();
+        let r = get(&state, "/neighbors?v=0&k=2");
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        let nbrs = v.get("neighbors").unwrap().as_array().unwrap();
+        assert_eq!(nbrs.len(), 2);
+        let ids: Vec<u64> =
+            nbrs.iter().map(|n| n.get("vertex").unwrap().as_u64().unwrap()).collect();
+        assert!(!ids.contains(&0), "self must be excluded");
+        assert!(ids.contains(&1) || ids.contains(&2), "same-cluster vertex first");
+    }
+
+    #[test]
+    fn neighbors_validates_params() {
+        let state = state_with_labels();
+        assert_eq!(get(&state, "/neighbors").status, 400);
+        assert_eq!(get(&state, "/neighbors?v=banana").status, 400);
+        assert_eq!(get(&state, "/neighbors?v=99").status, 404);
+        assert_eq!(get(&state, "/neighbors?v=0&k=0").status, 400);
+    }
+
+    #[test]
+    fn similarity_of_parallel_vectors() {
+        let state = state_with_labels();
+        let r = get(&state, "/similarity?a=0&b=3");
+        let v = json::parse(&r.body).unwrap();
+        let cos = v.get("cosine").unwrap().as_f64().unwrap();
+        assert!(cos < -0.9, "opposite clusters, got {cos}");
+    }
+
+    #[test]
+    fn predict_votes_with_labels() {
+        let state = state_with_labels();
+        let r = get(&state, "/predict?v=5&k=3");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("label").unwrap().as_u64(), Some(1), "vertex 5 sits in cluster 1");
+    }
+
+    #[test]
+    fn predict_vector_body() {
+        let state = state_with_labels();
+        let req = Request {
+            method: "POST".into(),
+            path: "/predict".into(),
+            query: Vec::new(),
+            body: br#"{"vector": [0.95, 0.02], "k": 3}"#.to_vec(),
+        };
+        let r = handle(&state, &req);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("label").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn predict_rejects_bad_bodies() {
+        let state = state_with_labels();
+        for body in [
+            &b"not json"[..],
+            br#"{"vector": "nope"}"#,
+            br#"{"vector": [1.0]}"#,
+            br#"{"vector": [1.0, 0.0], "k": 0}"#,
+        ] {
+            let req = Request {
+                method: "POST".into(),
+                path: "/predict".into(),
+                query: Vec::new(),
+                body: body.to_vec(),
+            };
+            assert_eq!(handle(&state, &req).status, 400);
+        }
+    }
+
+    #[test]
+    fn predict_without_labels_is_400() {
+        let embedding = Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let state = ServeState::new(embedding, HnswConfig::default(), None).unwrap();
+        assert_eq!(get(&state, "/predict?v=0").status, 400);
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let embedding = Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let err = ServeState::new(embedding, HnswConfig::default(), Some(vec![Some(1)]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_route_and_method() {
+        let state = state_with_labels();
+        assert_eq!(get(&state, "/nope").status, 404);
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/healthz".into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&state, &req).status, 405);
+    }
+
+    #[test]
+    fn metricz_parses_and_contains_counters() {
+        let state = state_with_labels();
+        get(&state, "/healthz");
+        let r = get(&state, "/metricz");
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert!(v.get("counters").unwrap().as_object().is_some());
+        assert!(v.get("gauges").unwrap().get("serve.index.vectors").is_some());
+    }
+}

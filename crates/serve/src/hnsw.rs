@@ -1,0 +1,655 @@
+//! Hierarchical Navigable Small World (HNSW) approximate-nearest-neighbor
+//! index (Malkov & Yashunin, 2016), written from scratch over flat `f32`
+//! vectors.
+//!
+//! The paper treats training as a one-time cost whose output is reused
+//! across tasks (§V); every reuse is a nearest-neighbor lookup, and the
+//! brute-force scan in `v2v-ml` is `O(n d)` per query. HNSW answers the
+//! same queries in roughly `O(log n)` hops over a layered proximity graph:
+//! each vertex gets a geometrically-distributed top level, links per layer
+//! are capped (`M` above layer 0, `2M` at layer 0) and chosen with the
+//! diversity heuristic of the paper's Algorithm 4, and a query greedily
+//! descends the layers before running a best-first beam of width
+//! `ef_search` at layer 0.
+//!
+//! Two pragmatic deviations from a textbook implementation:
+//!
+//! * **Exact fallback** — at or below
+//!   [`HnswConfig::brute_force_threshold`] vectors no graph is built and
+//!   [`search`](HnswIndex::search) is an exact scan: at small `n` the scan
+//!   is faster than graph traversal and trivially exact.
+//! * **Batched parallel build** — insertion order is sequential in
+//!   HNSW's description; here construction runs in doubling rounds, each
+//!   round searching the frozen graph for every new vertex in parallel
+//!   (the vendored `rayon` shim) and then applying the link updates
+//!   serially. Round `r` therefore can't see its own members during the
+//!   search phase, but reverse-link insertion still stitches them in, and
+//!   each round doubles the graph so the "blind" fraction stays bounded —
+//!   recall is validated against the exact scan in the property tests.
+//!
+//! Cosine distance is served by storing L2-normalized copies of the
+//! vectors so every comparison is one dot product; Euclidean is served as
+//! squared distance (monotone-equivalent for ranking). All ranking uses
+//! `total_cmp`, so NaNs from degenerate rows rank last instead of
+//! panicking the server.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+use v2v_embed::Embedding;
+
+/// Which distance the index ranks by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// `1 - cos(a, b)`; vectors are pre-normalized so this is `1 - a·b`.
+    Cosine,
+    /// Squared Euclidean (monotone-equivalent to Euclidean for ranking).
+    Euclidean,
+}
+
+impl Metric {
+    /// Canonical lower-case name (`cosine` / `euclidean`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Cosine => "cosine",
+            Metric::Euclidean => "euclidean",
+        }
+    }
+}
+
+/// Index construction and search knobs.
+#[derive(Clone, Debug)]
+pub struct HnswConfig {
+    /// Max links per vertex on layers above 0 (layer 0 allows `2 * m`).
+    pub m: usize,
+    /// Beam width while building (higher = better graph, slower build).
+    pub ef_construction: usize,
+    /// Default beam width while searching (higher = better recall, slower).
+    pub ef_search: usize,
+    /// Distance to rank by.
+    pub metric: Metric,
+    /// Seed for the geometric level assignment (build is deterministic).
+    pub seed: u64,
+    /// At or below this many vectors, skip the graph and scan exactly.
+    pub brute_force_threshold: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> HnswConfig {
+        HnswConfig {
+            m: 16,
+            ef_construction: 200,
+            ef_search: 64,
+            metric: Metric::Cosine,
+            seed: 0x5EED,
+            brute_force_threshold: 512,
+        }
+    }
+}
+
+/// `f32` ordered by `total_cmp` so it can live in heaps (NaN ranks last).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &OrdF32) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &OrdF32) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Per-vertex link updates computed by the (parallel) search phase of one
+/// build round, applied serially.
+struct InsertPlan {
+    id: usize,
+    /// Selected neighbors per layer, `0..=level`.
+    per_layer: Vec<Vec<u32>>,
+}
+
+/// The built index: layered proximity graph over flat `f32` vectors.
+pub struct HnswIndex {
+    config: HnswConfig,
+    dims: usize,
+    /// Row-major vectors; L2-normalized copies under [`Metric::Cosine`].
+    vectors: Vec<f32>,
+    /// `links[v][layer]` = neighbor ids of `v` at `layer` (empty in
+    /// brute-force mode).
+    links: Vec<Vec<Vec<u32>>>,
+    /// Top layer per vertex.
+    levels: Vec<usize>,
+    /// Entry vertex (a vertex on the highest occupied layer).
+    entry: usize,
+    max_level: usize,
+    build_time: Duration,
+}
+
+impl HnswIndex {
+    /// Builds an index over `count * dims` row-major values.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`, the buffer is not a multiple of `dims`, or
+    /// `config.m < 2`.
+    pub fn build(dims: usize, mut vectors: Vec<f32>, config: HnswConfig) -> HnswIndex {
+        assert!(dims > 0, "dimensions must be positive");
+        assert_eq!(vectors.len() % dims, 0, "buffer not a multiple of dimensions");
+        assert!(config.m >= 2, "m must be at least 2");
+        let n = vectors.len() / dims;
+        let start = Instant::now();
+
+        if config.metric == Metric::Cosine {
+            for row in vectors.chunks_exact_mut(dims) {
+                normalize(row);
+            }
+        }
+
+        let mut index = HnswIndex {
+            config,
+            dims,
+            vectors,
+            links: Vec::new(),
+            levels: Vec::new(),
+            entry: 0,
+            max_level: 0,
+            build_time: Duration::ZERO,
+        };
+
+        if n > index.config.brute_force_threshold {
+            index.build_graph(n);
+        }
+        index.build_time = start.elapsed();
+        index
+    }
+
+    /// Builds from a trained [`Embedding`] (vectors are copied).
+    pub fn from_embedding(emb: &Embedding, config: HnswConfig) -> HnswIndex {
+        HnswIndex::build(emb.dimensions(), emb.as_flat().to_vec(), config)
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len() / self.dims
+    }
+
+    /// Whether the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The build-time configuration.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Whether queries run the graph (`false` = exact-scan fallback).
+    pub fn is_graph(&self) -> bool {
+        !self.links.is_empty()
+    }
+
+    /// Wall-clock time spent in [`build`](HnswIndex::build).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// The `k` approximate nearest vectors to `query`, nearest first, as
+    /// `(row, distance)` with distance per [`HnswConfig::metric`] (cosine
+    /// distance, or *squared* Euclidean). Uses the configured `ef_search`.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dims`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        self.search_ef(query, k, self.config.ef_search)
+    }
+
+    /// [`search`](HnswIndex::search) with an explicit beam width; `ef` is
+    /// clamped up to `k`. `ef >= len()` degenerates to an exhaustive beam,
+    /// making the result exact.
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        if !self.is_graph() {
+            return self.search_exact(query, k);
+        }
+        let q = self.prepared_query(query);
+        let q = q.as_slice();
+
+        // Greedy descent through the upper layers.
+        let mut ep = self.entry;
+        let mut ep_dist = self.dist_to(q, ep);
+        for layer in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in &self.links[ep][layer] {
+                    let d = self.dist_to(q, nb as usize);
+                    if d < ep_dist {
+                        ep = nb as usize;
+                        ep_dist = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Beam search at layer 0.
+        let mut found = self.search_layer(q, ep, ep_dist, 0, ef.max(k));
+        found.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        found.truncate(k);
+        found.into_iter().map(|(id, d)| (id as usize, d)).collect()
+    }
+
+    /// Exact brute-force `k` nearest — the ground truth the property tests
+    /// and the recall bench compare against.
+    pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        let q = self.prepared_query(query);
+        let q = q.as_slice();
+        let scored: Vec<(usize, f32)> =
+            (0..self.len()).map(|i| (i, self.dist_to(q, i))).collect();
+        v2v_linalg::top_k_by(scored, k, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    // ------------------------------------------------------------ internals
+
+    /// The stored (possibly normalized) vector of row `i`.
+    #[inline]
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.vectors[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Normalizes a query copy under cosine; borrows-by-value either way.
+    fn prepared_query(&self, query: &[f32]) -> Vec<f32> {
+        let mut q = query.to_vec();
+        if self.config.metric == Metric::Cosine {
+            normalize(&mut q);
+        }
+        q
+    }
+
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self.config.metric {
+            // Pre-normalized: cosine distance is 1 - dot.
+            Metric::Cosine => 1.0 - dot(a, b),
+            Metric::Euclidean => a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum(),
+        }
+    }
+
+    #[inline]
+    fn dist_to(&self, q: &[f32], i: usize) -> f32 {
+        self.dist(q, self.vector(i))
+    }
+
+    /// Max out-degree at `layer`.
+    #[inline]
+    fn m_for(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Best-first beam of width `ef` over one layer, seeded at `ep`.
+    /// Returns up to `ef` `(id, distance)` pairs, unsorted.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        ep: usize,
+        ep_dist: f32,
+        layer: usize,
+        ef: usize,
+    ) -> Vec<(u32, f32)> {
+        let mut visited = vec![false; self.len()];
+        visited[ep] = true;
+        // Min-heap of frontier candidates, max-heap of current best `ef`.
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Reverse((OrdF32(ep_dist), ep as u32)));
+        let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        best.push((OrdF32(ep_dist), ep as u32));
+
+        while let Some(Reverse((OrdF32(c_dist), c))) = frontier.pop() {
+            let worst = best.peek().map(|&(OrdF32(d), _)| d).unwrap_or(f32::INFINITY);
+            if best.len() >= ef && c_dist > worst {
+                break;
+            }
+            for &nb in &self.links[c as usize][layer] {
+                if std::mem::replace(&mut visited[nb as usize], true) {
+                    continue;
+                }
+                let d = self.dist_to(q, nb as usize);
+                let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                if best.len() < ef || d < worst {
+                    frontier.push(Reverse((OrdF32(d), nb)));
+                    best.push((OrdF32(d), nb));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        best.into_iter().map(|(OrdF32(d), id)| (id, d)).collect()
+    }
+
+    /// Algorithm 4's diversity heuristic: walk candidates nearest-first and
+    /// keep one only if it is closer to the query vertex than to every
+    /// neighbor already kept; backfill with the nearest discards.
+    fn select_neighbors(&self, base: usize, candidates: &mut Vec<(u32, f32)>, m: usize) -> Vec<u32> {
+        candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        candidates.dedup_by_key(|c| c.0);
+        let mut kept: Vec<(u32, f32)> = Vec::with_capacity(m);
+        let mut discarded: Vec<u32> = Vec::new();
+        for &(c, c_dist) in candidates.iter() {
+            if c as usize == base {
+                continue;
+            }
+            if kept.len() >= m {
+                break;
+            }
+            let diverse = kept
+                .iter()
+                .all(|&(s, _)| self.dist(self.vector(c as usize), self.vector(s as usize)) > c_dist);
+            if diverse {
+                kept.push((c, c_dist));
+            } else {
+                discarded.push(c);
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|(c, _)| c).collect();
+        for c in discarded {
+            if out.len() >= m {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Builds the layered graph in doubling rounds (see module docs).
+    fn build_graph(&mut self, n: usize) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        // Geometric level assignment, capped so pathological draws can't
+        // allocate absurd layer vectors.
+        let ml = 1.0 / (self.config.m as f64).ln();
+        self.levels = (0..n)
+            .map(|_| {
+                let u: f64 = 1.0 - rng.gen_range(0.0..1.0); // (0, 1]
+                ((-u.ln() * ml) as usize).min(24)
+            })
+            .collect();
+        self.links = self
+            .levels
+            .iter()
+            .map(|&l| vec![Vec::new(); l + 1])
+            .collect();
+
+        self.entry = 0;
+        self.max_level = self.levels[0];
+
+        let mut inserted = 1usize;
+        while inserted < n {
+            let round = inserted.min(n - inserted);
+            let batch: Vec<usize> = (inserted..inserted + round).collect();
+            let plans: Vec<InsertPlan> = if round >= 32 {
+                batch.par_iter().map(|&id| self.plan_insert(id)).collect()
+            } else {
+                batch.iter().map(|&id| self.plan_insert(id)).collect()
+            };
+            for plan in plans {
+                self.apply_insert(plan);
+            }
+            inserted += round;
+        }
+    }
+
+    /// Search phase of an insertion: finds the selected neighbors of `id`
+    /// on every layer `0..=level` against the *current* (frozen) graph.
+    fn plan_insert(&self, id: usize) -> InsertPlan {
+        let q = self.vector(id);
+        let level = self.levels[id];
+        let mut ep = self.entry;
+        let mut ep_dist = self.dist_to(q, ep);
+
+        // Greedy descent above the new vertex's top layer.
+        for layer in ((level + 1)..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in &self.links[ep][layer] {
+                    let d = self.dist_to(q, nb as usize);
+                    if d < ep_dist {
+                        ep = nb as usize;
+                        ep_dist = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Beam + select on each layer the vertex joins, top-down.
+        let mut per_layer = vec![Vec::new(); level + 1];
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let mut found = self.search_layer(q, ep, ep_dist, layer, self.config.ef_construction);
+            let selected = self.select_neighbors(id, &mut found, self.m_for(layer));
+            // Continue descending from the best candidate found here.
+            if let Some(&(best, best_dist)) =
+                found.iter().min_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                ep = best as usize;
+                ep_dist = best_dist;
+            }
+            per_layer[layer] = selected;
+        }
+        InsertPlan { id, per_layer }
+    }
+
+    /// Link phase of an insertion: wires `id` in and prunes overflowing
+    /// reverse links. Serial — mutates the graph.
+    fn apply_insert(&mut self, plan: InsertPlan) {
+        let id = plan.id;
+        let level = self.levels[id];
+        for (layer, selected) in plan.per_layer.into_iter().enumerate() {
+            let cap = self.m_for(layer);
+            for &nb in &selected {
+                let nb = nb as usize;
+                if self.links[nb].len() <= layer {
+                    continue; // stale plan row beyond the neighbor's level
+                }
+                if self.links[nb][layer].contains(&(id as u32)) {
+                    continue;
+                }
+                self.links[nb][layer].push(id as u32);
+                if self.links[nb][layer].len() > cap {
+                    let mut candidates: Vec<(u32, f32)> = self.links[nb][layer]
+                        .iter()
+                        .map(|&c| (c, self.dist(self.vector(nb), self.vector(c as usize))))
+                        .collect();
+                    self.links[nb][layer] = self.select_neighbors(nb, &mut candidates, cap);
+                }
+            }
+            self.links[id][layer] = selected;
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Scales to unit L2 norm in place; zero (and non-finite-norm) vectors are
+/// left untouched.
+fn normalize(v: &mut [f32]) {
+    let n = dot(v, v).sqrt();
+    if n.is_finite() && n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic clustered test vectors: `clusters` centers, points
+    /// jittered around them.
+    fn clustered(n: usize, dims: usize, clusters: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let centers: Vec<f32> =
+            (0..clusters * dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut out = Vec::with_capacity(n * dims);
+        for i in 0..n {
+            let c = i % clusters;
+            for d in 0..dims {
+                out.push(centers[c * dims + d] + rng.gen_range(-0.15f32..0.15));
+            }
+        }
+        out
+    }
+
+    fn recall_at_k(index: &HnswIndex, queries: &[Vec<f32>], k: usize, ef: usize) -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            let exact: std::collections::HashSet<usize> =
+                index.search_exact(q, k).into_iter().map(|(i, _)| i).collect();
+            let approx = index.search_ef(q, k, ef);
+            hits += approx.iter().filter(|(i, _)| exact.contains(i)).count();
+            total += exact.len();
+        }
+        hits as f64 / total as f64
+    }
+
+    fn small_config(metric: Metric) -> HnswConfig {
+        HnswConfig { brute_force_threshold: 0, metric, ..Default::default() }
+    }
+
+    #[test]
+    fn graph_recall_on_clustered_data() {
+        let (n, dims) = (2000, 16);
+        let data = clustered(n, dims, 20, 7);
+        for metric in [Metric::Cosine, Metric::Euclidean] {
+            let index = HnswIndex::build(dims, data.clone(), small_config(metric));
+            assert!(index.is_graph());
+            let queries: Vec<Vec<f32>> =
+                (0..50).map(|i| data[i * 31 % n * dims..][..dims].to_vec()).collect();
+            let r = recall_at_k(&index, &queries, 10, 64);
+            assert!(r >= 0.9, "recall@10 = {r} under {metric:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_ef_matches_exact() {
+        let (n, dims) = (600, 8);
+        let data = clustered(n, dims, 6, 11);
+        let index = HnswIndex::build(dims, data.clone(), small_config(Metric::Euclidean));
+        for qi in [0usize, 17, 333] {
+            let q = &data[qi * dims..(qi + 1) * dims];
+            let exact: Vec<usize> =
+                index.search_exact(q, 10).into_iter().map(|(i, _)| i).collect();
+            let approx: Vec<usize> =
+                index.search_ef(q, 10, n).into_iter().map(|(i, _)| i).collect();
+            assert_eq!(exact, approx, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn brute_force_fallback_is_exact() {
+        let dims = 4;
+        let data = clustered(100, dims, 4, 3);
+        let index = HnswIndex::build(dims, data.clone(), HnswConfig::default());
+        assert!(!index.is_graph(), "100 <= default threshold must skip the graph");
+        let got = index.search(&data[..dims], 5);
+        assert_eq!(got, index.search_exact(&data[..dims], 5));
+        assert_eq!(got[0].0, 0, "a stored vector is its own nearest neighbor");
+    }
+
+    #[test]
+    fn nearest_is_self_through_the_graph() {
+        let dims = 8;
+        let data = clustered(1500, dims, 10, 5);
+        let index = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        for qi in [0usize, 700, 1499] {
+            let got = index.search(&data[qi * dims..(qi + 1) * dims], 1);
+            assert_eq!(got[0].0, qi);
+            assert!(got[0].1.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_and_k_edge_cases() {
+        let index = HnswIndex::build(3, Vec::new(), HnswConfig::default());
+        assert!(index.is_empty());
+        assert!(index.search(&[0.0, 0.0, 0.0], 5).is_empty());
+
+        let index = HnswIndex::build(2, vec![1.0, 0.0, 0.0, 1.0], HnswConfig::default());
+        assert!(index.search(&[1.0, 0.0], 0).is_empty());
+        assert_eq!(index.search(&[1.0, 0.0], 10).len(), 2, "k clamps to n");
+    }
+
+    #[test]
+    fn zero_and_nan_vectors_do_not_panic() {
+        let dims = 4;
+        let mut data = clustered(700, dims, 5, 9);
+        data[0..dims].fill(0.0); // zero vector
+        data[dims..2 * dims].fill(f32::NAN); // NaN vector
+        for metric in [Metric::Cosine, Metric::Euclidean] {
+            let index = HnswIndex::build(dims, data.clone(), small_config(metric));
+            let got = index.search(&data[2 * dims..3 * dims], 10);
+            assert!(!got.is_empty());
+            assert!(!got.iter().any(|&(i, _)| i == 1), "NaN row must not rank in top-10");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let dims = 8;
+        let data = clustered(1200, dims, 8, 21);
+        let a = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        let b = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        let q = &data[5 * dims..6 * dims];
+        assert_eq!(a.search(q, 10), b.search(q, 10));
+    }
+
+    #[test]
+    fn from_embedding_matches_build() {
+        let emb = Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0]);
+        let index = HnswIndex::from_embedding(&emb, HnswConfig::default());
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.dims(), 2);
+        let got = index.search(&[1.0, 0.1], 2);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_query_dims_panics() {
+        let index = HnswIndex::build(2, vec![1.0, 0.0], HnswConfig::default());
+        index.search(&[1.0, 0.0, 0.0], 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! A zero-dependency multithreaded HTTP/1.1 server over
+//! `std::net::TcpListener`.
+//!
+//! Deliberately minimal — exactly what serving JSON lookups needs and no
+//! more: a nonblocking accept loop feeding a fixed pool of worker threads
+//! through a `Mutex<VecDeque>` + `Condvar` queue, a per-connection read
+//! timeout so a stalled client can't pin a worker, one request per
+//! connection (`Connection: close`), and graceful shutdown: the accept
+//! loop polls an atomic flag (set programmatically or by SIGINT via
+//! [`crate::signal`]), stops accepting, drains the queue, and joins the
+//! workers so in-flight responses complete.
+//!
+//! Every request is counted and timed into the global `v2v-obs` registry
+//! (`serve.requests`, `serve.errors`, `serve.latency_ms`), which
+//! `/metricz` then exports — the server measures itself with the same
+//! machinery as the training pipeline.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use v2v_obs::obs_debug;
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = one per available core, min 2).
+    pub threads: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Whether the accept loop also honors process signals
+    /// ([`crate::signal::requested`]); tests turn this off.
+    pub watch_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            read_timeout: Duration::from_secs(5),
+            watch_signals: true,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Default)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/neighbors`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response (always JSON in this server).
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response { status, body: body.into() }
+    }
+
+    /// A JSON `{"error": ...}` response.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\": ");
+        v2v_obs::json::write_escaped(&mut body, message);
+        body.push('}');
+        Response { status, body }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Request handler shared by all workers.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    handler: Handler,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `config.addr` and prepares the worker pool configuration.
+    pub fn bind(config: ServerConfig, handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            handler,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A flag that stops [`run`](Server::run) when set (clone and keep it
+    /// before calling `run`).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    fn should_stop(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.config.watch_signals && crate::signal::requested())
+    }
+
+    /// Accepts and serves until the shutdown flag (or a watched signal)
+    /// fires, then drains in-flight work and joins the workers.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let threads = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).max(2)
+        };
+
+        // Work queue: `None` in `closing` state tells a worker to exit.
+        struct Queue {
+            jobs: Mutex<(VecDeque<TcpStream>, bool)>,
+            ready: Condvar,
+        }
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = queue.clone();
+                let handler = self.handler.clone();
+                let read_timeout = self.config.read_timeout;
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let mut guard = queue.jobs.lock().unwrap();
+                        loop {
+                            if let Some(stream) = guard.0.pop_front() {
+                                break Some(stream);
+                            }
+                            if guard.1 {
+                                break None;
+                            }
+                            guard = queue.ready.wait(guard).unwrap();
+                        }
+                    };
+                    match stream {
+                        Some(stream) => handle_connection(stream, &handler, read_timeout),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+
+        while !self.should_stop() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let mut guard = queue.jobs.lock().unwrap();
+                    guard.0.push_back(stream);
+                    drop(guard);
+                    queue.ready.notify_one();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    obs_debug!("accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+
+        // Graceful drain: no new accepts; workers finish queued
+        // connections, then see `closing` and exit.
+        {
+            let mut guard = queue.jobs.lock().unwrap();
+            guard.1 = true;
+        }
+        queue.ready.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one request on `stream` and closes it, recording metrics.
+fn handle_connection(stream: TcpStream, handler: &Handler, read_timeout: Duration) {
+    let metrics = v2v_obs::global_metrics();
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(read_timeout));
+    let mut stream = stream;
+
+    let started = Instant::now();
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => {
+            metrics.counter("serve.requests").inc();
+            handler(&request)
+        }
+        Ok(None) => return, // client connected and sent nothing
+        Err(msg) => {
+            metrics.counter("serve.requests").inc();
+            Response::error(400, &msg)
+        }
+    };
+    if response.status >= 400 {
+        metrics.counter("serve.errors").inc();
+    }
+    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+    metrics
+        .histogram("serve.latency_ms", &latency_bounds())
+        .record(latency_ms);
+
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Exponential latency buckets: 0.05 ms … ~100 ms.
+fn latency_bounds() -> Vec<f64> {
+    (0..12).map(|i| 0.05 * 2f64.powi(i)).collect()
+}
+
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Reads and parses one request; `Ok(None)` on immediate EOF.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    // Read until the blank line ending the headers.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err("connection closed mid-request".into());
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 request head")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().ok_or("malformed request line")?;
+    if method.is_empty() || !parts.next().unwrap_or_default().starts_with("HTTP/") {
+        return Err("malformed request line".into());
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".into());
+    }
+
+    // Body: whatever followed the head in `buf`, plus the remainder.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses `a=1&b=x` with percent- and `+`-decoding.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Minimal percent-decoding (`%XX` and `+` → space); invalid escapes pass
+/// through verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("v=3&k=10&flag&x=a%26b");
+        assert_eq!(q[0], ("v".into(), "3".into()));
+        assert_eq!(q[1], ("k".into(), "10".into()));
+        assert_eq!(q[2], ("flag".into(), String::new()));
+        assert_eq!(q[3], ("x".into(), "a&b".into()));
+    }
+
+    #[test]
+    fn request_param_lookup() {
+        let req = Request {
+            query: vec![("k".into(), "5".into())],
+            ..Default::default()
+        };
+        assert_eq!(req.param("k"), Some("5"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let r = Response::error(400, "bad \"k\"");
+        assert_eq!(r.status, 400);
+        let v = v2v_obs::json::parse(&r.body).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad \"k\""));
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end server test: bind an ephemeral port, talk real HTTP/1.1
+//! over `TcpStream`, assert JSON shapes, and shut down gracefully via the
+//! programmatic flag (the SIGINT path sets the same flag from a handler).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use v2v_embed::Embedding;
+use v2v_obs::json;
+use v2v_serve::{HnswConfig, Server, ServerConfig, ServeState};
+
+fn test_state() -> Arc<ServeState> {
+    // Two clusters on the x axis; vertex 5 is the unlabeled probe.
+    let embedding = Embedding::from_flat(
+        2,
+        vec![1.0, 0.0, 1.0, 0.1, 0.9, -0.1, -1.0, 0.0, -1.0, 0.1, -0.9, -0.1],
+    );
+    let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), None];
+    Arc::new(ServeState::new(embedding, HnswConfig::default(), Some(labels)).unwrap())
+}
+
+/// One raw HTTP exchange; returns (status, parsed JSON body).
+fn roundtrip(addr: std::net::SocketAddr, request: &str) -> (u16, json::Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default();
+    (status, json::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}")))
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, json::Value) {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+#[test]
+fn serves_all_endpoints_then_shuts_down_cleanly() {
+    let config = ServerConfig {
+        threads: 3,
+        watch_signals: false, // other tests in this process may fire signals
+        ..Default::default()
+    };
+    let server = Server::bind(config, test_state().into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    // /healthz
+    let (status, v) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("vectors").unwrap().as_u64(), Some(6));
+
+    // /neighbors: cluster structure visible, self excluded
+    let (status, v) = get(addr, "/neighbors?v=0&k=2");
+    assert_eq!(status, 200);
+    let nbrs = v.get("neighbors").unwrap().as_array().unwrap();
+    assert_eq!(nbrs.len(), 2);
+    for n in nbrs {
+        let u = n.get("vertex").unwrap().as_u64().unwrap();
+        assert!(u != 0 && u <= 2, "same-cluster neighbors expected, got {u}");
+        assert!(n.get("distance").unwrap().as_f64().unwrap() < 0.5);
+    }
+
+    // /similarity
+    let (status, v) = get(addr, "/similarity?a=0&b=1");
+    assert_eq!(status, 200);
+    assert!(v.get("cosine").unwrap().as_f64().unwrap() > 0.9);
+
+    // /predict by vertex and by posted vector
+    let (status, v) = get(addr, "/predict?v=5&k=3");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("label").unwrap().as_u64(), Some(1));
+
+    let body = r#"{"vector": [0.95, 0.05], "k": 3}"#;
+    let (status, v) = roundtrip(
+        addr,
+        &format!(
+            "POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(v.get("label").unwrap().as_u64(), Some(0));
+
+    // Errors come back as JSON too.
+    let (status, v) = get(addr, "/neighbors?v=banana");
+    assert_eq!(status, 400);
+    assert!(v.get("error").unwrap().as_str().is_some());
+    let (status, _) = get(addr, "/nowhere");
+    assert_eq!(status, 404);
+
+    // /metricz reflects the traffic this test generated.
+    let (status, v) = get(addr, "/metricz");
+    assert_eq!(status, 200);
+    let requests = v
+        .get("counters")
+        .unwrap()
+        .get("serve.requests")
+        .expect("request counter exported")
+        .as_u64()
+        .unwrap();
+    assert!(requests >= 7, "at least the requests above, got {requests}");
+    assert!(v.get("histograms").unwrap().get("serve.latency_ms").is_some());
+
+    // Graceful shutdown: flag flips, run() returns Ok, port closes.
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().expect("server thread").expect("clean shutdown");
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener should be closed after shutdown"
+    );
+}
+
+#[test]
+fn concurrent_requests_are_all_answered() {
+    let config = ServerConfig { threads: 4, watch_signals: false, ..Default::default() };
+    let server = Server::bind(config, test_state().into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let (status, v) = get(addr, &format!("/neighbors?v={}&k=3", i % 6));
+                assert_eq!(status, 200);
+                v.get("neighbors").unwrap().as_array().unwrap().len()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() <= 3);
+    }
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().unwrap().unwrap();
+}

@@ -1,8 +1,54 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from the repo root.
+# Tier-1 gate: build, test, lint, then a live smoke test of `v2v serve`.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# --- Server smoke test -----------------------------------------------------
+# Boot `v2v serve` on an ephemeral port against a tiny embedding, hit the
+# JSON endpoints, then verify SIGINT produces a clean exit.
+smoke_dir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$smoke_dir"
+}
+trap cleanup EXIT
+
+# Two 3-vector clusters on the x axis; vertex 5 is unlabeled.
+printf '6 2\n0 1.0 0.0\n1 1.0 0.1\n2 0.9 -0.1\n3 -1.0 0.0\n4 -1.0 0.1\n5 -0.9 -0.1\n' \
+  > "$smoke_dir/emb.txt"
+printf '0 0\n1 0\n2 0\n3 1\n4 1\n' > "$smoke_dir/labels.txt"
+
+./target/release/v2v serve \
+  --embedding "$smoke_dir/emb.txt" \
+  --labels "$smoke_dir/labels.txt" \
+  --port 0 > "$smoke_dir/server.log" 2> "$smoke_dir/server.err" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$smoke_dir/server.log")
+  [ -n "$addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$smoke_dir/server.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address" >&2; exit 1; }
+
+curl -sf "http://$addr/healthz" | grep -q '"status": "ok"'
+curl -sf "http://$addr/healthz" | grep -q '"vectors": 6'
+curl -sf "http://$addr/neighbors?v=0&k=2" | grep -q '"neighbors": \[{"vertex": '
+curl -sf "http://$addr/similarity?a=0&b=1" | grep -q '"cosine": '
+curl -sf "http://$addr/predict?v=5&k=3" | grep -q '"label": 1'
+curl -sf "http://$addr/metricz" | grep -q '"serve.requests"'
+# Malformed input is a JSON 400, not a dropped connection.
+curl -s "http://$addr/neighbors?v=banana" | grep -q '"error"'
+
+kill -INT "$server_pid"
+wait "$server_pid"   # non-zero (set -e) if shutdown was not clean
+server_pid=""
+echo "serve smoke test: ok"
