@@ -4,8 +4,8 @@
 
 use crate::opts::Opts;
 use std::fs::File;
-use v2v_obs::obs_info;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use v2v_obs::{obs_error, obs_info};
+use std::io::{BufRead, BufReader, Write};
 use v2v_core::{V2vConfig, V2vModel};
 use v2v_graph::io::EdgeListFormat;
 use v2v_graph::Graph;
@@ -62,6 +62,24 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
     config.embedding.epochs = opts.get("epochs", 2usize)?;
     config.embedding.threads = opts.get("threads", 0usize)?;
 
+    let checkpoint = match opts.get_str("checkpoint-dir") {
+        Some(dir) => Some(v2v_core::CheckpointOptions {
+            dir: dir.into(),
+            every_epochs: opts.get("checkpoint-every-epochs", 1usize)?,
+            every_secs: match opts.get_str("checkpoint-every-secs") {
+                Some(v) => Some(v.parse::<f64>().map_err(|_| {
+                    format!("invalid value {v:?} for --checkpoint-every-secs")
+                })?),
+                None => None,
+            },
+            resume: opts.flag("resume"),
+        }),
+        None if opts.flag("resume") => {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        None => None,
+    };
+
     obs_info!(
         "embedding {} vertices / {} edges: {} dims, {} walks x {} steps, {} epochs",
         graph.num_vertices(),
@@ -71,7 +89,11 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         config.walks.walk_length,
         config.embedding.epochs
     );
-    let model = V2vModel::train(&graph, &config).map_err(|e| e.to_string())?;
+    let model = V2vModel::train_with_checkpoints(&graph, &config, checkpoint.as_ref())
+        .map_err(|e| e.to_string())?;
+    if let Some(from) = model.stats().resumed_from {
+        obs_info!("resumed from checkpoint at epoch {from}");
+    }
     obs_info!(
         "trained in {:.2?} (walks {:.2?}); final loss {:.4}",
         model.timing().training,
@@ -85,15 +107,19 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
 }
 
 /// `.bin` / `.v2e` outputs get the checksummed binary format, everything
-/// else the word2vec text format.
+/// else the word2vec text format. Either way the file lands atomically:
+/// a crash mid-write leaves the previous artifact, never a torn one.
 fn write_embedding_file(emb: &v2v_embed::Embedding, output: &str) -> Result<(), String> {
-    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    let w = BufWriter::new(file);
-    if output.ends_with(".bin") || output.ends_with(".v2e") {
-        v2v_embed::binary::write_embedding_binary(emb, w).map_err(|e| e.to_string())
-    } else {
-        v2v_embed::io::write_embedding(emb, w).map_err(|e| e.to_string())
-    }
+    v2v_core::io::write_atomic_with(output, |w| {
+        if output.ends_with(".bin") || output.ends_with(".v2e") {
+            v2v_embed::binary::write_embedding_binary(emb, w)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        } else {
+            v2v_embed::io::write_embedding(emb, w)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }
+    })
+    .map_err(|e| format!("cannot write {output}: {e}"))
 }
 
 /// Loads `--embedding`, sniffing the `V2VE` magic so both the binary and
@@ -101,6 +127,22 @@ fn write_embedding_file(emb: &v2v_embed::Embedding, output: &str) -> Result<(), 
 fn load_embedding(opts: &Opts) -> Result<v2v_embed::Embedding, String> {
     let path = opts.require("embedding")?;
     load_embedding_path(path)
+}
+
+/// Streams `fill` into `--output` atomically (old-or-new on crash), or
+/// into stdout when no output path was given.
+fn write_output(
+    opts: &Opts,
+    fill: impl FnOnce(&mut dyn Write) -> std::io::Result<()>,
+) -> Result<(), String> {
+    match opts.get_str("output") {
+        Some(path) => v2v_core::io::write_atomic_with(path, fill)
+            .map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            let mut out = std::io::stdout().lock();
+            fill(&mut out).map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn load_embedding_path(path: &str) -> Result<v2v_embed::Embedding, String> {
@@ -139,16 +181,12 @@ pub fn communities(opts: &Opts) -> Result<(), String> {
     metrics.gauge("cluster.kmeans.inertia").set(result.inertia);
     obs_info!("k-means: k = {k}, {restarts} restarts, inertia {:.4}", result.inertia);
 
-    let mut out: Box<dyn Write> = match opts.get_str("output") {
-        Some(path) => Box::new(BufWriter::new(
-            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-        )),
-        None => Box::new(std::io::stdout().lock()),
-    };
-    for (v, c) in result.assignments.iter().enumerate() {
-        writeln!(out, "{v} {c}").map_err(|e| e.to_string())?;
-    }
-    Ok(())
+    write_output(opts, |out| {
+        for (v, c) in result.assignments.iter().enumerate() {
+            writeln!(out, "{v} {c}")?;
+        }
+        Ok(())
+    })
 }
 
 /// Reads `vertex label` lines; `?` labels are targets to predict.
@@ -231,55 +269,78 @@ pub fn predict(opts: &Opts) -> Result<(), String> {
         None
     };
 
-    let mut out: Box<dyn Write> = match opts.get_str("output") {
-        Some(path) => Box::new(BufWriter::new(
-            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-        )),
-        None => Box::new(std::io::stdout().lock()),
-    };
-    for &t in &targets {
-        let label = match &ann_index {
-            Some(index) => knn.predict_with(index, matrix.row(t), k),
-            None => knn.predict(matrix.row(t), k),
-        };
-        writeln!(out, "{t} {label}").map_err(|e| e.to_string())?;
-    }
+    write_output(opts, |out| {
+        for &t in &targets {
+            let label = match &ann_index {
+                Some(index) => knn.predict_with(index, matrix.row(t), k),
+                None => knn.predict(matrix.row(t), k),
+            };
+            writeln!(out, "{t} {label}")?;
+        }
+        Ok(())
+    })?;
     obs_info!("predicted {} labels with k = {k}", targets.len());
     Ok(())
 }
 
 /// `v2v serve`: load an embedding (text or binary), build the ANN index,
-/// and answer `/neighbors`, `/similarity`, `/predict`, `/healthz`, and
-/// `/metricz` over HTTP until SIGINT/SIGTERM.
+/// and answer `/neighbors`, `/similarity`, `/predict`, `/healthz`,
+/// `/metricz`, and `POST /reload` over HTTP until SIGINT/SIGTERM.
+/// SIGHUP (or `/reload`) re-reads the embedding and label files and
+/// swaps the state in without dropping in-flight requests.
 pub fn serve(opts: &Opts) -> Result<(), String> {
-    let embedding = load_embedding(opts)?;
-    let labels = match opts.get_str("labels") {
-        Some(path) => Some(read_labels(path, embedding.len())?.0),
-        None => None,
-    };
+    let embedding_path = opts.require("embedding")?.to_string();
+    let labels_path = opts.get_str("labels").map(str::to_string);
     let config = v2v_serve::HnswConfig {
         ef_search: opts.get("ef-search", 64usize)?,
         ..Default::default()
     };
+    // The reloader re-reads the same paths the server booted from, so a
+    // retrain + atomic rename + `kill -HUP` rolls new vectors out live.
+    let build: v2v_serve::Reloader = Box::new(move || {
+        let embedding = load_embedding_path(&embedding_path)?;
+        let labels = match &labels_path {
+            Some(path) => Some(read_labels(path, embedding.len())?.0),
+            None => None,
+        };
+        v2v_serve::ServeState::new(embedding, config.clone(), labels).map_err(|e| e.to_string())
+    });
+    let initial = build()?;
     obs_info!(
-        "indexing {} vectors x {} dims (ef_search = {})",
-        embedding.len(),
-        embedding.dimensions(),
-        config.ef_search
+        "indexed {} vectors x {} dims (ef_search = {}) in {:.2?}{}",
+        initial.embedding().len(),
+        initial.embedding().dimensions(),
+        initial.index().config().ef_search,
+        initial.index().build_time(),
+        if initial.degraded() { " [DEGRADED: exact scan]" } else { "" }
     );
-    let state = std::sync::Arc::new(
-        v2v_serve::ServeState::new(embedding, config, labels).map_err(|e| e.to_string())?,
-    );
-    obs_info!("index built in {:.2?}", state.index().build_time());
+    let handle = v2v_serve::ServeHandle::new(initial, Some(build));
 
     let server_config = v2v_serve::ServerConfig {
         addr: format!("127.0.0.1:{}", opts.get("port", 7878u16)?),
         threads: opts.get("threads", 0usize)?,
+        request_deadline: std::time::Duration::from_secs_f64(
+            opts.get("request-deadline-secs", 10.0f64)?,
+        ),
+        max_queue: opts.get("max-queue", 1024usize)?,
+        max_body: opts.get("max-body", 1024 * 1024usize)?,
         ..Default::default()
     };
-    let server = v2v_serve::Server::bind(server_config, state.into_handler())
+    let server = v2v_serve::Server::bind(server_config, handle.clone().into_handler())
         .map_err(|e| format!("cannot bind: {e}"))?;
     v2v_serve::signal::install();
+    v2v_serve::signal::install_reload();
+    // Watcher thread: turns SIGHUP into a state swap. Detached on purpose —
+    // it dies with the process after the accept loop drains and main exits.
+    std::thread::spawn(move || loop {
+        if v2v_serve::signal::take_reload() {
+            match handle.reload() {
+                Ok(state) => obs_info!("SIGHUP reload: {} vectors", state.embedding().len()),
+                Err(e) => obs_error!("SIGHUP reload failed, keeping old state: {e}"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    });
     // The smoke test and scripts parse this line for the resolved port.
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
@@ -303,14 +364,16 @@ pub fn project(opts: &Opts) -> Result<(), String> {
     obs_info!("explained variance: {:?}", pca.explained_variance);
 
     let output = opts.require("output")?;
-    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    let mut w = BufWriter::new(file);
-    let header: Vec<String> = (0..dims).map(|d| format!("pc{}", d + 1)).collect();
-    writeln!(w, "{}", header.join(",")).map_err(|e| e.to_string())?;
-    for i in 0..points.rows() {
-        let row: Vec<String> = points.row(i).iter().map(|x| x.to_string()).collect();
-        writeln!(w, "{}", row.join(",")).map_err(|e| e.to_string())?;
-    }
+    v2v_core::io::write_atomic_with(output, |w| {
+        let header: Vec<String> = (0..dims).map(|d| format!("pc{}", d + 1)).collect();
+        writeln!(w, "{}", header.join(","))?;
+        for i in 0..points.rows() {
+            let row: Vec<String> = points.row(i).iter().map(|x| x.to_string()).collect();
+            writeln!(w, "{}", row.join(","))?;
+        }
+        Ok(())
+    })
+    .map_err(|e| format!("cannot write {output}: {e}"))?;
     obs_info!("wrote {output}");
 
     if let Some(svg_path) = opts.get_str("svg") {
@@ -326,9 +389,10 @@ pub fn project(opts: &Opts) -> Result<(), String> {
         };
         let pts: Vec<[f64; 2]> =
             (0..points.rows()).map(|i| [points[(i, 0)], points[(i, 1)]]).collect();
-        let f = File::create(svg_path).map_err(|e| format!("cannot create {svg_path}: {e}"))?;
-        v2v_viz::svg::write_scatter(f, &pts, &labels, "V2V embedding (PCA)")
-            .map_err(|e| e.to_string())?;
+        v2v_core::io::write_atomic_with(svg_path, |w| {
+            v2v_viz::svg::write_scatter(w, &pts, &labels, "V2V embedding (PCA)")
+        })
+        .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
         obs_info!("wrote {svg_path}");
     }
     Ok(())

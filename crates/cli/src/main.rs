@@ -6,17 +6,26 @@
 //!                 [--strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
 //!                 [--walks 10] [--length 80] [--epochs 2] [--window 5]
 //!                 [--p 1.0 --q 1.0] [--time-window T] [--threads 0] [--seed S]
-//!                 (a `.bin`/`.v2e` --output writes the checksummed binary format)
+//!                 [--checkpoint-dir DIR [--checkpoint-every-epochs 1]
+//!                 [--checkpoint-every-secs T] [--resume]]
+//!                 (a `.bin`/`.v2e` --output writes the checksummed binary format;
+//!                 --checkpoint-dir snapshots training state atomically at epoch
+//!                 boundaries and --resume restarts from the latest snapshot
+//!                 after a crash or kill)
 //! v2v communities --embedding emb.txt --k 10 [--restarts 100] [--output labels.txt]
 //! v2v predict     --embedding emb.txt --labels labels.txt [--k 3] [--output out.txt]
 //!                 [--ann [--ef-search 64]]
 //!                 (label file lines: "<vertex> <label>" or "<vertex> ?" to predict;
 //!                 --ann ranks neighbors with an HNSW index instead of a full scan)
 //! v2v serve       --embedding emb.txt [--labels labels.txt] [--port 7878]
-//!                 [--ef-search 64] [--threads 0]
+//!                 [--ef-search 64] [--threads 0] [--request-deadline-secs 10]
+//!                 [--max-queue 1024] [--max-body 1048576]
 //!                 (HTTP JSON endpoints: /neighbors?v=&k=  /similarity?a=&b=
 //!                 /predict?v=&k= (or POST {"vector":[...],"k":n})  /healthz  /metricz;
-//!                 --embedding may be text or binary; SIGINT shuts down cleanly)
+//!                 --embedding may be text or binary; SIGINT/SIGTERM drains and
+//!                 shuts down cleanly; SIGHUP or POST /reload re-reads the
+//!                 embedding + label files and hot-swaps them without dropping
+//!                 in-flight requests; overload sheds 503 + Retry-After)
 //! v2v project     --embedding emb.txt --output points.csv [--dims 2]
 //!                 [--svg plot.svg [--labels labels.txt]]
 //! v2v stats       --input edges.txt [--directed] [--format ...]

@@ -1,0 +1,175 @@
+//! Kill -9 the `v2v embed` binary mid-training, then `--resume` from its
+//! checkpoint and prove the final embedding matches an uninterrupted run.
+//! This is the end-to-end crash-safety contract the in-process trainer
+//! tests cannot cover: a real SIGKILL gives no destructors, no flushes —
+//! only what the checkpoint writer made durable survives.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("v2v-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic ring-plus-chords graph, heavy enough that training in
+/// a debug build takes whole seconds — wide enough a window to land a
+/// SIGKILL between checkpoints.
+fn write_edges(path: &Path) {
+    let n = 200u64;
+    let mut lines = String::new();
+    for v in 0..n {
+        lines.push_str(&format!("{v} {}\n", (v + 1) % n));
+        // LCG chords make the neighborhoods non-trivial.
+        let u = (v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33) % n;
+        if u != v {
+            lines.push_str(&format!("{v} {u}\n"));
+        }
+    }
+    std::fs::write(path, lines).unwrap();
+}
+
+fn embed_cmd(edges: &Path, output: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_v2v"));
+    cmd.args([
+        "embed",
+        "--input",
+        edges.to_str().unwrap(),
+        "--output",
+        output.to_str().unwrap(),
+        "--dims",
+        "24",
+        "--walks",
+        "6",
+        "--length",
+        "50",
+        "--epochs",
+        "6",
+        "--window",
+        "4",
+        "--threads",
+        "1", // single-threaded training is deterministic → exact comparison
+        "--seed",
+        "42",
+    ]);
+    cmd.env("V2V_LOG", "info");
+    cmd
+}
+
+fn read_vectors(path: &Path) -> Vec<(String, Vec<f64>)> {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut lines = text.lines();
+    lines.next().expect("header");
+    lines
+        .map(|l| {
+            let mut toks = l.split_whitespace();
+            let name = toks.next().unwrap().to_string();
+            (name, toks.map(|t| t.parse().unwrap()).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn sigkill_mid_training_then_resume_matches_uninterrupted_run() {
+    let dir = scratch("resume");
+    let edges = dir.join("edges.txt");
+    write_edges(&edges);
+
+    // Reference: the same training, never interrupted, no checkpointing.
+    let ref_out = dir.join("ref.txt");
+    let status = embed_cmd(&edges, &ref_out).status().expect("run reference embed");
+    assert!(status.success(), "reference run failed");
+
+    // Victim: same config plus a checkpoint dir. SIGKILL it as soon as the
+    // first checkpoint lands — no warning, no cleanup, mid-epoch.
+    let ckpt_dir = dir.join("ckpt");
+    let out = dir.join("emb.txt");
+    let mut child = embed_cmd(&edges, &out)
+        .args(["--checkpoint-dir", ckpt_dir.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn embed");
+    let ckpt_file = ckpt_dir.join("train.v2vc");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ckpt_file.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared within 120s");
+        if let Some(status) = child.try_wait().unwrap() {
+            // Too fast to kill — acceptable; the checkpoint must still exist.
+            assert!(status.success());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill(); // SIGKILL on unix
+    let _ = child.wait();
+    assert!(ckpt_file.exists(), "durable checkpoint must survive SIGKILL");
+
+    // Resume and finish.
+    let resumed = embed_cmd(&edges, &out)
+        .args(["--checkpoint-dir", ckpt_dir.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("run resumed embed");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(resumed.status.success(), "resume failed: {stderr}");
+    assert!(stderr.contains("resumed from checkpoint at epoch"), "no resume log in: {stderr}");
+
+    // Single-threaded resume is bit-identical, so the text artifacts are
+    // float-for-float equal to the never-killed run.
+    let reference = read_vectors(&ref_out);
+    let recovered = read_vectors(&out);
+    assert_eq!(reference.len(), recovered.len());
+    for ((rn, rv), (cn, cv)) in reference.iter().zip(&recovered) {
+        assert_eq!(rn, cn);
+        assert_eq!(rv, cv, "vertex {rn} diverged after crash-resume");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_against_a_different_config_is_refused() {
+    let dir = scratch("mismatch");
+    let edges = dir.join("edges.txt");
+    write_edges(&edges);
+    let ckpt_dir = dir.join("ckpt");
+    let out = dir.join("emb.txt");
+
+    let status = embed_cmd(&edges, &out)
+        .args(["--checkpoint-dir", ckpt_dir.to_str().unwrap()])
+        .status()
+        .expect("run embed");
+    assert!(status.success());
+
+    // Same checkpoint dir, different dimensions: must refuse, not corrupt.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_v2v"));
+    cmd.args([
+        "embed",
+        "--input",
+        edges.to_str().unwrap(),
+        "--output",
+        out.to_str().unwrap(),
+        "--dims",
+        "16",
+        "--epochs",
+        "6",
+        "--threads",
+        "1",
+        "--seed",
+        "42",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    let output = cmd.output().expect("run mismatched resume");
+    assert!(!output.status.success(), "mismatched resume must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("refusing to resume"), "wrong error: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

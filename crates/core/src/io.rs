@@ -1,0 +1,42 @@
+//! Durable artifact I/O for the pipeline.
+//!
+//! Every artifact the pipeline persists — embeddings, checkpoints, metric
+//! exports, community assignments — goes through [`write_atomic`] /
+//! [`write_atomic_with`]: stage into a temp file in the destination
+//! directory, fsync, `rename(2)` over the target, fsync the directory. A
+//! crash at any instant leaves the old file or the new file, never a torn
+//! mix. The primitives live in the zero-dependency `v2v-fault` crate (so
+//! the lowest layers can use them too, and so tests can inject I/O faults
+//! into them); this module is the pipeline-facing name for them.
+//!
+//! ```
+//! let dir = std::env::temp_dir();
+//! let path = dir.join("v2v_core_io_doc.txt");
+//! v2v_core::io::write_atomic(&path, b"durable").unwrap();
+//! assert_eq!(std::fs::read(&path).unwrap(), b"durable");
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+pub use v2v_fault::io::{write_atomic, write_atomic_with};
+
+/// Writes a UTF-8 string atomically; convenience over [`write_atomic`].
+pub fn write_atomic_str(
+    path: impl AsRef<std::path::Path>,
+    content: &str,
+) -> std::io::Result<()> {
+    write_atomic(path, content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_writer_roundtrips() {
+        let path = std::env::temp_dir()
+            .join(format!("v2v_core_io_{}.txt", std::process::id()));
+        write_atomic_str(&path, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -27,6 +27,7 @@
 pub mod community;
 pub mod config;
 pub mod error;
+pub mod io;
 pub mod link_prediction;
 pub mod pipeline;
 pub mod prediction;
@@ -37,6 +38,6 @@ pub use error::V2vError;
 pub use pipeline::V2vModel;
 
 // The substrates, re-exported so a downstream user needs one dependency.
-pub use v2v_embed::{Architecture, EmbedConfig, Embedding, OutputLayer};
+pub use v2v_embed::{Architecture, CheckpointOptions, EmbedConfig, Embedding, OutputLayer};
 pub use v2v_graph::{Graph, GraphBuilder, VertexId};
 pub use v2v_walks::{WalkConfig, WalkStrategy};

@@ -3,7 +3,7 @@
 use crate::config::V2vConfig;
 use crate::error::V2vError;
 use std::time::{Duration, Instant};
-use v2v_embed::{Embedding, TrainStats};
+use v2v_embed::{CheckpointOptions, Embedding, TrainStats};
 use v2v_graph::Graph;
 use v2v_linalg::{Pca, RowMatrix};
 use v2v_walks::WalkCorpus;
@@ -48,12 +48,26 @@ pub struct V2vModel {
 impl V2vModel {
     /// Runs the full pipeline: constrained walks → CBOW → embedding.
     pub fn train(graph: &Graph, config: &V2vConfig) -> Result<V2vModel, V2vError> {
+        Self::train_with_checkpoints(graph, config, None)
+    }
+
+    /// [`V2vModel::train`] with crash-safe training checkpoints: the SGD
+    /// phase snapshots its state into `ckpt.dir` at epoch boundaries and
+    /// can resume after a hard kill (see
+    /// [`v2v_embed::train_with_checkpoints`]). Walks are regenerated on
+    /// resume — they are deterministic in the walk seed, so the corpus the
+    /// resumed trainer sees is the one the original run saw.
+    pub fn train_with_checkpoints(
+        graph: &Graph,
+        config: &V2vConfig,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<V2vModel, V2vError> {
         let _pipeline = v2v_obs::span("pipeline");
         let t0 = Instant::now();
         // WalkCorpus::generate opens the nested "walks" span itself.
         let corpus = WalkCorpus::generate(graph, &config.walks)?;
         let walk_generation = t0.elapsed();
-        Self::train_on_corpus(&corpus, config, walk_generation)
+        Self::train_on_corpus_with_checkpoints(&corpus, config, walk_generation, ckpt)
     }
 
     /// Trains on a pre-built corpus (e.g. real path data, per §II's
@@ -64,11 +78,22 @@ impl V2vModel {
         config: &V2vConfig,
         walk_generation: Duration,
     ) -> Result<V2vModel, V2vError> {
+        Self::train_on_corpus_with_checkpoints(corpus, config, walk_generation, None)
+    }
+
+    /// [`V2vModel::train_on_corpus`] with crash-safe checkpoints.
+    pub fn train_on_corpus_with_checkpoints(
+        corpus: &WalkCorpus,
+        config: &V2vConfig,
+        walk_generation: Duration,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<V2vModel, V2vError> {
         let t1 = Instant::now();
         // v2v_embed::train opens the "train" span (with per-epoch children);
         // when called via `train` above it nests under "pipeline".
         let (embedding, stats) =
-            v2v_embed::train(corpus, &config.embedding).map_err(V2vError::Training)?;
+            v2v_embed::train_with_checkpoints(corpus, &config.embedding, ckpt)
+                .map_err(V2vError::Training)?;
         let training = t1.elapsed();
         v2v_obs::obs_info!(
             "trained {} vertices x {} dims in {:.3}s ({} epochs, final loss {:.5})",

@@ -54,7 +54,7 @@ impl From<std::io::Error> for BinaryIoError {
 }
 
 /// FNV-1a 64-bit over `bytes`, seeded by `state` (chainable).
-fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
     let mut hash = state;
     for &b in bytes {
         hash ^= b as u64;
@@ -64,7 +64,7 @@ fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
 }
 
 /// The FNV-1a offset basis (the checksum's initial state).
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// Whether `head` starts with the binary-embedding magic (format sniffing
 /// for loaders that accept both text and binary files).
@@ -119,11 +119,16 @@ pub fn parse_embedding_binary(bytes: &[u8]) -> Result<Embedding, BinaryIoError> 
     if dims == 0 {
         return fail("zero dimensions".into());
     }
-    let values = usize::try_from(count)
+    // Checked all the way down: a wrong-endianness or corrupted header
+    // yields astronomical shapes, which must become typed errors, not
+    // debug-mode multiply/add panics or release-mode wraparound.
+    let expected = usize::try_from(count)
         .ok()
         .and_then(|c| c.checked_mul(dims))
+        .and_then(|v| v.checked_mul(4))
+        .and_then(|b| b.checked_add(28))
         .ok_or_else(|| BinaryIoError::Format(format!("shape {count} x {dims} overflows")))?;
-    let expected = 20 + values * 4 + 8;
+    let values = (expected - 28) / 4;
     if bytes.len() < expected {
         return fail(format!(
             "truncated: {} bytes but {count} x {dims} vectors need {expected}",
@@ -241,5 +246,77 @@ mod tests {
         let back = read_embedding_binary(encode(&e).as_slice()).unwrap();
         assert_eq!(back.len(), 0);
         assert_eq!(back.dimensions(), 3);
+    }
+
+    /// A file written on a big-endian machine (or with the shape fields
+    /// byte-swapped by corruption) decodes to an astronomical count; the
+    /// loader must return a typed error, never allocate or panic.
+    #[test]
+    fn wrong_endianness_header_rejected() {
+        let mut buf = encode(&sample());
+        buf[8..12].copy_from_slice(&(5u32.to_be_bytes()));   // dims byte-swapped
+        buf[12..20].copy_from_slice(&(6u64.to_be_bytes()));  // count byte-swapped
+        let err = read_embedding_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, BinaryIoError::Format(_)), "{err}");
+    }
+
+    /// A count/dims pair whose byte size overflows `usize` must fail with
+    /// the typed overflow error (checked arithmetic, no wraparound).
+    #[test]
+    fn overflowing_shape_rejected() {
+        let mut buf = encode(&sample());
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_embedding_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    /// Fuzz-style corruption sweep: flip every byte of the encoded file in
+    /// turn (and each bit of the header) — every mutation must either be
+    /// rejected with a typed error or decode to the identical embedding
+    /// (a flip in an ignored region); nothing may panic or zero-fill.
+    #[test]
+    fn single_byte_corruptions_never_panic_or_silently_differ() {
+        let e = sample();
+        let clean = encode(&e);
+        for pos in 0..clean.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut buf = clean.clone();
+                buf[pos] ^= flip;
+                match parse_embedding_binary(&buf) {
+                    Err(BinaryIoError::Format(_)) | Err(BinaryIoError::Io(_)) => {}
+                    Ok(decoded) => panic!(
+                        "corruption at byte {pos} (^{flip:#04x}) was silently accepted \
+                         (decoded {} x {})",
+                        decoded.len(),
+                        decoded.dimensions()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random truncations and splices: arbitrary
+    /// prefixes, suffixes, and mid-file deletions all fail typed.
+    #[test]
+    fn random_truncations_and_splices_rejected() {
+        let clean = encode(&sample());
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as usize) % bound
+        };
+        for _ in 0..200 {
+            let cut_at = next(clean.len());
+            let cut_len = 1 + next(clean.len() - cut_at);
+            let mut buf = clean.clone();
+            buf.drain(cut_at..cut_at + cut_len);
+            assert!(
+                parse_embedding_binary(&buf).is_err(),
+                "splice at {cut_at} len {cut_len} accepted"
+            );
+        }
     }
 }

@@ -1,0 +1,419 @@
+//! Training checkpoints: the V2VC chunked binary container.
+//!
+//! A checkpoint freezes everything SGD needs to continue from an epoch
+//! boundary: both weight matrices (`syn0`, the embedding, and `syn1`, the
+//! output layer), the learning-rate schedule position (the processed-token
+//! counter), the loss history, and a fingerprint binding the checkpoint to
+//! the exact config + corpus shape that produced it. Random-walk
+//! embeddings are stochastic-but-resumable by construction — per-walk RNG
+//! streams are derived from `(seed, epoch, walk index)`, so no mutable RNG
+//! state needs saving: restoring the epoch counter restores the streams.
+//!
+//! Layout (all integers little-endian), sharing the `V2VE` family's FNV-1a
+//! checksumming but organized as self-describing chunked sections so the
+//! container can grow without a format break:
+//!
+//! ```text
+//! offset  size   field
+//! 0       4      magic  b"V2VC"
+//! 4       4      format version (currently 1)
+//! 8       4      section count (u32)
+//! then per section:
+//!         4      tag (b"META" | b"LOSS" | b"SYN0" | b"SYN1")
+//!         8      payload length (u64)
+//!         len    payload
+//!         8      FNV-1a 64 checksum of tag + length + payload
+//! ```
+//!
+//! Per-section checksums mean a torn tail (the crash mode atomic writes
+//! prevent at the destination, but which can still strike a copy in
+//! flight) is pinpointed to the section it corrupts. Unknown tags are
+//! skipped if their checksum holds, so old readers survive new sections.
+
+use crate::binary::{fnv1a64, BinaryIoError, FNV_OFFSET};
+use crate::config::{Architecture, EmbedConfig, OutputLayer};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file magic: "V2V Checkpoint".
+pub const MAGIC: [u8; 4] = *b"V2VC";
+
+/// Current container version, bumped on layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name used inside a `--checkpoint-dir`.
+pub const FILE_NAME: &str = "train.v2vc";
+
+/// The checkpoint file path inside `dir`.
+pub fn path_in(dir: &Path) -> PathBuf {
+    dir.join(FILE_NAME)
+}
+
+/// When and where the trainer checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointOptions {
+    /// Directory holding the checkpoint file (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint every this many epochs (0 is treated as 1).
+    pub every_epochs: usize,
+    /// Also checkpoint whenever this many seconds have passed since the
+    /// last one, regardless of the epoch cadence.
+    pub every_secs: Option<f64>,
+    /// Resume from `dir`'s checkpoint if one exists (otherwise start
+    /// fresh and begin checkpointing).
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoint into `dir` after every epoch, no resume.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointOptions {
+        CheckpointOptions { dir: dir.into(), every_epochs: 1, every_secs: None, resume: false }
+    }
+}
+
+/// A frozen mid-training state, restorable to an equivalent run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Binds the checkpoint to its config + corpus (see [`fingerprint`]).
+    pub fingerprint: u64,
+    /// The epoch training should continue from (epochs `0..next_epoch`
+    /// are complete).
+    pub next_epoch: usize,
+    /// `config.epochs` at save time (informational).
+    pub epochs_total: usize,
+    /// Shared token counter driving the linear LR decay.
+    pub processed: u64,
+    /// Total (center, context) pairs processed so far.
+    pub total_pairs: u64,
+    /// Average loss per completed epoch (`next_epoch` entries).
+    pub epoch_losses: Vec<f64>,
+    /// Input/embedding matrix: (rows, cols, row-major data).
+    pub syn0: (usize, usize, Vec<f32>),
+    /// Output matrix (negative-sampling rows or Huffman inner nodes).
+    pub syn1: (usize, usize, Vec<f32>),
+}
+
+/// Hashes the training-relevant config plus the corpus shape. Resume
+/// refuses a checkpoint whose fingerprint differs — continuing SGD under
+/// a different window, architecture, LR, corpus, or seed would silently
+/// produce an embedding neither run describes.
+pub fn fingerprint(config: &EmbedConfig, num_vertices: usize, num_tokens: usize) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| h = fnv1a64(h, bytes);
+    eat(&(config.dimensions as u64).to_le_bytes());
+    eat(&(config.window as u64).to_le_bytes());
+    eat(&[match config.architecture {
+        Architecture::Cbow => 0u8,
+        Architecture::SkipGram => 1,
+    }]);
+    match config.output {
+        OutputLayer::NegativeSampling { negatives } => {
+            eat(&[0u8]);
+            eat(&(negatives as u64).to_le_bytes());
+        }
+        OutputLayer::HierarchicalSoftmax => eat(&[1u8, 0, 0, 0, 0, 0, 0, 0, 0]),
+    }
+    eat(&config.initial_lr.to_bits().to_le_bytes());
+    eat(&config.seed.to_le_bytes());
+    eat(&config.subsample.map(|s| s.to_bits()).unwrap_or(0).to_le_bytes());
+    eat(&(num_vertices as u64).to_le_bytes());
+    eat(&(num_tokens as u64).to_le_bytes());
+    h
+}
+
+fn push_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+    let start = out.len();
+    out.extend_from_slice(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(FNV_OFFSET, &out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+}
+
+fn matrix_payload(rows: usize, cols: usize, data: &[f32]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12 + data.len() * 4);
+    p.extend_from_slice(&(rows as u64).to_le_bytes());
+    p.extend_from_slice(&(cols as u32).to_le_bytes());
+    for &x in data {
+        p.extend_from_slice(&x.to_le_bytes());
+    }
+    p
+}
+
+impl TrainCheckpoint {
+    /// Serializes to the V2VC container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + (self.syn0.2.len() + self.syn1.2.len()) * 4 + self.epoch_losses.len() * 8,
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&4u32.to_le_bytes());
+
+        let mut meta = Vec::with_capacity(49);
+        meta.extend_from_slice(&self.fingerprint.to_le_bytes());
+        meta.extend_from_slice(&(self.next_epoch as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.epochs_total as u64).to_le_bytes());
+        meta.extend_from_slice(&self.processed.to_le_bytes());
+        meta.extend_from_slice(&self.total_pairs.to_le_bytes());
+        push_section(&mut out, b"META", &meta);
+
+        let mut loss = Vec::with_capacity(4 + self.epoch_losses.len() * 8);
+        loss.extend_from_slice(&(self.epoch_losses.len() as u32).to_le_bytes());
+        for &l in &self.epoch_losses {
+            loss.extend_from_slice(&l.to_le_bytes());
+        }
+        push_section(&mut out, b"LOSS", &loss);
+
+        push_section(&mut out, b"SYN0", &matrix_payload(self.syn0.0, self.syn0.1, &self.syn0.2));
+        push_section(&mut out, b"SYN1", &matrix_payload(self.syn1.0, self.syn1.1, &self.syn1.2));
+        out
+    }
+
+    /// Parses a V2VC container, verifying every section checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, BinaryIoError> {
+        let fail = |msg: String| Err(BinaryIoError::Format(msg));
+        if bytes.len() < 12 {
+            return fail(format!("checkpoint too short ({} bytes)", bytes.len()));
+        }
+        if bytes[..4] != MAGIC {
+            return fail("bad magic (not a V2VC checkpoint)".into());
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return fail(format!("unsupported checkpoint version {version}"));
+        }
+        let sections = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+
+        let mut meta = None;
+        let mut losses = None;
+        let mut syn0 = None;
+        let mut syn1 = None;
+        let mut at = 12usize;
+        for i in 0..sections {
+            let header_end = at
+                .checked_add(12)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| BinaryIoError::Format(format!("section {i} header truncated")))?;
+            let tag: [u8; 4] = bytes[at..at + 4].try_into().unwrap();
+            let len = u64::from_le_bytes(bytes[at + 4..header_end].try_into().unwrap());
+            let len = usize::try_from(len)
+                .ok()
+                .filter(|&l| l <= bytes.len() - header_end)
+                .ok_or_else(|| BinaryIoError::Format(format!("section {i} length truncated")))?;
+            let payload_end = header_end + len;
+            let checksum_end = payload_end
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| BinaryIoError::Format(format!("section {i} checksum truncated")))?;
+            let stored = u64::from_le_bytes(bytes[payload_end..checksum_end].try_into().unwrap());
+            let computed = fnv1a64(FNV_OFFSET, &bytes[at..payload_end]);
+            if stored != computed {
+                return fail(format!(
+                    "section {} checksum mismatch (stored {stored:#018x}, computed {computed:#018x})",
+                    String::from_utf8_lossy(&tag)
+                ));
+            }
+            let payload = &bytes[header_end..payload_end];
+            match &tag {
+                b"META" => meta = Some(parse_meta(payload)?),
+                b"LOSS" => losses = Some(parse_losses(payload)?),
+                b"SYN0" => syn0 = Some(parse_matrix(payload, "SYN0")?),
+                b"SYN1" => syn1 = Some(parse_matrix(payload, "SYN1")?),
+                _ => {} // forward compatibility: checksummed unknown sections are skipped
+            }
+            at = checksum_end;
+        }
+        if at != bytes.len() {
+            return fail(format!("{} trailing bytes after last section", bytes.len() - at));
+        }
+
+        let (fingerprint, next_epoch, epochs_total, processed, total_pairs) =
+            meta.ok_or_else(|| BinaryIoError::Format("missing META section".into()))?;
+        let epoch_losses =
+            losses.ok_or_else(|| BinaryIoError::Format("missing LOSS section".into()))?;
+        let syn0 = syn0.ok_or_else(|| BinaryIoError::Format("missing SYN0 section".into()))?;
+        let syn1 = syn1.ok_or_else(|| BinaryIoError::Format("missing SYN1 section".into()))?;
+        if epoch_losses.len() != next_epoch {
+            return fail(format!(
+                "loss history has {} entries but {next_epoch} epochs completed",
+                epoch_losses.len()
+            ));
+        }
+        Ok(TrainCheckpoint {
+            fingerprint,
+            next_epoch,
+            epochs_total,
+            processed,
+            total_pairs,
+            epoch_losses,
+            syn0,
+            syn1,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path` (crash leaves the old
+    /// checkpoint or the new one, never a torn file).
+    pub fn save(&self, path: &Path) -> Result<(), BinaryIoError> {
+        v2v_fault::io::write_atomic(path, &self.to_bytes()).map_err(BinaryIoError::Io)
+    }
+
+    /// Loads and verifies a checkpoint file.
+    pub fn load(path: &Path) -> Result<TrainCheckpoint, BinaryIoError> {
+        let bytes = std::fs::read(path)?;
+        TrainCheckpoint::from_bytes(&bytes)
+    }
+}
+
+fn parse_meta(p: &[u8]) -> Result<(u64, usize, usize, u64, u64), BinaryIoError> {
+    if p.len() != 40 {
+        return Err(BinaryIoError::Format(format!("META section is {} bytes, expected 40", p.len())));
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(p[i..i + 8].try_into().unwrap());
+    let idx = |i: usize, what: &str| {
+        usize::try_from(u64_at(i))
+            .map_err(|_| BinaryIoError::Format(format!("{what} does not fit in usize")))
+    };
+    Ok((u64_at(0), idx(8, "next_epoch")?, idx(16, "epochs_total")?, u64_at(24), u64_at(32)))
+}
+
+fn parse_losses(p: &[u8]) -> Result<Vec<f64>, BinaryIoError> {
+    if p.len() < 4 {
+        return Err(BinaryIoError::Format("LOSS section truncated".into()));
+    }
+    let count = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
+    if p.len() != 4 + count * 8 {
+        return Err(BinaryIoError::Format(format!(
+            "LOSS section is {} bytes for {count} losses",
+            p.len()
+        )));
+    }
+    Ok(p[4..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn parse_matrix(p: &[u8], tag: &str) -> Result<(usize, usize, Vec<f32>), BinaryIoError> {
+    if p.len() < 12 {
+        return Err(BinaryIoError::Format(format!("{tag} section truncated")));
+    }
+    let rows = u64::from_le_bytes(p[..8].try_into().unwrap());
+    let cols = u32::from_le_bytes(p[8..12].try_into().unwrap()) as usize;
+    let values = usize::try_from(rows)
+        .ok()
+        .and_then(|r| r.checked_mul(cols))
+        .ok_or_else(|| BinaryIoError::Format(format!("{tag} shape {rows} x {cols} overflows")))?;
+    if p.len() != 12 + values * 4 {
+        return Err(BinaryIoError::Format(format!(
+            "{tag} section is {} bytes for shape {rows} x {cols}",
+            p.len()
+        )));
+    }
+    let data = p[12..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((rows as usize, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            next_epoch: 3,
+            epochs_total: 10,
+            processed: 123_456,
+            total_pairs: 9_876,
+            epoch_losses: vec![1.5, 1.1, 0.9],
+            syn0: (4, 3, (0..12).map(|i| i as f32 * 0.5 - 2.0).collect()),
+            syn1: (2, 3, vec![0.0, -1.0, 2.5, 0.125, f32::MIN_POSITIVE, -0.0]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let c = sample();
+        assert_eq!(TrainCheckpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("v2v_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = path_in(&dir);
+        let c = sample();
+        c.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let buf = sample().to_bytes();
+        for cut in [0, 4, 11, 12, 30, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                TrainCheckpoint::from_bytes(&buf[..cut]).is_err(),
+                "accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_rejected() {
+        let clean = sample().to_bytes();
+        for pos in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x20;
+            assert!(
+                TrainCheckpoint::from_bytes(&buf).is_err(),
+                "flip at byte {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn section_checksum_names_the_section() {
+        let mut buf = sample().to_bytes();
+        let n = buf.len();
+        buf[n - 10] ^= 0x01; // inside SYN1 payload
+        let err = TrainCheckpoint::from_bytes(&buf).unwrap_err();
+        assert!(err.to_string().contains("SYN1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let c = sample();
+        let mut buf = c.to_bytes();
+        buf[8..12].copy_from_slice(&5u32.to_le_bytes()); // now 5 sections
+        push_section(&mut buf, b"XTRA", b"future payload");
+        assert_eq!(TrainCheckpoint::from_bytes(&buf).unwrap(), c);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_corpora() {
+        let base = EmbedConfig::default();
+        let f = fingerprint(&base, 100, 5000);
+        assert_eq!(f, fingerprint(&base, 100, 5000), "deterministic");
+        assert_ne!(f, fingerprint(&base, 101, 5000), "corpus size matters");
+        assert_ne!(f, fingerprint(&base, 100, 5001), "token count matters");
+        let other = EmbedConfig { window: 7, ..base };
+        assert_ne!(f, fingerprint(&other, 100, 5000), "window matters");
+        let other = EmbedConfig { seed: 1, ..base };
+        assert_ne!(f, fingerprint(&other, 100, 5000), "seed matters");
+        let other = EmbedConfig { architecture: Architecture::SkipGram, ..base };
+        assert_ne!(f, fingerprint(&other, 100, 5000), "architecture matters");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut buf = sample().to_bytes();
+        buf[0] = b'X';
+        assert!(TrainCheckpoint::from_bytes(&buf).unwrap_err().to_string().contains("magic"));
+        let mut buf = sample().to_bytes();
+        buf[4] = 9;
+        assert!(TrainCheckpoint::from_bytes(&buf).unwrap_err().to_string().contains("version"));
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`io`] — word2vec-compatible text save/load.
 //! * [`binary`] — versioned binary save/load (header + checksum), the
 //!   serving format `v2v-serve` loads without re-parsing text.
+//! * [`checkpoint`] — crash-safe training snapshots (chunked, per-section
+//!   checksummed container) enabling kill-and-resume training.
 //!
 //! ```
 //! use v2v_embed::{train, EmbedConfig};
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod binary;
+pub mod checkpoint;
 pub mod config;
 pub mod embedding;
 pub mod hogwild;
@@ -50,6 +53,7 @@ pub mod quality;
 pub mod sigmoid;
 pub mod trainer;
 
+pub use checkpoint::{CheckpointOptions, TrainCheckpoint};
 pub use config::{Architecture, EmbedConfig, OutputLayer};
 pub use embedding::Embedding;
-pub use trainer::{train, TrainStats};
+pub use trainer::{train, train_with_checkpoints, TrainStats};

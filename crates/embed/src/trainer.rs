@@ -15,6 +15,7 @@
 // iterator form would obscure the symmetric-window logic.
 #![allow(clippy::needless_range_loop)]
 
+use crate::checkpoint::{self, CheckpointOptions, TrainCheckpoint};
 use crate::config::{Architecture, EmbedConfig, OutputLayer};
 use crate::embedding::Embedding;
 use crate::hogwild::HogwildMatrix;
@@ -32,7 +33,8 @@ use v2v_walks::WalkCorpus;
 /// What happened during training.
 #[derive(Clone, Debug)]
 pub struct TrainStats {
-    /// Number of epochs actually run (≤ `config.epochs`).
+    /// Number of epochs actually run (≤ `config.epochs`), including epochs
+    /// restored from a checkpoint on resume.
     pub epochs_run: usize,
     /// Average objective loss per training pair, one entry per epoch.
     pub epoch_losses: Vec<f64>,
@@ -40,12 +42,34 @@ pub struct TrainStats {
     pub total_pairs: u64,
     /// Whether convergence-based stopping fired before `config.epochs`.
     pub converged: bool,
+    /// `Some(epoch)` when this run resumed from a checkpoint holding
+    /// `epoch` completed epochs.
+    pub resumed_from: Option<usize>,
 }
 
 /// Trains an embedding on `corpus` under `config`.
 ///
 /// Errors on invalid configuration or an empty corpus.
 pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, TrainStats), String> {
+    train_with_checkpoints(corpus, config, None)
+}
+
+/// [`train`] with periodic crash-safe checkpointing.
+///
+/// With `Some(opts)`, the trainer writes a [`TrainCheckpoint`] into
+/// `opts.dir` atomically (old-or-new, never torn) every
+/// `opts.every_epochs` epochs — or sooner if `opts.every_secs` elapses —
+/// plus once after the final epoch. With `opts.resume`, an existing
+/// checkpoint whose fingerprint matches this config + corpus restarts
+/// training from its epoch boundary; per-walk RNG streams are derived
+/// from `(seed, epoch, walk index)`, so the continuation samples exactly
+/// what the uninterrupted run would have (single-threaded runs are
+/// bit-identical; Hogwild runs are equivalent in distribution, as always).
+pub fn train_with_checkpoints(
+    corpus: &WalkCorpus,
+    config: &EmbedConfig,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<(Embedding, TrainStats), String> {
     config.validate()?;
     let n = corpus.num_vertices();
     if n == 0 || corpus.num_tokens() == 0 {
@@ -55,12 +79,6 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
     let dim = config.dimensions;
     let counts = corpus.token_counts();
 
-    // word2vec init: syn0 ~ U(-0.5, 0.5)/dim, output matrix all zeros.
-    let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, 0x1217, n as u64));
-    let init: Vec<f32> =
-        (0..n * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
-    let syn0 = HogwildMatrix::from_vec(n, dim, init);
-
     let (sampler, huffman, out_rows) = match config.output {
         OutputLayer::NegativeSampling { .. } => (Some(NegativeSampler::new(&counts)), None, n),
         OutputLayer::HierarchicalSoftmax => {
@@ -69,7 +87,91 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
             (None, Some(tree), rows)
         }
     };
-    let syn1 = HogwildMatrix::zeros(out_rows, dim);
+
+    // Resolve checkpointing up front: create the directory, and on resume
+    // load + validate the existing checkpoint before any weight exists.
+    let fp = checkpoint::fingerprint(config, n, corpus.num_tokens());
+    let ckpt_path = match ckpt {
+        Some(opts) => {
+            std::fs::create_dir_all(&opts.dir).map_err(|e| {
+                format!("cannot create checkpoint dir {}: {e}", opts.dir.display())
+            })?;
+            Some(checkpoint::path_in(&opts.dir))
+        }
+        None => None,
+    };
+    let mut restored: Option<TrainCheckpoint> = None;
+    if let (Some(opts), Some(path)) = (ckpt, &ckpt_path) {
+        if opts.resume && path.exists() {
+            let c = TrainCheckpoint::load(path)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+            if c.fingerprint != fp {
+                return Err(format!(
+                    "checkpoint {} was produced by a different config or corpus \
+                     (fingerprint {:#018x}, expected {fp:#018x}); refusing to resume",
+                    path.display(),
+                    c.fingerprint,
+                ));
+            }
+            if c.syn0.0 != n || c.syn0.1 != dim || c.syn1.0 != out_rows || c.syn1.1 != dim {
+                return Err(format!(
+                    "checkpoint {} shape mismatch: syn0 {}x{}, syn1 {}x{} \
+                     (expected {n}x{dim} and {out_rows}x{dim})",
+                    path.display(),
+                    c.syn0.0,
+                    c.syn0.1,
+                    c.syn1.0,
+                    c.syn1.1,
+                ));
+            }
+            restored = Some(c);
+        }
+    }
+
+    let start_epoch;
+    let syn0;
+    let syn1;
+    let processed_init;
+    let mut stats;
+    match restored {
+        Some(c) => {
+            start_epoch = c.next_epoch;
+            processed_init = c.processed;
+            stats = TrainStats {
+                epochs_run: c.next_epoch,
+                epoch_losses: c.epoch_losses,
+                total_pairs: c.total_pairs,
+                converged: false,
+                resumed_from: Some(c.next_epoch),
+            };
+            syn0 = HogwildMatrix::from_vec(n, dim, c.syn0.2);
+            syn1 = HogwildMatrix::from_vec(out_rows, dim, c.syn1.2);
+            v2v_obs::global_metrics().counter("train.resumes").inc();
+            v2v_obs::obs_info!(
+                "resumed from checkpoint: {} of {} epochs done, {} tokens processed",
+                stats.epochs_run,
+                config.epochs,
+                processed_init
+            );
+        }
+        None => {
+            start_epoch = 0;
+            processed_init = 0;
+            stats = TrainStats {
+                epochs_run: 0,
+                epoch_losses: Vec::with_capacity(config.epochs),
+                total_pairs: 0,
+                converged: false,
+                resumed_from: None,
+            };
+            // word2vec init: syn0 ~ U(-0.5, 0.5)/dim, output matrix zeros.
+            let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, 0x1217, n as u64));
+            let init: Vec<f32> =
+                (0..n * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+            syn0 = HogwildMatrix::from_vec(n, dim, init);
+            syn1 = HogwildMatrix::zeros(out_rows, dim);
+        }
+    }
     let sigmoid = SigmoidTable::new();
 
     // word2vec subsampling: keep probability per vocabulary item.
@@ -89,7 +191,7 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
 
     let total_tokens = corpus.num_tokens() as u64;
     let schedule_total = total_tokens * config.epochs as u64;
-    let processed = AtomicU64::new(0);
+    let processed = AtomicU64::new(processed_init);
 
     let ctx = TrainContext {
         config,
@@ -103,19 +205,45 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
         keep_prob: keep_prob.as_deref(),
     };
 
-    let mut stats = TrainStats {
-        epochs_run: 0,
-        epoch_losses: Vec::with_capacity(config.epochs),
-        total_pairs: 0,
-        converged: false,
-    };
-
     // All telemetry is per-epoch: one span + a handful of atomics per
     // epoch, invisible next to millions of pair updates.
     let train_span = v2v_obs::span("train");
     let metrics = v2v_obs::global_metrics();
-    let run_all = |stats: &mut TrainStats| {
-        for epoch in 0..config.epochs {
+
+    // Snapshots everything a restart needs and lands it atomically: a
+    // SIGKILL mid-save leaves the previous checkpoint intact.
+    let write_checkpoint = |stats: &TrainStats| -> Result<(), String> {
+        let path = ckpt_path.as_ref().expect("checkpoint path exists when options given");
+        let started = std::time::Instant::now();
+        // Fault point so tests can kill a run at a chosen epoch boundary.
+        v2v_fault::inject::apply("train.checkpoint")
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+        let snap = TrainCheckpoint {
+            fingerprint: fp,
+            next_epoch: stats.epochs_run,
+            epochs_total: config.epochs,
+            processed: processed.load(Ordering::Relaxed),
+            total_pairs: stats.total_pairs,
+            epoch_losses: stats.epoch_losses.clone(),
+            syn0: (n, dim, syn0.to_vec()),
+            syn1: (out_rows, dim, syn1.to_vec()),
+        };
+        snap.save(path)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        metrics.counter("train.checkpoints").inc();
+        metrics.gauge("train.checkpoint_ms").set(ms);
+        v2v_obs::obs_debug!(
+            "checkpoint after epoch {} written in {ms:.1}ms",
+            stats.epochs_run
+        );
+        Ok(())
+    };
+
+    let run_all = |stats: &mut TrainStats| -> Result<(), String> {
+        let mut last_ckpt_at = std::time::Instant::now();
+        let mut epochs_since_ckpt = 0usize;
+        for epoch in start_epoch..config.epochs {
             let epoch_started = std::time::Instant::now();
             let epoch_span = v2v_obs::span("epoch");
             let (loss, pairs) = if config.threads == 1 {
@@ -150,10 +278,27 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
                 let rel_improvement = if prev > 0.0 { (prev - avg) / prev } else { 0.0 };
                 if rel_improvement < tol {
                     stats.converged = true;
-                    break;
                 }
             }
+
+            if let Some(opts) = ckpt {
+                epochs_since_ckpt += 1;
+                let last = stats.converged || epoch + 1 == config.epochs;
+                let due = epochs_since_ckpt >= opts.every_epochs.max(1)
+                    || opts
+                        .every_secs
+                        .is_some_and(|t| last_ckpt_at.elapsed().as_secs_f64() >= t);
+                if due || last {
+                    write_checkpoint(stats)?;
+                    last_ckpt_at = std::time::Instant::now();
+                    epochs_since_ckpt = 0;
+                }
+            }
+            if stats.converged {
+                break;
+            }
         }
+        Ok(())
     };
 
     if config.threads > 1 {
@@ -161,9 +306,9 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
             .num_threads(config.threads)
             .build()
             .map_err(|e| format!("failed to build thread pool: {e}"))?;
-        pool.install(|| run_all(&mut stats));
+        pool.install(|| run_all(&mut stats))?;
     } else {
-        run_all(&mut stats);
+        run_all(&mut stats)?;
     }
     drop(train_span);
 
@@ -343,7 +488,7 @@ mod tests {
     use v2v_graph::generators;
     use v2v_walks::WalkConfig;
 
-    fn small_corpus(seed: u64) -> WalkCorpus {
+    pub(super) fn small_corpus(seed: u64) -> WalkCorpus {
         // Two cliques of 6 joined by one bridge edge: clear structure.
         let mut b = v2v_graph::GraphBuilder::new_undirected();
         for base in [0u32, 6] {
@@ -359,7 +504,7 @@ mod tests {
         WalkCorpus::generate(&g, &cfg).unwrap()
     }
 
-    fn quick_config() -> EmbedConfig {
+    pub(super) fn quick_config() -> EmbedConfig {
         EmbedConfig { dimensions: 16, epochs: 3, threads: 1, ..Default::default() }
     }
 
@@ -494,6 +639,135 @@ mod tests {
         let (emb, _) = train(&corpus, &quick_config()).unwrap();
         assert_eq!(emb.len(), 9);
         assert_eq!(emb.dimensions(), 16);
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::tests::{quick_config, small_corpus};
+    use super::*;
+    use crate::checkpoint::path_in;
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+    use v2v_fault::{Fault, FaultPlan};
+
+    /// Fault points are process-global; tests that arm one hold this so
+    /// they cannot see each other's plans.
+    static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("v2v_ckpt_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_result() {
+        let corpus = small_corpus(30);
+        let cfg = EmbedConfig { epochs: 4, ..quick_config() };
+        let (plain, plain_stats) = train(&corpus, &cfg).unwrap();
+
+        let dir = scratch("same");
+        let opts = CheckpointOptions::new(dir.clone());
+        let (ckpt, stats) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        assert_eq!(plain, ckpt, "checkpointing must not perturb training");
+        assert_eq!(stats.resumed_from, None);
+        assert_eq!(plain_stats.epoch_losses, stats.epoch_losses);
+
+        let on_disk = TrainCheckpoint::load(&path_in(&dir)).unwrap();
+        assert_eq!(on_disk.next_epoch, 4);
+        assert_eq!(on_disk.epoch_losses.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The in-process equivalent of `kill -9` mid-run: fail the 4th
+    /// checkpoint write (epochs 1–3 land durably), then resume and demand
+    /// the exact bits an uninterrupted run produces.
+    #[test]
+    fn resume_after_interrupted_run_is_bit_identical() {
+        let _guard = FAULT_LOCK.lock().unwrap();
+        let corpus = small_corpus(31);
+        let cfg = EmbedConfig { epochs: 6, ..quick_config() };
+        let (full, full_stats) = train(&corpus, &cfg).unwrap();
+
+        let dir = scratch("resume");
+        let opts = CheckpointOptions::new(dir.clone());
+        v2v_fault::arm("train.checkpoint", FaultPlan::nth(3, Fault::Error));
+        let err = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap_err();
+        v2v_fault::inject::disarm("train.checkpoint");
+        assert!(err.contains("injected fault"), "{err}");
+        let on_disk = TrainCheckpoint::load(&path_in(&dir)).unwrap();
+        assert_eq!(on_disk.next_epoch, 3, "last durable checkpoint is epoch 3");
+
+        let opts = CheckpointOptions { resume: true, ..opts };
+        let (resumed, stats) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        assert_eq!(stats.resumed_from, Some(3));
+        assert_eq!(stats.epochs_run, 6);
+        assert_eq!(resumed, full, "resumed run must equal the uninterrupted run");
+        assert_eq!(stats.epoch_losses, full_stats.epoch_losses);
+        assert_eq!(stats.total_pairs, full_stats.total_pairs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_config_refuses_resume() {
+        let corpus = small_corpus(32);
+        let cfg = EmbedConfig { epochs: 2, ..quick_config() };
+        let dir = scratch("mismatch");
+        let opts = CheckpointOptions { resume: true, ..CheckpointOptions::new(dir.clone()) };
+        train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+
+        let other = EmbedConfig { dimensions: 8, ..cfg };
+        let err = train_with_checkpoints(&corpus, &other, Some(&opts)).unwrap_err();
+        assert!(err.contains("different config"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fully_trained_checkpoint_resumes_to_noop() {
+        let corpus = small_corpus(33);
+        let cfg = EmbedConfig { epochs: 3, ..quick_config() };
+        let dir = scratch("noop");
+        let opts = CheckpointOptions { resume: true, ..CheckpointOptions::new(dir.clone()) };
+        let (a, _) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        let (b, stats) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        assert_eq!(a, b, "no epochs left: weights come straight from the checkpoint");
+        assert_eq!(stats.resumed_from, Some(3));
+        assert_eq!(stats.epochs_run, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Without `resume` an existing checkpoint is ignored (and replaced).
+    #[test]
+    fn no_resume_flag_starts_fresh() {
+        let corpus = small_corpus(34);
+        let cfg = EmbedConfig { epochs: 2, ..quick_config() };
+        let dir = scratch("fresh");
+        let opts = CheckpointOptions::new(dir.clone());
+        train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        let (_, stats) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        assert_eq!(stats.resumed_from, None);
+        assert_eq!(stats.epochs_run, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Convergence-based early stop still lands a final checkpoint.
+    #[test]
+    fn early_stop_writes_final_checkpoint() {
+        let corpus = small_corpus(35);
+        let cfg =
+            EmbedConfig { epochs: 50, convergence_tol: Some(0.5), ..quick_config() };
+        let dir = scratch("converge");
+        let opts = CheckpointOptions {
+            every_epochs: usize::MAX,
+            ..CheckpointOptions::new(dir.clone())
+        };
+        let (_, stats) = train_with_checkpoints(&corpus, &cfg, Some(&opts)).unwrap();
+        assert!(stats.converged);
+        let on_disk = TrainCheckpoint::load(&path_in(&dir)).unwrap();
+        assert_eq!(on_disk.next_epoch, stats.epochs_run);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 

@@ -1,0 +1,223 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! A *fault point* is a named place in production code that asks the
+//! registry "should I fail here?" via [`check`]. Tests arm a point with a
+//! [`FaultPlan`] — fail the Nth hit, truncate a write to a prefix, or
+//! stall — and then drive the code under test; the injected failures are
+//! exactly reproducible because triggering is hit-count based, never
+//! time or randomness based.
+//!
+//! Without the `inject` cargo feature the registry is a stub: [`check`]
+//! is a `const`-foldable `None` and the hot paths carry no atomics at
+//! all. Test targets turn the feature on through dev-dependencies, which
+//! cargo's feature unification extends to the libraries under test.
+
+/// What an armed fault point does when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Return an `io::Error` (kind `Other`, message names the point).
+    Error,
+    /// Write only the first `n` bytes of the buffer, then error — a torn
+    /// write, as left by a crash mid-`write(2)`.
+    ShortWrite(usize),
+    /// Sleep this many milliseconds, then proceed normally — a stalled
+    /// disk or peer.
+    DelayMs(u64),
+}
+
+/// When and how a fault point misbehaves.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Hits to let through before triggering (0 = trigger on first hit).
+    pub after: u64,
+    /// The fault to inject once triggered.
+    pub fault: Fault,
+    /// Keep triggering on every subsequent hit (`false` = trigger once).
+    pub sticky: bool,
+}
+
+impl FaultPlan {
+    /// Fail the first hit and every hit after it.
+    pub fn always(fault: Fault) -> FaultPlan {
+        FaultPlan { after: 0, fault, sticky: true }
+    }
+
+    /// Fail exactly the `n`th hit (0-based), then behave normally.
+    pub fn nth(n: u64, fault: Fault) -> FaultPlan {
+        FaultPlan { after: n, fault, sticky: false }
+    }
+}
+
+/// Converts a triggered fault into the error the caller should surface.
+pub fn to_io_error(point: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {point}"))
+}
+
+#[cfg(any(test, feature = "inject"))]
+mod imp {
+    use super::{Fault, FaultPlan};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    struct Armed {
+        plan: FaultPlan,
+        hits: u64,
+    }
+
+    /// Fast path: a single relaxed load when nothing is armed, so leaving
+    /// the feature on in test builds does not distort timings.
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+    static REGISTRY: Mutex<Option<HashMap<String, Armed>>> = Mutex::new(None);
+
+    pub fn arm(point: &str, plan: FaultPlan) {
+        let mut guard = REGISTRY.lock().unwrap();
+        guard
+            .get_or_insert_with(HashMap::new)
+            .insert(point.to_string(), Armed { plan, hits: 0 });
+        ANY_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn disarm(point: &str) {
+        let mut guard = REGISTRY.lock().unwrap();
+        if let Some(map) = guard.as_mut() {
+            map.remove(point);
+            if map.is_empty() {
+                ANY_ARMED.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    pub fn disarm_all() {
+        let mut guard = REGISTRY.lock().unwrap();
+        *guard = None;
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+
+    pub fn check(point: &str) -> Option<Fault> {
+        if !ANY_ARMED.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut guard = REGISTRY.lock().unwrap();
+        let armed = guard.as_mut()?.get_mut(point)?;
+        let hit = armed.hits;
+        armed.hits += 1;
+        if hit < armed.plan.after {
+            return None;
+        }
+        if hit > armed.plan.after && !armed.plan.sticky {
+            return None;
+        }
+        Some(armed.plan.fault)
+    }
+}
+
+#[cfg(not(any(test, feature = "inject")))]
+mod imp {
+    use super::{Fault, FaultPlan};
+
+    pub fn arm(_point: &str, _plan: FaultPlan) {
+        panic!("v2v-fault built without the `inject` feature; enable it in dev-dependencies");
+    }
+
+    pub fn disarm(_point: &str) {}
+
+    pub fn disarm_all() {}
+
+    #[inline(always)]
+    pub fn check(_point: &str) -> Option<Fault> {
+        None
+    }
+}
+
+/// Arms `point` with `plan` (replacing any existing plan and resetting its
+/// hit count). Panics if the `inject` feature is off.
+pub fn arm(point: &str, plan: FaultPlan) {
+    imp::arm(point, plan)
+}
+
+/// Disarms one point.
+pub fn disarm(point: &str) {
+    imp::disarm(point)
+}
+
+/// Disarms every point — call from test setup/teardown; the registry is
+/// process-global, so tests sharing a process must not leave plans armed.
+pub fn disarm_all() {
+    imp::disarm_all()
+}
+
+/// Production-side hook: returns the fault to inject at `point`, if any,
+/// advancing the point's hit counter. `None` always when nothing is armed.
+#[inline]
+pub fn check(point: &str) -> Option<Fault> {
+    imp::check(point)
+}
+
+/// Applies a triggered [`Fault::DelayMs`] and maps the others onto
+/// `Result`, for call sites that only need fail/delay semantics.
+pub fn apply(point: &str) -> std::io::Result<()> {
+    match check(point) {
+        None => Ok(()),
+        Some(Fault::DelayMs(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(_) => Err(to_io_error(point)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; each test uses unique point names so
+    // parallel test threads cannot interfere.
+
+    #[test]
+    fn unarmed_points_pass() {
+        assert_eq!(check("inj.test.unarmed"), None);
+        assert!(apply("inj.test.unarmed2").is_ok());
+    }
+
+    #[test]
+    fn always_triggers_every_hit() {
+        arm("inj.test.always", FaultPlan::always(Fault::Error));
+        assert_eq!(check("inj.test.always"), Some(Fault::Error));
+        assert_eq!(check("inj.test.always"), Some(Fault::Error));
+        disarm("inj.test.always");
+        assert_eq!(check("inj.test.always"), None);
+    }
+
+    #[test]
+    fn nth_triggers_exactly_once() {
+        arm("inj.test.nth", FaultPlan::nth(2, Fault::ShortWrite(3)));
+        assert_eq!(check("inj.test.nth"), None);
+        assert_eq!(check("inj.test.nth"), None);
+        assert_eq!(check("inj.test.nth"), Some(Fault::ShortWrite(3)));
+        assert_eq!(check("inj.test.nth"), None);
+        disarm("inj.test.nth");
+    }
+
+    #[test]
+    fn apply_maps_error_and_delay() {
+        arm("inj.test.apply", FaultPlan::always(Fault::Error));
+        let err = apply("inj.test.apply").unwrap_err();
+        assert!(err.to_string().contains("inj.test.apply"));
+        disarm("inj.test.apply");
+
+        arm("inj.test.delay", FaultPlan::always(Fault::DelayMs(1)));
+        assert!(apply("inj.test.delay").is_ok());
+        disarm("inj.test.delay");
+    }
+
+    #[test]
+    fn rearming_resets_hit_count() {
+        arm("inj.test.rearm", FaultPlan::nth(1, Fault::Error));
+        assert_eq!(check("inj.test.rearm"), None);
+        arm("inj.test.rearm", FaultPlan::nth(1, Fault::Error));
+        assert_eq!(check("inj.test.rearm"), None, "hit count must reset on re-arm");
+        assert_eq!(check("inj.test.rearm"), Some(Fault::Error));
+        disarm("inj.test.rearm");
+    }
+}

@@ -150,14 +150,15 @@ impl Telemetry {
         out
     }
 
-    /// Writes the JSON form to `path`.
+    /// Writes the JSON form to `path` atomically (temp + fsync + rename):
+    /// a crash mid-export leaves the previous export, never a torn file.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        v2v_fault::write_atomic(path, self.to_json().as_bytes())
     }
 
-    /// Writes the CSV form to `path`.
+    /// Writes the CSV form to `path` atomically.
     pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_csv())
+        v2v_fault::write_atomic(path, self.to_csv().as_bytes())
     }
 
     /// Human-readable span-tree + headline-metrics summary for stderr.

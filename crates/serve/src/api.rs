@@ -13,9 +13,17 @@
 //!   JSON parser.
 //! * `GET /metricz` — the process metrics registry (request counters,
 //!   latency histogram, index build time) as JSON.
+//! * `POST /reload` — rebuild the state from the reload source and swap
+//!   it in without dropping in-flight requests (see [`ServeHandle`]).
+//!
+//! Resilience: if the freshly built ANN index fails structural
+//! validation, the state comes up **degraded** — every query falls back
+//! to the exact scan, which is slower but correct — rather than serving
+//! wrong neighbors or refusing to start. `/healthz` reports the mode.
 
 use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::http::{Handler, Request, Response};
+use crate::swap::Swap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use v2v_embed::Embedding;
@@ -32,6 +40,8 @@ pub struct ServeState {
     /// `labels` with unlabeled slots collapsed to a sentinel, indexable by
     /// the vote helper (only labeled rows are ever passed to it).
     dense_labels: Vec<usize>,
+    /// True when index validation failed and queries run the exact scan.
+    degraded: bool,
 }
 
 impl ServeState {
@@ -55,11 +65,23 @@ impl ServeState {
         let metrics = v2v_obs::global_metrics();
         metrics.gauge("serve.index.build_ms").set(index.build_time().as_secs_f64() * 1e3);
         metrics.gauge("serve.index.vectors").set(index.len() as f64);
+        // A structurally broken graph must not serve wrong neighbors;
+        // degrade to the exact scan — slower, still correct — and say so.
+        let (index, degraded) = match index.validate() {
+            Ok(()) => (index, false),
+            Err(e) => {
+                v2v_obs::obs_error!(
+                    "ANN index failed validation ({e}); serving degraded via exact scan"
+                );
+                metrics.counter("serve.index.degraded").inc();
+                (index.into_exact(), true)
+            }
+        };
         let dense_labels = labels
             .as_deref()
             .map(|l| l.iter().map(|o| o.unwrap_or(usize::MAX)).collect())
             .unwrap_or_default();
-        Ok(ServeState { embedding, index, labels, dense_labels })
+        Ok(ServeState { embedding, index, labels, dense_labels, degraded })
     }
 
     /// The underlying ANN index.
@@ -67,9 +89,93 @@ impl ServeState {
         &self.index
     }
 
+    /// The embedding being served.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Whether index validation failed and queries run the exact scan.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Wraps this state into the server's request handler.
     pub fn into_handler(self: Arc<Self>) -> Handler {
         Arc::new(move |req: &Request| handle(&self, req))
+    }
+}
+
+/// Rebuilds a fresh [`ServeState`] from the reload source (typically by
+/// re-reading the embedding and label files the server was started with).
+pub type Reloader = Box<dyn Fn() -> Result<ServeState, String> + Send + Sync>;
+
+/// A reload-capable server facade.
+///
+/// The handler loads the current state through a [`Swap`] on every
+/// request, so `POST /reload` (or SIGHUP via the CLI watcher) can build
+/// a fresh state and swap it in while requests are in flight: requests
+/// that already loaded the old state finish against it, new requests see
+/// the new one, and nothing is dropped. A failed reload leaves the old
+/// state serving — the swap only happens after the rebuild succeeds.
+pub struct ServeHandle {
+    state: Swap<ServeState>,
+    reloader: Option<Reloader>,
+}
+
+impl ServeHandle {
+    /// Wraps an initial state; `reloader` powers `/reload` and SIGHUP
+    /// (without one, reload requests are rejected with 400).
+    pub fn new(initial: ServeState, reloader: Option<Reloader>) -> Arc<ServeHandle> {
+        Arc::new(ServeHandle { state: Swap::new(Arc::new(initial)), reloader })
+    }
+
+    /// The state serving right now.
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.load()
+    }
+
+    /// Rebuilds the state from the reload source and swaps it in.
+    /// On error the previous state keeps serving untouched.
+    pub fn reload(&self) -> Result<Arc<ServeState>, String> {
+        let reloader = self
+            .reloader
+            .as_ref()
+            .ok_or_else(|| "server was started without a reload source".to_string())?;
+        let fresh = Arc::new(reloader()?);
+        self.state.store(fresh.clone());
+        v2v_obs::global_metrics().counter("serve.reloads").inc();
+        v2v_obs::obs_info!("reloaded serving state: {} vectors", fresh.embedding.len());
+        Ok(fresh)
+    }
+
+    /// Wraps this handle into the server's request handler, routing
+    /// `POST /reload` here and everything else to [`handle`].
+    pub fn into_handler(self: Arc<Self>) -> Handler {
+        Arc::new(move |req: &Request| {
+            if req.path == "/reload" {
+                if req.method != "POST" {
+                    return Response::error(405, &format!("method {} not allowed here", req.method));
+                }
+                return match self.reload() {
+                    Ok(state) => Response::json(
+                        200,
+                        format!(
+                            "{{\"reloaded\": true, \"vectors\": {}, \"degraded\": {}}}",
+                            state.embedding.len(),
+                            state.degraded
+                        ),
+                    ),
+                    Err(e) => {
+                        if e.contains("without a reload source") {
+                            Response::error(400, &e)
+                        } else {
+                            Response::error(500, &format!("reload failed: {e}"))
+                        }
+                    }
+                };
+            }
+            handle(&self.state.load(), req)
+        })
     }
 }
 
@@ -119,10 +225,11 @@ fn healthz(state: &ServeState) -> Response {
     let mut body = String::from("{\"status\": \"ok\"");
     let _ = write!(
         body,
-        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
+        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"degraded\": {}, \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
         state.embedding.len(),
         state.embedding.dimensions(),
         if state.index.is_graph() { "hnsw" } else { "exact" },
+        state.degraded,
         state.index.config().metric.name(),
         state.index.config().ef_search,
         state.labels.is_some(),

@@ -205,6 +205,74 @@ impl HnswIndex {
         self.build_time
     }
 
+    /// Structural validation of the proximity graph: link tables cover
+    /// every vertex, every neighbor id is in range and occupies the layer
+    /// it is linked on, and the entry point sits on the top layer. A
+    /// corrupted graph would make searches skip or crash; callers degrade
+    /// to the exact scan ([`into_exact`](HnswIndex::into_exact)) instead
+    /// of serving wrong neighbors. The `serve.index.validate` fault point
+    /// lets tests force a failure.
+    pub fn validate(&self) -> Result<(), String> {
+        v2v_fault::inject::apply("serve.index.validate").map_err(|e| e.to_string())?;
+        if !self.is_graph() {
+            return Ok(());
+        }
+        let n = self.len();
+        if self.links.len() != n || self.levels.len() != n {
+            return Err(format!(
+                "link table covers {} vertices ({} levels) but the index holds {n}",
+                self.links.len(),
+                self.levels.len()
+            ));
+        }
+        if self.entry >= n {
+            return Err(format!("entry point {} out of range ({n} vertices)", self.entry));
+        }
+        if self.levels[self.entry] < self.max_level {
+            return Err(format!(
+                "entry point {} sits on layer {} below the top layer {}",
+                self.entry, self.levels[self.entry], self.max_level
+            ));
+        }
+        for (v, layers) in self.links.iter().enumerate() {
+            if layers.len() != self.levels[v] + 1 {
+                return Err(format!(
+                    "vertex {v} has {} link layers but level {}",
+                    layers.len(),
+                    self.levels[v]
+                ));
+            }
+            for (layer, nbrs) in layers.iter().enumerate() {
+                for &u in nbrs {
+                    let u = u as usize;
+                    if u >= n {
+                        return Err(format!(
+                            "vertex {v} links to {u} at layer {layer}, out of range"
+                        ));
+                    }
+                    if self.levels[u] < layer {
+                        return Err(format!(
+                            "vertex {v} links to {u} at layer {layer}, but {u} tops out at {}",
+                            self.levels[u]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards the proximity graph, demoting every future search to the
+    /// exact scan — the degraded-but-correct mode the server falls back
+    /// to when [`validate`](HnswIndex::validate) fails.
+    pub fn into_exact(mut self) -> HnswIndex {
+        self.links = Vec::new();
+        self.levels = Vec::new();
+        self.entry = 0;
+        self.max_level = 0;
+        self
+    }
+
     /// The `k` approximate nearest vectors to `query`, nearest first, as
     /// `(row, distance)` with distance per [`HnswConfig::metric`] (cosine
     /// distance, or *squared* Euclidean). Uses the configured `ef_search`.

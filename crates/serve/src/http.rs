@@ -3,12 +3,25 @@
 //!
 //! Deliberately minimal — exactly what serving JSON lookups needs and no
 //! more: a nonblocking accept loop feeding a fixed pool of worker threads
-//! through a `Mutex<VecDeque>` + `Condvar` queue, a per-connection read
-//! timeout so a stalled client can't pin a worker, one request per
+//! through a `Mutex<VecDeque>` + `Condvar` queue, one request per
 //! connection (`Connection: close`), and graceful shutdown: the accept
 //! loop polls an atomic flag (set programmatically or by SIGINT via
 //! [`crate::signal`]), stops accepting, drains the queue, and joins the
 //! workers so in-flight responses complete.
+//!
+//! Overload and abuse are handled at the edges, not by falling over:
+//!
+//! * a **bounded queue** — beyond [`ServerConfig::max_queue`] waiting
+//!   connections, the accept loop sheds load with `503` + `Retry-After`
+//!   instead of queueing unboundedly (counted as `serve.shed`);
+//! * a **request deadline** — a client that dribbles bytes slower than
+//!   [`ServerConfig::request_deadline`] gets `408` instead of pinning a
+//!   worker (the per-read socket timeout bounds each `read(2)` on top);
+//! * **size limits** — oversized heads get `431`, oversized bodies `413`,
+//!   checked against the declared `Content-Length` *before* reading the
+//!   body so a hostile client cannot make the server buffer it;
+//! * **panic isolation** — a panicking handler yields `500` for that one
+//!   request (counted as `serve.panics`) instead of killing the worker.
 //!
 //! Every request is counted and timed into the global `v2v-obs` registry
 //! (`serve.requests`, `serve.errors`, `serve.latency_ms`), which
@@ -30,8 +43,17 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (0 = one per available core, min 2).
     pub threads: usize,
-    /// Per-connection read timeout.
+    /// Per-read socket timeout (bounds each `read(2)`/`write(2)`).
     pub read_timeout: Duration,
+    /// Total wall-clock budget for reading one request; exceeding it is a
+    /// `408` (slow-loris defense — the per-read timeout alone lets a
+    /// client stall indefinitely by sending one byte per timeout window).
+    pub request_deadline: Duration,
+    /// Max connections waiting for a worker; beyond this the accept loop
+    /// answers `503` + `Retry-After` inline instead of queueing.
+    pub max_queue: usize,
+    /// Max request body bytes; larger declared or actual bodies get `413`.
+    pub max_body: usize,
     /// Whether the accept loop also honors process signals
     /// ([`crate::signal::requested`]); tests turn this off.
     pub watch_signals: bool,
@@ -43,6 +65,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            max_queue: 1024,
+            max_body: 1024 * 1024,
             watch_signals: true,
         }
     }
@@ -71,12 +96,14 @@ impl Request {
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// Extra response headers (e.g. `Retry-After` on 503).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, body: body.into() }
+        Response { status, body: body.into(), headers: Vec::new() }
     }
 
     /// A JSON `{"error": ...}` response.
@@ -84,7 +111,13 @@ impl Response {
         let mut body = String::from("{\"error\": ");
         v2v_obs::json::write_escaped(&mut body, message);
         body.push('}');
-        Response { status, body }
+        Response { status, body, headers: Vec::new() }
+    }
+
+    /// Adds a response header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
     }
 
     fn status_text(&self) -> &'static str {
@@ -93,9 +126,28 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
+    }
+}
+
+/// Why a request could not be read; carries the status the client gets.
+struct RequestError {
+    status: u16,
+    message: String,
+}
+
+impl RequestError {
+    fn new(status: u16, message: impl Into<String>) -> RequestError {
+        RequestError { status, message: message.into() }
+    }
+
+    fn bad(message: impl Into<String>) -> RequestError {
+        RequestError::new(400, message)
     }
 }
 
@@ -165,7 +217,7 @@ impl Server {
             .map(|_| {
                 let queue = queue.clone();
                 let handler = self.handler.clone();
-                let read_timeout = self.config.read_timeout;
+                let config = self.config.clone();
                 std::thread::spawn(move || loop {
                     let stream = {
                         let mut guard = queue.jobs.lock().unwrap();
@@ -180,20 +232,32 @@ impl Server {
                         }
                     };
                     match stream {
-                        Some(stream) => handle_connection(stream, &handler, read_timeout),
+                        Some(stream) => handle_connection(stream, &handler, &config),
                         None => return,
                     }
                 })
             })
             .collect();
 
+        let metrics = v2v_obs::global_metrics();
         while !self.should_stop() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let mut guard = queue.jobs.lock().unwrap();
-                    guard.0.push_back(stream);
-                    drop(guard);
-                    queue.ready.notify_one();
+                    if guard.0.len() >= self.config.max_queue {
+                        // Shed rather than queue without bound: answer 503
+                        // inline (tiny write; fits the socket buffer) so
+                        // the client backs off instead of timing out.
+                        drop(guard);
+                        metrics.counter("serve.shed").inc();
+                        shed_connection(stream);
+                    } else {
+                        guard.0.push_back(stream);
+                        let depth = guard.0.len();
+                        drop(guard);
+                        metrics.gauge("serve.queue_depth").set(depth as f64);
+                        queue.ready.notify_one();
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -220,23 +284,90 @@ impl Server {
     }
 }
 
+/// Answers an over-queue connection with `503` + `Retry-After` and closes
+/// it. Called from the accept loop; the short write timeout keeps a
+/// hostile non-reading client from stalling accepts, and the short drain
+/// budget bounds how long one shed connection can hold up accepts.
+fn shed_connection(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    let response = Response::error(503, "server overloaded, retry later")
+        .with_header("Retry-After", "1");
+    write_response(&mut stream, &response);
+    drain_before_close(&mut stream, Duration::from_millis(100));
+}
+
+/// Consumes whatever the client already sent, then half-closes. Closing a
+/// socket with unread received bytes turns the teardown into an RST,
+/// which also discards data the *client* has not read yet — i.e. the
+/// error response just written. Every path that answers without reading
+/// the full request (shed, 413, 431, 408) must drain first or the client
+/// sees "connection reset" instead of the status code.
+fn drain_before_close(stream: &mut TcpStream, budget: Duration) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let deadline = Instant::now() + budget;
+    let mut scratch = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break, // EOF, idle (WouldBlock), or reset
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serializes `response` onto `stream` (best-effort; the client may be
+/// gone).
+fn write_response(stream: &mut TcpStream, response: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.status_text(),
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
 /// Serves one request on `stream` and closes it, recording metrics.
-fn handle_connection(stream: TcpStream, handler: &Handler, read_timeout: Duration) {
+fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig) {
     let metrics = v2v_obs::global_metrics();
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(read_timeout));
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
     let mut stream = stream;
 
     let started = Instant::now();
-    let response = match read_request(&mut stream) {
+    let deadline = started + config.request_deadline;
+    let mut request_unread = false;
+    let response = match read_request(&mut stream, deadline, config.max_body) {
         Ok(Some(request)) => {
             metrics.counter("serve.requests").inc();
-            handler(&request)
+            // A panicking handler must cost one request, not a worker
+            // thread: catch it, count it, answer 500. The handler only
+            // sees `&Request` and internally-shared state, so observing
+            // it mid-panic here cannot leave broken invariants behind.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
+            {
+                Ok(response) => response,
+                Err(_) => {
+                    metrics.counter("serve.panics").inc();
+                    Response::error(500, "handler panicked; see server logs")
+                }
+            }
         }
         Ok(None) => return, // client connected and sent nothing
-        Err(msg) => {
+        Err(e) => {
             metrics.counter("serve.requests").inc();
-            Response::error(400, &msg)
+            request_unread = true;
+            Response::error(e.status, &e.message)
         }
     };
     if response.status >= 400 {
@@ -247,15 +378,12 @@ fn handle_connection(stream: TcpStream, handler: &Handler, read_timeout: Duratio
         .histogram("serve.latency_ms", &latency_bounds())
         .record(latency_ms);
 
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        response.status_text(),
-        response.body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
-    let _ = stream.flush();
+    write_response(&mut stream, &response);
+    if request_unread {
+        // The request was rejected before it was fully read; see
+        // `drain_before_close` for why closing now would eat the response.
+        drain_before_close(&mut stream, Duration::from_secs(1));
+    }
 }
 
 /// Exponential latency buckets: 0.05 ms … ~100 ms.
@@ -264,10 +392,39 @@ fn latency_bounds() -> Vec<f64> {
 }
 
 const MAX_HEAD: usize = 16 * 1024;
-const MAX_BODY: usize = 1024 * 1024;
 
-/// Reads and parses one request; `Ok(None)` on immediate EOF.
-fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+/// Maps one socket read onto the typed request errors, honoring
+/// `deadline`: a timed-out read (or one that lands after the deadline)
+/// is a 408, not a 400. Returns the bytes read (0 = orderly EOF).
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, RequestError> {
+    if Instant::now() >= deadline {
+        return Err(RequestError::new(408, "request deadline exceeded"));
+    }
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(RequestError::new(408, "timed out reading request"))
+        }
+        Err(e) => Err(RequestError::bad(format!("read error: {e}"))),
+    }
+}
+
+/// Reads and parses one request; `Ok(None)` on immediate EOF. Tolerates
+/// arbitrary TCP fragmentation (headers split across any byte boundary)
+/// and enforces the head limit (431), the body limit (413, checked
+/// against `Content-Length` before buffering), and `deadline` (408).
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    max_body: usize,
+) -> Result<Option<Request>, RequestError> {
     // Read until the blank line ending the headers.
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
@@ -276,28 +433,28 @@ fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
             break pos;
         }
         if buf.len() > MAX_HEAD {
-            return Err("request head too large".into());
+            return Err(RequestError::new(431, "request head too large"));
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
+        match read_some(stream, &mut chunk, deadline)? {
+            0 => {
                 if buf.is_empty() {
                     return Ok(None);
                 }
-                return Err("connection closed mid-request".into());
+                return Err(RequestError::bad("connection closed mid-request"));
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read error: {e}")),
+            n => buf.extend_from_slice(&chunk[..n]),
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 request head")?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::bad("non-UTF-8 request head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default().to_string();
-    let target = parts.next().ok_or("malformed request line")?;
+    let target = parts.next().ok_or_else(|| RequestError::bad("malformed request line"))?;
     if method.is_empty() || !parts.next().unwrap_or_default().starts_with("HTTP/") {
-        return Err("malformed request line".into());
+        return Err(RequestError::bad("malformed request line"));
     }
 
     let mut content_length = 0usize;
@@ -307,21 +464,23 @@ fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "invalid Content-Length".to_string())?;
+                    .map_err(|_| RequestError::bad("invalid Content-Length"))?;
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err("request body too large".into());
+    if content_length > max_body {
+        return Err(RequestError::new(
+            413,
+            format!("request body of {content_length} bytes exceeds the {max_body} byte limit"),
+        ));
     }
 
     // Body: whatever followed the head in `buf`, plus the remainder.
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".into()),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read error: {e}")),
+        match read_some(stream, &mut chunk, deadline)? {
+            0 => return Err(RequestError::bad("connection closed mid-body")),
+            n => body.extend_from_slice(&chunk[..n]),
         }
     }
     body.truncate(content_length);

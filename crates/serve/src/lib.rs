@@ -17,7 +17,12 @@
 //!   `std::net::TcpListener` (fixed worker pool, read timeouts, graceful
 //!   shutdown on SIGINT via [`signal`]) exposing `/neighbors`,
 //!   `/similarity`, `/predict`, `/healthz`, and `/metricz` as JSON, built
-//!   on the `v2v-obs` JSON and metrics machinery.
+//!   on the `v2v-obs` JSON and metrics machinery. Resilience is built in:
+//!   per-request deadlines (408), request-size limits (413/431), bounded
+//!   queue load shedding (503 + `Retry-After`), per-request panic
+//!   isolation (500), degraded exact-scan fallback when index validation
+//!   fails, and hot reload (`POST /reload` or SIGHUP) through the
+//!   [`swap`] pointer with zero dropped requests.
 //!
 //! The index also plugs into the exact classifier:
 //! [`HnswIndex`] implements [`v2v_ml::knn::NeighborSearch`], so
@@ -41,10 +46,12 @@ pub mod api;
 pub mod hnsw;
 pub mod http;
 pub mod signal;
+pub mod swap;
 
-pub use api::ServeState;
+pub use api::{Reloader, ServeHandle, ServeState};
 pub use hnsw::{HnswConfig, HnswIndex, Metric};
-pub use http::{Request, Response, Server, ServerConfig};
+pub use http::{Handler, Request, Response, Server, ServerConfig};
+pub use swap::Swap;
 
 use v2v_ml::knn::NeighborSearch;
 

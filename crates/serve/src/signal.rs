@@ -1,20 +1,27 @@
-//! SIGINT/SIGTERM → process-wide atomic flag.
+//! SIGINT/SIGTERM → shutdown flag, SIGHUP → reload flag.
 //!
 //! The server's accept loop polls [`requested`] so Ctrl-C drains in-flight
-//! requests and exits 0 instead of killing the process mid-write. No
-//! signal crate exists in this offline workspace; on Unix the handler is
+//! requests and exits 0 instead of killing the process mid-write, and the
+//! CLI's reload watcher polls [`take_reload`] so `kill -HUP` hot-swaps the
+//! served embedding (the conventional "re-read your config" signal). No
+//! signal crate exists in this offline workspace; on Unix the handlers are
 //! registered straight against libc's `signal(2)`, which `std` already
-//! links. The handler only stores to an atomic — the one thing that is
+//! links. The handlers only store to atomics — the one thing that is
 //! async-signal-safe.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static REQUESTED: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
     extern "C" fn on_signal(_signum: i32) {
         super::trigger();
+    }
+
+    extern "C" fn on_reload(_signum: i32) {
+        super::trigger_reload();
     }
 
     extern "C" {
@@ -29,16 +36,32 @@ mod imp {
             signal(SIGTERM, on_signal);
         }
     }
+
+    pub fn install_reload() {
+        const SIGHUP: i32 = 1;
+        unsafe {
+            signal(SIGHUP, on_reload);
+        }
+    }
 }
 
 #[cfg(not(unix))]
 mod imp {
     pub fn install() {}
+
+    pub fn install_reload() {}
 }
 
 /// Installs the SIGINT/SIGTERM handler (idempotent; no-op off Unix).
 pub fn install() {
     imp::install();
+}
+
+/// Installs the SIGHUP → reload handler (idempotent; no-op off Unix).
+/// Separate from [`install`] because a SIGHUP with no handler must keep
+/// its default die-on-hangup meaning for callers that don't reload.
+pub fn install_reload() {
+    imp::install_reload();
 }
 
 /// Whether a shutdown signal has arrived.
@@ -52,6 +75,23 @@ pub fn trigger() {
     REQUESTED.store(true, Ordering::SeqCst);
 }
 
+/// Clears the shutdown flag so a process can serve again after a drained
+/// shutdown (used by tests, which share one process across servers).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+/// Consumes a pending reload request: true at most once per SIGHUP (or
+/// [`trigger_reload`]).
+pub fn take_reload() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Requests a reload programmatically — what the SIGHUP handler does.
+pub fn trigger_reload() {
+    RELOAD.store(true, Ordering::SeqCst);
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -61,5 +101,15 @@ mod tests {
         super::install();
         super::trigger();
         assert!(super::requested());
+        super::reset();
+        assert!(!super::requested());
+    }
+
+    #[test]
+    fn reload_is_consumed_once() {
+        super::install_reload();
+        super::trigger_reload();
+        assert!(super::take_reload());
+        assert!(!super::take_reload(), "take_reload must consume the flag");
     }
 }

@@ -1,0 +1,86 @@
+//! A hot-swappable shared pointer — the reload primitive.
+//!
+//! [`Swap<T>`] holds an `Arc<T>` that readers clone out and writers
+//! replace wholesale, the pattern `arc-swap` packages (this workspace is
+//! offline, so it is hand-rolled on `Mutex<Arc<T>>`). The contract that
+//! makes `/reload` drop zero requests:
+//!
+//! * a reader's [`load`](Swap::load) is a lock-clone-unlock — the lock is
+//!   never held across request handling;
+//! * an in-flight request keeps the `Arc` it loaded, so a concurrent
+//!   [`store`](Swap::store) can never free state under it;
+//! * the old state is dropped when the last in-flight request using it
+//!   finishes, not when the swap happens.
+//!
+//! The mutex is uncontended in practice (nanosecond-scale critical
+//! sections), which is why this beats epoch/RCU machinery here: the
+//! server's request rate is nowhere near mutex saturation, and the
+//! simplicity is itself a robustness feature.
+
+use std::sync::{Arc, Mutex};
+
+/// An atomically replaceable `Arc<T>`.
+pub struct Swap<T> {
+    current: Mutex<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    /// Wraps an initial value.
+    pub fn new(value: Arc<T>) -> Swap<T> {
+        Swap { current: Mutex::new(value) }
+    }
+
+    /// The current value; the returned `Arc` stays valid across any
+    /// number of subsequent [`store`](Swap::store)s.
+    pub fn load(&self) -> Arc<T> {
+        self.current.lock().unwrap().clone()
+    }
+
+    /// Replaces the value for all future [`load`](Swap::load)s and
+    /// returns the previous one.
+    pub fn store(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.current.lock().unwrap(), value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_survives_store() {
+        let swap = Swap::new(Arc::new(1));
+        let held = swap.load();
+        let old = swap.store(Arc::new(2));
+        assert_eq!(*held, 1, "loaded Arc must outlive the swap");
+        assert_eq!(*old, 1);
+        assert_eq!(*swap.load(), 2);
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_never_tear() {
+        let swap = Arc::new(Swap::new(Arc::new(0usize)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let swap = swap.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let v = *swap.load();
+                        assert!(v >= last, "values must be monotone, saw {v} after {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..500 {
+            swap.store(Arc::new(i));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -13,8 +13,10 @@ cargo clippy --workspace -- -D warnings
 # JSON endpoints, then verify SIGINT produces a clean exit.
 smoke_dir=$(mktemp -d)
 server_pid=""
+train_pid=""
 cleanup() {
   [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$train_pid" ] && kill -9 "$train_pid" 2>/dev/null || true
   rm -rf "$smoke_dir"
 }
 trap cleanup EXIT
@@ -47,8 +49,56 @@ curl -sf "http://$addr/predict?v=5&k=3" | grep -q '"label": 1'
 curl -sf "http://$addr/metricz" | grep -q '"serve.requests"'
 # Malformed input is a JSON 400, not a dropped connection.
 curl -s "http://$addr/neighbors?v=banana" | grep -q '"error"'
+# /healthz reports whether the index came up degraded (it must not here).
+curl -sf "http://$addr/healthz" | grep -q '"degraded": false'
+
+# --- Resilience smoke: a stalled client must not stall anyone else ---------
+# Hold a connection open that sends an incomplete request and nothing more
+# (a slow-loris in miniature), then prove other requests still answer fast.
+host=${addr%:*}; port=${addr##*:}
+exec 9<>"/dev/tcp/$host/$port"
+printf 'GET /healthz HTTP/1.1\r\n' >&9   # no blank line: request never completes
+for _ in 1 2 3; do
+  curl -sf --max-time 5 "http://$addr/healthz" | grep -q '"status": "ok"'
+done
+exec 9>&- 9<&- || true
+echo "stalled-client smoke test: ok"
+
+# --- Hot reload smoke: swap the embedding file, POST /reload ---------------
+printf '7 2\n0 1.0 0.0\n1 1.0 0.1\n2 0.9 -0.1\n3 -1.0 0.0\n4 -1.0 0.1\n5 -0.9 -0.1\n6 0.0 1.0\n' \
+  > "$smoke_dir/emb.txt.new"
+mv "$smoke_dir/emb.txt.new" "$smoke_dir/emb.txt"   # atomic, as the server expects
+printf '0 0\n1 0\n2 0\n3 1\n4 1\n' > "$smoke_dir/labels.txt"
+curl -sf -X POST "http://$addr/reload" | grep -q '"reloaded": true'
+curl -sf "http://$addr/healthz" | grep -q '"vectors": 7'
+echo "reload smoke test: ok"
 
 kill -INT "$server_pid"
 wait "$server_pid"   # non-zero (set -e) if shutdown was not clean
 server_pid=""
 echo "serve smoke test: ok"
+
+# --- Crash-safety smoke: SIGKILL mid-training, then --resume ---------------
+# A real kill -9 (no handlers, no destructors) must leave a durable
+# checkpoint that a --resume run finishes from.
+seq 0 199 | awk '{ print $1, ($1 + 1) % 200; print $1, ($1 * 37 + 11) % 200 }' \
+  > "$smoke_dir/edges.txt"
+embed_args=(embed --input "$smoke_dir/edges.txt" --output "$smoke_dir/emb-ck.txt"
+            --dims 24 --walks 8 --length 60 --epochs 8 --threads 1 --seed 7
+            --checkpoint-dir "$smoke_dir/ckpt")
+./target/release/v2v "${embed_args[@]}" > /dev/null 2>&1 &
+train_pid=$!
+for _ in $(seq 1 200); do
+  [ -f "$smoke_dir/ckpt/train.v2vc" ] && break
+  kill -0 "$train_pid" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$train_pid" 2>/dev/null || true
+wait "$train_pid" 2>/dev/null || true
+train_pid=""
+[ -f "$smoke_dir/ckpt/train.v2vc" ] || { echo "no checkpoint survived the kill" >&2; exit 1; }
+./target/release/v2v "${embed_args[@]}" --resume 2> "$smoke_dir/resume.err"
+grep -q 'resumed from checkpoint at epoch' "$smoke_dir/resume.err" \
+  || { echo "resume did not pick up the checkpoint" >&2; cat "$smoke_dir/resume.err" >&2; exit 1; }
+[ -s "$smoke_dir/emb-ck.txt" ] || { echo "resumed run produced no embedding" >&2; exit 1; }
+echo "kill-and-resume smoke test: ok"
