@@ -1,0 +1,90 @@
+//! Training-throughput benchmark: the perf-trajectory anchor for the
+//! embedding pipeline.
+//!
+//! Generates a quasi-clique community graph (the paper's synthetic
+//! workload), builds a walk corpus, trains CBOW for a fixed number of
+//! epochs single-threaded (deterministic, stable timing), and reports
+//! wall time plus pairs/sec and tokens/sec. Writes a machine-readable
+//! `BENCH_embed.json` at the repo root (`--out-json` to relocate) so
+//! successive PRs record a comparable trajectory; the schema is
+//! documented in EXPERIMENTS.md. The git revision is stamped from the
+//! `GIT_REV` environment variable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use v2v_bench::Args;
+use v2v_data::quasi_clique::{quasi_clique_graph, QuasiCliqueConfig};
+use v2v_embed::EmbedConfig;
+use v2v_walks::{WalkConfig, WalkCorpus};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 2000);
+    let dim: usize = args.get("dim", 32);
+    let epochs: usize = args.get("epochs", 5);
+    let threads: usize = args.get("threads", 1);
+    let out_json: String = args.get("out-json", "BENCH_embed.json".to_string());
+    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+
+    let data = quasi_clique_graph(&QuasiCliqueConfig {
+        n,
+        groups: 10,
+        alpha: 0.8,
+        inter_edges: n / 10,
+        seed: 3,
+    });
+    let walk_config = WalkConfig {
+        walks_per_vertex: 10,
+        walk_length: 80,
+        seed: 0x5EED,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let corpus = WalkCorpus::generate(&data.graph, &walk_config).expect("corpus");
+    let walk_secs = t0.elapsed().as_secs_f64();
+
+    let config = EmbedConfig { dimensions: dim, epochs, threads, ..Default::default() };
+    let t1 = Instant::now();
+    let (embedding, stats) = v2v_embed::train(&corpus, &config).expect("train");
+    let train_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(embedding.len(), n);
+    assert!(embedding.as_flat().iter().all(|x| x.is_finite()));
+
+    let pairs_per_sec = stats.total_pairs as f64 / train_secs;
+    let tokens_per_sec =
+        (corpus.num_tokens() as u64 * stats.epochs_run as u64) as f64 / train_secs;
+    println!(
+        "bench_embed: {n} vertices / {} edges, {dim} dims, {epochs} epochs, {threads} thread(s)",
+        data.graph.num_edges()
+    );
+    println!(
+        "walks {walk_secs:.2}s | train {train_secs:.2}s | {:.0} pairs/s | {:.0} tokens/s | final loss {:.5}",
+        pairs_per_sec,
+        tokens_per_sec,
+        stats.epoch_losses.last().copied().unwrap_or(0.0)
+    );
+
+    // Machine-readable trajectory record; schema in EXPERIMENTS.md.
+    let mut doc = String::from("{\n  \"bench\": \"embed\",\n");
+    let _ = write!(doc, "  \"git_rev\": ");
+    v2v_obs::json::write_escaped(&mut doc, &git_rev);
+    let _ = write!(
+        doc,
+        ",\n  \"n\": {n},\n  \"edges\": {},\n  \"dim\": {dim},\n  \"epochs\": {},\n  \"threads\": {threads},\n",
+        data.graph.num_edges(),
+        stats.epochs_run,
+    );
+    let _ = write!(doc, "  \"total_pairs\": {},\n  \"walk_secs\": ", stats.total_pairs);
+    v2v_obs::json::write_f64(&mut doc, walk_secs);
+    doc.push_str(",\n  \"train_secs\": ");
+    v2v_obs::json::write_f64(&mut doc, train_secs);
+    doc.push_str(",\n  \"pairs_per_sec\": ");
+    v2v_obs::json::write_f64(&mut doc, pairs_per_sec);
+    doc.push_str(",\n  \"tokens_per_sec\": ");
+    v2v_obs::json::write_f64(&mut doc, tokens_per_sec);
+    doc.push_str(",\n  \"final_loss\": ");
+    v2v_obs::json::write_f64(&mut doc, stats.epoch_losses.last().copied().unwrap_or(0.0));
+    doc.push_str("\n}\n");
+    std::fs::write(&out_json, doc).expect("write BENCH_embed.json");
+    println!("wrote {out_json}");
+}

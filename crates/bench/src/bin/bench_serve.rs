@@ -1,0 +1,168 @@
+//! Serving-path latency benchmark: the perf-trajectory anchor for the
+//! query API.
+//!
+//! Builds a synthetic embedding, stands up a [`v2v_serve::ServeState`]
+//! (HNSW index + labels), and drives the request handler in-process —
+//! no sockets, so the numbers isolate routing + search + serialization
+//! from kernel noise. Reports p50/p95/p99 latency and throughput per
+//! endpoint and writes a machine-readable `BENCH_serve.json` at the
+//! repo root (`--out-json` to relocate) so successive PRs record a
+//! comparable trajectory; the schema is documented in EXPERIMENTS.md.
+//!
+//! The git revision is stamped from the `GIT_REV` environment variable
+//! (CI passes `GIT_REV=$(git rev-parse --short HEAD)`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use v2v_bench::Args;
+use v2v_serve::api::handle;
+use v2v_serve::{HnswConfig, Request, ServeState};
+
+/// One endpoint's measured distribution.
+struct OpStats {
+    op: &'static str,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+    requests: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Deterministic pseudo-random embedding: n vectors of `dim` floats in
+/// [-0.5, 0.5), splitmix64-driven so every run measures identical data.
+fn synthetic_embedding(n: usize, dim: usize, mut seed: u64) -> Vec<f32> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..n * dim).map(|_| (next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5).collect()
+}
+
+fn run_op(
+    state: &ServeState,
+    op: &'static str,
+    n: usize,
+    requests: usize,
+    make: impl Fn(usize) -> Request,
+) -> OpStats {
+    // Warmup: fault in caches and let the branch predictor settle.
+    for i in 0..(requests / 10).max(100) {
+        let r = handle(state, &make(i % n));
+        assert!(r.status < 500, "{op} warmup returned {}", r.status);
+    }
+    let mut lat = Vec::with_capacity(requests);
+    let started = Instant::now();
+    for i in 0..requests {
+        let req = make(i % n);
+        let t0 = Instant::now();
+        let r = handle(state, &req);
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(r.status < 500, "{op} returned {}", r.status);
+    }
+    let total = started.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    OpStats {
+        op,
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        throughput_rps: requests as f64 / total,
+        requests,
+    }
+}
+
+fn get_request(path: &str, query: Vec<(String, String)>) -> Request {
+    Request {
+        method: "GET".into(),
+        path: path.into(),
+        query,
+        body: Vec::new(),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 2000);
+    let dim: usize = args.get("dim", 64);
+    let k: usize = args.get("k", 10);
+    let requests: usize = args.get("requests", 20_000);
+    let out_json: String = args.get("out-json", "BENCH_serve.json".to_string());
+    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+
+    let embedding = v2v_embed::Embedding::from_flat(dim, synthetic_embedding(n, dim, 0x5EED));
+    let labels: Vec<Option<usize>> = (0..n).map(|i| Some(i % 5)).collect();
+    let t0 = Instant::now();
+    let state = ServeState::new(embedding, HnswConfig::default(), Some(labels))
+        .expect("state build");
+    let build_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "bench_serve: {n} vectors x {dim} dims, index built in {build_secs:.2}s, \
+         {requests} requests/op"
+    );
+
+    let ops = vec![
+        run_op(&state, "neighbors", n, requests, |i| {
+            get_request(
+                "/neighbors",
+                vec![("v".into(), (i % n).to_string()), ("k".into(), k.to_string())],
+            )
+        }),
+        run_op(&state, "similarity", n, requests, |i| {
+            get_request(
+                "/similarity",
+                vec![("a".into(), (i % n).to_string()), ("b".into(), ((i + 7) % n).to_string())],
+            )
+        }),
+        run_op(&state, "predict", n, requests / 2, |i| {
+            get_request(
+                "/predict",
+                vec![("v".into(), (i % n).to_string()), ("k".into(), k.to_string())],
+            )
+        }),
+        run_op(&state, "healthz", n, requests, |_| get_request("/healthz", Vec::new())),
+    ];
+
+    println!("{:<12} {:>10} {:>10} {:>10} {:>12}", "op", "p50 ms", "p95 ms", "p99 ms", "req/s");
+    for s in &ops {
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>12.0}",
+            s.op, s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps
+        );
+    }
+
+    // Machine-readable trajectory record; schema in EXPERIMENTS.md.
+    let mut doc = String::from("{\n  \"bench\": \"serve\",\n");
+    let _ = write!(doc, "  \"git_rev\": ");
+    v2v_obs::json::write_escaped(&mut doc, &git_rev);
+    let _ = write!(doc, ",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n");
+    let _ = write!(doc, "  \"index_build_secs\": ");
+    v2v_obs::json::write_f64(&mut doc, build_secs);
+    doc.push_str(",\n  \"ops\": {");
+    for (i, s) in ops.iter().enumerate() {
+        doc.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(doc, "    \"{}\": {{\"requests\": {}, \"p50_ms\": ", s.op, s.requests);
+        v2v_obs::json::write_f64(&mut doc, s.p50_ms);
+        doc.push_str(", \"p95_ms\": ");
+        v2v_obs::json::write_f64(&mut doc, s.p95_ms);
+        doc.push_str(", \"p99_ms\": ");
+        v2v_obs::json::write_f64(&mut doc, s.p99_ms);
+        doc.push_str(", \"throughput_rps\": ");
+        v2v_obs::json::write_f64(&mut doc, s.throughput_rps);
+        doc.push('}');
+    }
+    doc.push_str("\n  }\n}\n");
+    std::fs::write(&out_json, doc).expect("write BENCH_serve.json");
+    println!("wrote {out_json}");
+}

@@ -330,13 +330,23 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         .map_err(|e| format!("cannot bind: {e}"))?;
     v2v_serve::signal::install();
     v2v_serve::signal::install_reload();
-    // Watcher thread: turns SIGHUP into a state swap. Detached on purpose —
-    // it dies with the process after the accept loop drains and main exits.
+    v2v_serve::signal::install_dump();
+    install_flight_panic_hook();
+    // Watcher thread: turns SIGHUP into a state swap and SIGUSR1 into a
+    // flight-recorder dump. Detached on purpose — it dies with the
+    // process after the accept loop drains and main exits.
     std::thread::spawn(move || loop {
         if v2v_serve::signal::take_reload() {
             match handle.reload() {
                 Ok(state) => obs_info!("SIGHUP reload: {} vectors", state.embedding().len()),
                 Err(e) => obs_error!("SIGHUP reload failed, keeping old state: {e}"),
+            }
+        }
+        if v2v_serve::signal::take_dump() {
+            let path = flight_dump_path();
+            match std::fs::write(&path, v2v_obs::global_recorder().to_json()) {
+                Ok(()) => obs_info!("SIGUSR1: wrote flight recorder to {path}"),
+                Err(e) => obs_error!("SIGUSR1: cannot write flight recorder to {path}: {e}"),
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
@@ -347,6 +357,28 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     server.run().map_err(|e| format!("server error: {e}"))?;
     obs_info!("shut down cleanly");
     Ok(())
+}
+
+/// Destination for flight-recorder dumps: `V2V_FLIGHT_DUMP`, or
+/// `v2v-flight-<pid>.json` in the working directory.
+fn flight_dump_path() -> String {
+    std::env::var("V2V_FLIGHT_DUMP")
+        .unwrap_or_else(|_| format!("v2v-flight-{}.json", std::process::id()))
+}
+
+/// Chains a panic hook that dumps the flight recorder before the default
+/// hook prints the backtrace — the last seconds of request history
+/// survive even a crash that takes the whole process down.
+fn install_flight_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        v2v_obs::record_event(v2v_obs::Event::new("panic", "", &info.to_string()));
+        let path = flight_dump_path();
+        if std::fs::write(&path, v2v_obs::global_recorder().to_json()).is_ok() {
+            eprintln!("panic: flight recorder dumped to {path}");
+        }
+        default_hook(info);
+    }));
 }
 
 /// `v2v project`: PCA projection to CSV (and optional SVG scatter).

@@ -46,7 +46,27 @@ use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
 const USAGE: &str = "usage: v2v <embed|communities|predict|serve|project|stats|quality> [options]
-run `v2v help` or see the crate docs for the option list";
+
+common options (every subcommand):
+  --metrics <path>      after the run, write telemetry (span tree, metrics,
+                        provenance) to <path> as JSON (.csv extension switches
+                        to CSV) and print a summary to stderr
+
+environment:
+  V2V_LOG               stderr log level: off, error, info (default), debug, trace
+  V2V_ACCESS_LOG        serve: write a JSON access-log line per request to this
+                        file path (or 'stderr'); each line carries the request's
+                        X-Request-Id, method, path, status, bytes, latency_ms
+  V2V_SLOW_REQUEST_MS   serve: requests slower than this log their span tree
+                        (default 250)
+  V2V_FLIGHT_DUMP       serve: where SIGUSR1 (and panics) dump the flight
+                        recorder (default v2v-flight-<pid>.json)
+
+serve signals: SIGINT/SIGTERM drain and exit; SIGHUP hot-reloads the embedding;
+SIGUSR1 dumps the flight recorder. Live introspection over HTTP: /metricz
+(JSON; ?format=prometheus for scrapers), /tracez (recent request events).
+
+run `v2v help` or see the crate docs for the per-subcommand option list";
 
 fn main() {
     let opts = match Opts::parse(std::env::args().skip(1)) {

@@ -1,0 +1,45 @@
+//! `v2v help` must document the observability surface: the `--metrics`
+//! flag and the `V2V_LOG` / `V2V_ACCESS_LOG` environment variables (plus
+//! the rest of the serve introspection story), so operators can discover
+//! them without reading source.
+
+use std::process::Command;
+
+fn help_output() -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_v2v"))
+        .arg("help")
+        .output()
+        .expect("run v2v help");
+    assert!(out.status.success(), "v2v help must exit 0");
+    String::from_utf8(out.stdout).expect("utf-8 help text")
+}
+
+#[test]
+fn help_documents_observability_controls() {
+    let help = help_output();
+    for needle in [
+        "--metrics",
+        "V2V_LOG",
+        "V2V_ACCESS_LOG",
+        "V2V_SLOW_REQUEST_MS",
+        "V2V_FLIGHT_DUMP",
+        "X-Request-Id",
+        "/metricz",
+        "/tracez",
+        "format=prometheus",
+        "SIGUSR1",
+    ] {
+        assert!(help.contains(needle), "v2v help must mention {needle}\n---\n{help}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_v2v"))
+        .arg("frobnicate")
+        .output()
+        .expect("run v2v frobnicate");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: v2v"), "stderr must carry usage, got:\n{err}");
+}

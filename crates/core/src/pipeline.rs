@@ -95,6 +95,27 @@ impl V2vModel {
             v2v_embed::train_with_checkpoints(corpus, &config.embedding, ckpt)
                 .map_err(V2vError::Training)?;
         let training = t1.elapsed();
+        // Phase gauges mirror the Timing struct for scrapers: Table I's
+        // walk/train split becomes visible in /metricz and --metrics
+        // exports without waiting for the run to finish and print.
+        let metrics = v2v_obs::global_metrics();
+        metrics.counter("pipeline.runs").inc();
+        metrics.gauge("pipeline.walk_secs").set(walk_generation.as_secs_f64());
+        metrics.gauge("pipeline.train_secs").set(training.as_secs_f64());
+        v2v_obs::record_event(
+            v2v_obs::Event::new(
+                "pipeline.trained",
+                "",
+                &format!(
+                    "{} vertices x {} dims, {} epochs, final loss {:.5}",
+                    embedding.len(),
+                    embedding.dimensions(),
+                    stats.epochs_run,
+                    stats.epoch_losses.last().copied().unwrap_or(0.0)
+                ),
+            )
+            .with_latency_ms(training.as_secs_f64() * 1e3),
+        );
         v2v_obs::obs_info!(
             "trained {} vertices x {} dims in {:.3}s ({} epochs, final loss {:.5})",
             embedding.len(),
@@ -117,9 +138,16 @@ impl V2vModel {
     /// Adds `elapsed` to one accumulated phase (crate-internal).
     pub(crate) fn add_phase_time(&self, phase: Phase, elapsed: Duration) {
         let mut t = self.timing.lock().unwrap();
+        let metrics = v2v_obs::global_metrics();
         match phase {
-            Phase::Clustering => t.clustering += elapsed,
-            Phase::Projection => t.projection += elapsed,
+            Phase::Clustering => {
+                t.clustering += elapsed;
+                metrics.gauge("pipeline.cluster_secs").set(t.clustering.as_secs_f64());
+            }
+            Phase::Projection => {
+                t.projection += elapsed;
+                metrics.gauge("pipeline.project_secs").set(t.projection.as_secs_f64());
+            }
         }
     }
 

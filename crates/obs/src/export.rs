@@ -119,6 +119,24 @@ impl Telemetry {
             }
             out.push_str("]}");
         }
+        out.push_str("},\n    \"windows\": {");
+        for (i, (k, w)) in self.metrics.windows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_escaped(&mut out, k);
+            out.push_str(": {\"count\": ");
+            let _ = write!(out, "{}", w.count);
+            out.push_str(", \"sum\": ");
+            json::write_f64(&mut out, w.sum);
+            out.push_str(", \"p50\": ");
+            json::write_f64(&mut out, w.p50);
+            out.push_str(", \"p95\": ");
+            json::write_f64(&mut out, w.p95);
+            out.push_str(", \"p99\": ");
+            json::write_f64(&mut out, w.p99);
+            out.push('}');
+        }
         out.push_str("}\n  }\n}\n");
         out
     }
@@ -146,6 +164,13 @@ impl Telemetry {
             let _ = writeln!(out, "histogram_sum,{name},{}", h.sum);
             let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
             let _ = writeln!(out, "histogram_mean,{name},{mean}");
+        }
+        for (k, w) in &self.metrics.windows {
+            let name = csv_field(k);
+            let _ = writeln!(out, "window_count,{name},{}", w.count);
+            let _ = writeln!(out, "window_p50,{name},{}", w.p50);
+            let _ = writeln!(out, "window_p95,{name},{}", w.p95);
+            let _ = writeln!(out, "window_p99,{name},{}", w.p99);
         }
         out
     }
@@ -178,6 +203,13 @@ impl Telemetry {
             let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
             let _ = writeln!(out, "  {k}: n={} mean={mean:.4}", h.count);
         }
+        for (k, w) in &self.metrics.windows {
+            let _ = writeln!(
+                out,
+                "  {k} (window): n={} p50={:.4} p95={:.4} p99={:.4}",
+                w.count, w.p50, w.p95, w.p99
+            );
+        }
         out
     }
 
@@ -186,6 +218,7 @@ impl Telemetry {
         self.metrics.counters.len()
             + self.metrics.gauges.len()
             + self.metrics.histograms.len()
+            + self.metrics.windows.len()
     }
 }
 
@@ -257,6 +290,7 @@ mod tests {
         metrics.counter("walks.generated").add(42);
         metrics.gauge("train.loss").set(0.125);
         metrics.histogram("walk.len", &[10.0, 40.0]).record(35.0);
+        metrics.windowed("serve.latency.q", &[1.0, 4.0]).record(2.0);
         Telemetry::capture(&spans, &metrics).with("dataset", "karate").with("dim", 16)
     }
 
@@ -292,6 +326,9 @@ mod tests {
         let h = metrics.get("histograms").unwrap().get("walk.len").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), 3);
+        let w = metrics.get("windows").unwrap().get("serve.latency.q").unwrap();
+        assert_eq!(w.get("count").unwrap().as_u64(), Some(1));
+        assert!(w.get("p99").unwrap().as_f64().unwrap() > 1.0);
     }
 
     #[test]
@@ -302,6 +339,8 @@ mod tests {
         assert!(csv.contains("counter,walks.generated,42"));
         assert!(csv.contains("gauge,train.loss,0.125"));
         assert!(csv.contains("histogram_count,walk.len,1"));
+        assert!(csv.contains("window_count,serve.latency.q,1"));
+        assert!(csv.contains("window_p99,serve.latency.q,"));
     }
 
     #[test]
@@ -321,7 +360,7 @@ mod tests {
 
     #[test]
     fn metric_count_spans_kinds() {
-        assert_eq!(sample().metric_count(), 3);
+        assert_eq!(sample().metric_count(), 4);
     }
 
     #[test]

@@ -19,6 +19,20 @@
 //!   exposes this as `--metrics <path>` and the bench binaries emit it as
 //!   a sidecar next to their results.
 //!
+//! * **Tracing** ([`trace`]) — per-request [`TraceCtx`] correlation IDs,
+//!   accepted or generated at the serving edge and echoed via
+//!   `X-Request-Id`, so one identifier follows a request across the
+//!   access log, the flight recorder, and the caller's own logs.
+//! * **Windowed quantiles** ([`window`]) — rotating-window histograms
+//!   (4×15 s ring) giving live p50/p95/p99 per endpoint, as opposed to
+//!   the cumulative-since-boot histograms above.
+//! * **Flight recorder** ([`recorder`]) — a bounded ring of recent
+//!   structured events (requests, sheds, reloads, panics, epochs),
+//!   dumped via `/tracez`, `SIGUSR1`, or the panic hook.
+//! * **Prometheus exposition** ([`prometheus`]) — renders any
+//!   [`metrics::MetricsSnapshot`] in the text format standard scrapers
+//!   consume (`/metricz?format=prometheus`).
+//!
 //! Everything is process-global by default (like any metrics runtime) but
 //! the underlying [`SpanTree`] and [`metrics::Registry`] types are plain
 //! values too, so tests can use private instances without cross-talk.
@@ -29,9 +43,16 @@ pub mod export;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use export::Telemetry;
 pub use log::{log_enabled, max_level, Level};
 pub use metrics::{global as global_metrics, Counter, Gauge, Histogram, Registry};
+pub use recorder::{global_recorder, record_event, Event, FlightRecorder};
 pub use span::{global_spans, span, SpanGuard, SpanSnapshot, SpanTree};
+pub use trace::{gen_request_id, TraceCtx};
+pub use window::{WindowSnapshot, WindowedHistogram};

@@ -13,6 +13,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::window::{WindowSnapshot, WindowedHistogram};
+
 /// Monotone event count.
 #[derive(Default)]
 pub struct Counter(AtomicU64);
@@ -66,6 +68,9 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Observations rejected for being NaN/±inf (they would otherwise
+    /// fall through every bucket comparison and poison `sum`).
+    nonfinite: AtomicU64,
 }
 
 impl Histogram {
@@ -82,6 +87,7 @@ impl Histogram {
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            nonfinite: AtomicU64::new(0),
         }
     }
 
@@ -95,7 +101,15 @@ impl Histogram {
     }
 
     /// Records one observation (wait-free apart from short CAS loops).
+    /// Non-finite values are counted in [`nonfinite`](Histogram::nonfinite)
+    /// and otherwise dropped: a NaN compares false against every bound, so
+    /// without the guard it would land in the overflow bucket and turn
+    /// `sum` (and so `mean`) into NaN forever.
     pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let idx = self.bounds.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -106,6 +120,12 @@ impl Histogram {
 
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Observations rejected by [`record`](Histogram::record) for being
+    /// NaN or infinite.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite.load(Ordering::Relaxed)
     }
 
     pub fn sum(&self) -> f64 {
@@ -211,6 +231,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Live-window quantiles from [`WindowedHistogram`] instruments.
+    pub windows: BTreeMap<String, WindowSnapshot>,
 }
 
 /// Frozen histogram state.
@@ -232,6 +254,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    windows: Mutex<BTreeMap<String, Arc<WindowedHistogram>>>,
 }
 
 impl Registry {
@@ -255,6 +278,15 @@ impl Registry {
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap();
         map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    /// The rotating-window histogram named `name` (default 4×15 s ring;
+    /// `bounds` applies only on first creation).
+    pub fn windowed(&self, name: &str, bounds: &[f64]) -> Arc<WindowedHistogram> {
+        let mut map = self.windows.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(WindowedHistogram::new(bounds)))
+            .clone()
     }
 
     /// Copies every instrument's current value.
@@ -293,6 +325,13 @@ impl Registry {
                     )
                 })
                 .collect(),
+            windows: self
+                .windows
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, w)| (k.clone(), w.snapshot()))
+                .collect(),
         }
     }
 
@@ -302,6 +341,7 @@ impl Registry {
         self.counters.lock().unwrap().clear();
         self.gauges.lock().unwrap().clear();
         self.histograms.lock().unwrap().clear();
+        self.windows.lock().unwrap().clear();
     }
 }
 
@@ -442,10 +482,32 @@ mod tests {
         r.counter("a").add(1);
         r.gauge("b").set(3.0);
         r.histogram("h", &[1.0]).record(2.0);
+        r.windowed("w", &[1.0, 10.0]).record(5.0);
         let s = r.snapshot();
         assert_eq!(s.counters["a"], 1);
         assert_eq!(s.gauges["b"], 3.0);
         assert_eq!(s.histograms["h"].count, 1);
         assert_eq!(s.histograms["h"].bucket_counts, vec![0, 1]);
+        assert_eq!(s.windows["w"].count, 1);
+        assert!(s.windows["w"].p50 > 1.0);
+    }
+
+    #[test]
+    fn nonfinite_records_are_rejected() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.record(2.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        // The poison values must not reach any bucket or statistic:
+        // before the guard, NaN landed in the overflow bucket and made
+        // `sum`/`mean` NaN for the rest of the process.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_counts(), vec![0, 1, 0]);
+        assert_eq!(h.sum(), 2.0);
+        assert!(h.mean().is_finite());
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(2.0));
+        assert_eq!(h.nonfinite(), 3);
     }
 }

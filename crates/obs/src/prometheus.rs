@@ -1,0 +1,367 @@
+//! Prometheus text exposition (version 0.0.4) for a [`MetricsSnapshot`].
+//!
+//! Maps the registry's instruments onto the format every scraper
+//! understands: counters become `v2v_<name>_total`, gauges keep their
+//! name, histograms expand to cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`, and rotating-window quantiles surface as `_p50` /
+//! `_p95` / `_p99` gauges (plus `_window_count`) because Prometheus has
+//! no native notion of a sliding window. Metric names are sanitized to
+//! `[a-zA-Z0-9_:]` — the registry's dotted names (`serve.latency_ms`)
+//! become underscored (`v2v_serve_latency_ms`).
+//!
+//! [`validate`] is a strict checker for the subset we emit, used by the
+//! crate's own tests, the serve integration tests, and CI smokes; it
+//! enforces TYPE/HELP-before-samples, monotone cumulative buckets, and
+//! `_sum`/`_count` consistency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::export::Telemetry;
+use crate::metrics::MetricsSnapshot;
+
+/// Rewrites a registry metric name into a legal Prometheus name with the
+/// workspace prefix: `serve.latency_ms` → `v2v_serve_latency_ms`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("v2v_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn write_help_type(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// A float in exposition syntax (Prometheus accepts Rust's default float
+/// formatting; non-finite values appear as `NaN`/`+Inf`/`-Inf`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot as Prometheus exposition text.
+pub fn write_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in &snapshot.counters {
+        let pname = format!("{}_total", sanitize_name(name));
+        write_help_type(&mut out, &pname, "counter", "monotone counter");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let pname = sanitize_name(name);
+        write_help_type(&mut out, &pname, "gauge", "last-observed level");
+        let _ = writeln!(out, "{pname} {}", fmt_f64(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let pname = sanitize_name(name);
+        write_help_type(&mut out, &pname, "histogram", "fixed-bucket distribution");
+        // Registry buckets are disjoint; Prometheus buckets are cumulative.
+        let mut cum = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.bucket_counts) {
+            cum += count;
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{}\"}} {cum}", fmt_f64(*bound));
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{pname}_sum {}", fmt_f64(h.sum));
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    }
+    for (name, w) in &snapshot.windows {
+        let base = sanitize_name(name);
+        for (suffix, value) in
+            [("p50", w.p50), ("p95", w.p95), ("p99", w.p99)]
+        {
+            let pname = format!("{base}_{suffix}");
+            write_help_type(&mut out, &pname, "gauge", "rotating-window quantile");
+            let _ = writeln!(out, "{pname} {}", fmt_f64(value));
+        }
+        let cname = format!("{base}_window_count");
+        write_help_type(&mut out, &cname, "gauge", "observations in live window");
+        let _ = writeln!(out, "{cname} {}", w.count);
+    }
+    out
+}
+
+impl Telemetry {
+    /// This capture's metrics as Prometheus exposition text. Spans and
+    /// provenance are omitted — they have no exposition-format analogue;
+    /// use [`to_json`](Telemetry::to_json) for the full record.
+    pub fn to_prometheus(&self) -> String {
+        write_prometheus(&self.metrics)
+    }
+}
+
+/// Strictly validates exposition text of the shape this module emits.
+///
+/// Checks: every sample line parses as `name[{le="..."}] value`; names are
+/// legal; every sample is preceded by its family's `# HELP` then `# TYPE`
+/// lines; cumulative `_bucket` counts are monotone and end at `+Inf`; each
+/// histogram's `_count` equals its `+Inf` bucket and a finite `_sum` is
+/// present. Returns the number of sample lines on success.
+pub fn validate(text: &str) -> Result<usize, String> {
+    fn legal_name(s: &str) -> bool {
+        !s.is_empty()
+            && !s.starts_with(|c: char| c.is_ascii_digit())
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    // family -> declared type; bucket series state per histogram family.
+    let mut declared_help: BTreeMap<String, bool> = BTreeMap::new();
+    let mut declared_type: BTreeMap<String, String> = BTreeMap::new();
+    struct HistState {
+        last_cum: u64,
+        last_le: f64,
+        inf_count: Option<u64>,
+        sum: Option<f64>,
+        count: Option<u64>,
+    }
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !legal_name(name) {
+                return err(format!("bad HELP name {name:?}"));
+            }
+            declared_help.insert(name.to_string(), true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !legal_name(name) {
+                return err(format!("bad TYPE name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return err(format!("unknown type {kind:?}"));
+            }
+            if !declared_help.contains_key(name) {
+                return err(format!("TYPE before HELP for {name}"));
+            }
+            declared_type.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(x) => x,
+            None => return err("sample line has no value".to_string()),
+        };
+        let value: f64 = match value_part {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().map_err(|_| format!("line {}: bad value {v:?}", lineno + 1))?,
+        };
+        let (name, le) = match name_part.split_once('{') {
+            None => (name_part, None),
+            Some((n, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: only le labels expected", lineno + 1))?;
+                let le_val = match le {
+                    "+Inf" => f64::INFINITY,
+                    v => v
+                        .parse()
+                        .map_err(|_| format!("line {}: bad le {v:?}", lineno + 1))?,
+                };
+                (n, Some(le_val))
+            }
+        };
+        if !legal_name(name) {
+            return err(format!("illegal metric name {name:?}"));
+        }
+        // Resolve the family: histogram samples use _bucket/_sum/_count.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suf| name.strip_suffix(suf))
+            .find(|fam| declared_type.get(*fam).is_some_and(|t| t == "histogram"))
+            .unwrap_or(name)
+            .to_string();
+        if !declared_type.contains_key(&family) {
+            return err(format!("sample {name} before its TYPE line"));
+        }
+        samples += 1;
+
+        if declared_type[&family] == "histogram" {
+            let st = hists.entry(family.clone()).or_insert(HistState {
+                last_cum: 0,
+                last_le: f64::NEG_INFINITY,
+                inf_count: None,
+                sum: None,
+                count: None,
+            });
+            if name.ends_with("_bucket") {
+                let le = le.ok_or_else(|| {
+                    format!("line {}: _bucket without le label", lineno + 1)
+                })?;
+                if le <= st.last_le {
+                    return err(format!("bucket le {le} not ascending"));
+                }
+                let cum = value as u64;
+                if (value - cum as f64).abs() > 1e-9 || value < 0.0 {
+                    return err("bucket count not a non-negative integer".to_string());
+                }
+                if cum < st.last_cum {
+                    return err(format!(
+                        "cumulative bucket count decreased ({} -> {cum})",
+                        st.last_cum
+                    ));
+                }
+                st.last_le = le;
+                st.last_cum = cum;
+                if le == f64::INFINITY {
+                    st.inf_count = Some(cum);
+                }
+            } else if name.ends_with("_sum") {
+                if !value.is_finite() {
+                    return err("histogram _sum not finite".to_string());
+                }
+                st.sum = Some(value);
+            } else if name.ends_with("_count") {
+                st.count = Some(value as u64);
+            }
+        } else if le.is_some() {
+            return err(format!("non-histogram sample {name} has le label"));
+        }
+    }
+
+    for (family, st) in &hists {
+        let inf = st
+            .inf_count
+            .ok_or_else(|| format!("histogram {family} missing +Inf bucket"))?;
+        let count =
+            st.count.ok_or_else(|| format!("histogram {family} missing _count"))?;
+        if st.sum.is_none() {
+            return Err(format!("histogram {family} missing _sum"));
+        }
+        if inf != count {
+            return Err(format!(
+                "histogram {family}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("serve.requests").add(7);
+        r.counter("serve.requests.neighbors").add(4);
+        r.gauge("train.loss").set(0.125);
+        let h = r.histogram("serve.latency_ms", &[0.5, 1.0, 2.0]);
+        for v in [0.1, 0.7, 0.7, 1.5, 9.0] {
+            h.record(v);
+        }
+        let w = r.windowed("serve.latency.neighbors", &[0.5, 1.0, 2.0]);
+        for v in [0.2, 0.4, 0.9, 1.1] {
+            w.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn exposition_passes_strict_parser() {
+        let text = write_prometheus(&sample_registry().snapshot());
+        let samples = validate(&text).expect("emitted exposition must validate");
+        assert!(samples >= 10, "expected many samples, got {samples}");
+    }
+
+    #[test]
+    fn counters_gain_total_and_histograms_are_cumulative() {
+        let text = write_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE v2v_serve_requests_total counter"));
+        assert!(text.contains("v2v_serve_requests_total 7"));
+        assert!(text.contains("# TYPE v2v_serve_latency_ms histogram"));
+        // Disjoint counts 1,2,1 cumulate to 1,3,4 then 5 at +Inf.
+        assert!(text.contains("v2v_serve_latency_ms_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("v2v_serve_latency_ms_bucket{le=\"1\"} 3"));
+        assert!(text.contains("v2v_serve_latency_ms_bucket{le=\"2\"} 4"));
+        assert!(text.contains("v2v_serve_latency_ms_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("v2v_serve_latency_ms_count 5"));
+    }
+
+    #[test]
+    fn windows_surface_quantile_gauges() {
+        let text = write_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE v2v_serve_latency_neighbors_p50 gauge"));
+        assert!(text.contains("v2v_serve_latency_neighbors_p95 "));
+        assert!(text.contains("v2v_serve_latency_neighbors_p99 "));
+        assert!(text.contains("v2v_serve_latency_neighbors_window_count 4"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("serve.latency_ms"), "v2v_serve_latency_ms");
+        assert_eq!(sanitize_name("weird name/é"), "v2v_weird_name__");
+        assert_eq!(sanitize_name("9lives"), "v2v_9lives");
+    }
+
+    #[test]
+    fn telemetry_to_prometheus_matches_snapshot_writer() {
+        let r = sample_registry();
+        let t = crate::Telemetry::capture(&crate::SpanTree::new(), &r);
+        assert_eq!(t.to_prometheus(), write_prometheus(&r.snapshot()));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Sample before TYPE.
+        assert!(validate("v2v_x 1\n").is_err());
+        // TYPE before HELP.
+        assert!(validate("# TYPE v2v_x counter\nv2v_x 1\n").is_err());
+        // Non-monotone cumulative buckets.
+        let bad = "# HELP v2v_h h\n# TYPE v2v_h histogram\n\
+                   v2v_h_bucket{le=\"1\"} 5\nv2v_h_bucket{le=\"2\"} 3\n\
+                   v2v_h_bucket{le=\"+Inf\"} 5\nv2v_h_sum 1\nv2v_h_count 5\n";
+        assert!(validate(bad).unwrap_err().contains("decreased"));
+        // +Inf bucket disagreeing with _count.
+        let bad = "# HELP v2v_h h\n# TYPE v2v_h histogram\n\
+                   v2v_h_bucket{le=\"+Inf\"} 5\nv2v_h_sum 1\nv2v_h_count 6\n";
+        assert!(validate(bad).unwrap_err().contains("_count"));
+        // Missing _sum.
+        let bad = "# HELP v2v_h h\n# TYPE v2v_h histogram\n\
+                   v2v_h_bucket{le=\"+Inf\"} 5\nv2v_h_count 5\n";
+        assert!(validate(bad).unwrap_err().contains("_sum"));
+        // Illegal name.
+        assert!(validate("# HELP 9bad x\n# TYPE 9bad gauge\n9bad 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_and_empty() {
+        let text = write_prometheus(&MetricsSnapshot::default());
+        assert_eq!(validate(&text), Ok(0));
+    }
+}

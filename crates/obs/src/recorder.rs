@@ -1,0 +1,238 @@
+//! Flight recorder: a fixed-capacity ring of recent structured events.
+//!
+//! Metrics tell you *that* p99 spiked; the flight recorder tells you
+//! *which requests* were in flight when it did. Every notable moment —
+//! request completion, shed decision, reload, panic, slow request,
+//! training epoch — appends an [`Event`] to a bounded ring that always
+//! holds the most recent `capacity` entries. The ring is dumped as JSON
+//! via `GET /tracez`, on `SIGUSR1`, and from the panic hook, so the last
+//! seconds before an incident are recoverable even from a dying process.
+//!
+//! The write path claims a slot with one wait-free `fetch_add` on a
+//! cursor, then takes that slot's (uncontended) mutex only to move the
+//! event in. Readers lock slots one at a time, so recording never blocks
+//! behind a dump.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+
+/// One recorded moment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Unix timestamp in milliseconds.
+    pub ts_ms: u64,
+    /// Event class: `"request"`, `"shed"`, `"panic"`, `"reload"`,
+    /// `"slow"`, `"epoch"`, ... — free-form but low-cardinality.
+    pub kind: String,
+    /// Correlation ID when the event belongs to a request; empty otherwise.
+    pub request_id: String,
+    /// Human-readable detail (endpoint, error text, epoch summary).
+    pub detail: String,
+    /// HTTP status when applicable; 0 = not applicable.
+    pub status: u16,
+    /// Latency in milliseconds when applicable; negative = not applicable.
+    pub latency_ms: f64,
+}
+
+impl Event {
+    /// An event stamped with the current wall clock; `status` and
+    /// `latency_ms` start as "not applicable".
+    pub fn new(kind: &str, request_id: &str, detail: &str) -> Event {
+        Event {
+            ts_ms: now_ms(),
+            kind: kind.to_string(),
+            request_id: request_id.to_string(),
+            detail: detail.to_string(),
+            status: 0,
+            latency_ms: -1.0,
+        }
+    }
+
+    pub fn with_status(mut self, status: u16) -> Event {
+        self.status = status;
+        self
+    }
+
+    pub fn with_latency_ms(mut self, latency_ms: f64) -> Event {
+        self.latency_ms = latency_ms;
+        self
+    }
+}
+
+/// Milliseconds since the Unix epoch.
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Bounded ring of the most recent [`Event`]s.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<Event>>>,
+    /// Total events ever recorded; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+}
+
+/// Capacity of the process-global recorder: enough for the last few
+/// seconds of a busy server without holding the whole request history.
+pub const GLOBAL_CAPACITY: usize = 256;
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity >= 1, "recorder needs at least one slot");
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (≥ the number currently retained).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Appends an event, overwriting the oldest when full. Wait-free slot
+    /// claim; the per-slot lock only contends if writers lap the ring.
+    pub fn record(&self, event: Event) {
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(at % self.slots.len() as u64) as usize];
+        *slot.lock().unwrap() = Some(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let cap = self.slots.len() as u64;
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let start = cursor.saturating_sub(cap);
+        let mut out = Vec::with_capacity(cap.min(cursor) as usize);
+        for at in start..cursor {
+            let slot = &self.slots[(at % cap) as usize];
+            if let Some(e) = slot.lock().unwrap().clone() {
+                out.push(e);
+            }
+        }
+        // Concurrent writers may have lapped `start`; timestamps keep the
+        // dump readable even if a stale slot slipped in.
+        out.sort_by_key(|e| e.ts_ms);
+        out
+    }
+
+    /// The whole ring as a JSON document:
+    /// `{"recorded": n, "dropped": n, "events": [...]}`.
+    pub fn to_json(&self) -> String {
+        let events = self.snapshot();
+        let mut out = String::with_capacity(events.len() * 128 + 64);
+        let _ = write!(
+            out,
+            "{{\n  \"recorded\": {},\n  \"dropped\": {},\n  \"events\": [",
+            self.recorded(),
+            self.dropped()
+        );
+        for (i, e) in events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {{\"ts_ms\": {}, \"kind\": ", e.ts_ms);
+            json::write_escaped(&mut out, &e.kind);
+            out.push_str(", \"request_id\": ");
+            json::write_escaped(&mut out, &e.request_id);
+            out.push_str(", \"detail\": ");
+            json::write_escaped(&mut out, &e.detail);
+            let _ = write!(out, ", \"status\": {}, \"latency_ms\": ", e.status);
+            if e.latency_ms >= 0.0 {
+                json::write_f64(&mut out, e.latency_ms);
+            } else {
+                out.push_str("null");
+            }
+            out.push('}');
+        }
+        out.push_str(if events.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+}
+
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide recorder ([`GLOBAL_CAPACITY`] slots).
+pub fn global_recorder() -> &'static FlightRecorder {
+    GLOBAL.get_or_init(|| FlightRecorder::new(GLOBAL_CAPACITY))
+}
+
+/// Records into the global ring — the one-liner call sites use.
+pub fn record_event(event: Event) {
+    global_recorder().record(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_when_full() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10u16 {
+            r.record(Event::new("request", "rid", &format!("req-{i}")).with_status(200));
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let details: Vec<&str> = events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["req-6", "req-7", "req-8", "req-9"]);
+    }
+
+    #[test]
+    fn empty_recorder_dumps_cleanly() {
+        let r = FlightRecorder::new(8);
+        assert!(r.snapshot().is_empty());
+        let doc = r.to_json();
+        let parsed = json::parse(&doc).expect("valid JSON");
+        assert_eq!(format!("{parsed:?}").contains("events"), true);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn json_dump_round_trips_and_escapes() {
+        let r = FlightRecorder::new(4);
+        r.record(
+            Event::new("shed", "id-1", "queue full: \"overload\"\n")
+                .with_status(503)
+                .with_latency_ms(0.25),
+        );
+        r.record(Event::new("reload", "", "swap ok"));
+        let doc = r.to_json();
+        let v = json::parse(&doc).expect("recorder dump must be valid JSON");
+        let text = format!("{v:?}");
+        assert!(text.contains("id-1"));
+        assert!(text.contains("503"));
+        assert!(doc.contains("\"latency_ms\": null"), "n/a latency must be null");
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_the_ring() {
+        let r = FlightRecorder::new(32);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        r.record(Event::new("request", "x", &format!("{t}-{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.recorded(), 8_000);
+        let events = r.snapshot();
+        assert!(events.len() <= 32);
+        assert!(!events.is_empty());
+    }
+}

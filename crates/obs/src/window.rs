@@ -1,0 +1,340 @@
+//! Rotating-window histograms: live tail-latency quantiles.
+//!
+//! A cumulative [`Histogram`](crate::metrics::Histogram) answers "what
+//! happened since boot"; a dashboard needs "what is happening *now*". A
+//! [`WindowedHistogram`] keeps a small ring of fixed-bucket histograms
+//! (default 4 slots × 15 s ≈ the last minute): each observation lands in
+//! the slot owning the current 15-second rotation, stale slots are lazily
+//! reset as the clock advances over them, and quantile queries merge the
+//! live slots. Recording is wait-free (relaxed atomics; a short CAS
+//! claims a slot on rotation), so the request hot path can afford one per
+//! response.
+//!
+//! Quantiles are bucket-interpolated: exact to within a bucket's width,
+//! which the exponential bounds keep proportional to the value itself.
+//! Rotation races (two threads crossing a slot boundary together) can
+//! drop or double a handful of boundary observations — harmless for
+//! telemetry, and bounded to the boundary instant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One ring slot: a bucket array tagged with the rotation it belongs to.
+struct Slot {
+    /// Rotation index currently stored here; `u64::MAX` = never used.
+    epoch: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Slot {
+    fn new(n_buckets: usize) -> Slot {
+        Slot {
+            epoch: AtomicU64::new(u64::MAX),
+            buckets: (0..n_buckets).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Makes this slot current for `rotation`, resetting it if it still
+    /// holds an older rotation's data. The CAS elects one resetter; the
+    /// losers just record into the freshly cleared slot.
+    fn rotate_to(&self, rotation: u64) {
+        let cur = self.epoch.load(Ordering::Relaxed);
+        if cur == rotation {
+            return;
+        }
+        if self
+            .epoch
+            .compare_exchange(cur, rotation, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Frozen view of a window: totals plus interpolated tail quantiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSnapshot {
+    /// Observations inside the live window.
+    pub count: u64,
+    /// Sum of observations inside the live window.
+    pub sum: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+/// A ring of fixed-bucket histograms over wall-clock rotations.
+pub struct WindowedHistogram {
+    bounds: Vec<f64>,
+    slots: Vec<Slot>,
+    slot_millis: u64,
+    origin: Instant,
+}
+
+/// Default ring shape: 4 slots × 15 s = quantiles over the last minute.
+pub const DEFAULT_SLOTS: usize = 4;
+/// Default rotation length in milliseconds.
+pub const DEFAULT_SLOT_MILLIS: u64 = 15_000;
+
+impl WindowedHistogram {
+    /// Builds a window over `bounds` (finite, strictly ascending) with the
+    /// default 4×15 s ring.
+    pub fn new(bounds: &[f64]) -> WindowedHistogram {
+        WindowedHistogram::with_ring(bounds, DEFAULT_SLOTS, DEFAULT_SLOT_MILLIS)
+    }
+
+    /// Builds a window with an explicit ring shape.
+    pub fn with_ring(bounds: &[f64], slots: usize, slot_millis: u64) -> WindowedHistogram {
+        assert!(slots >= 1 && slot_millis >= 1, "ring must have extent");
+        assert!(
+            bounds.iter().all(|b| b.is_finite())
+                && bounds.windows(2).all(|w| w[0] < w[1]),
+            "window bounds must be finite and strictly ascending"
+        );
+        WindowedHistogram {
+            bounds: bounds.to_vec(),
+            slots: (0..slots).map(|_| Slot::new(bounds.len() + 1)).collect(),
+            slot_millis,
+            origin: Instant::now(),
+        }
+    }
+
+    /// The rotation index the wall clock is currently in.
+    fn rotation(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64 / self.slot_millis
+    }
+
+    /// Records one observation into the current rotation's slot
+    /// (non-finite values are dropped, as in `Histogram`).
+    pub fn record(&self, v: f64) {
+        self.record_at(self.rotation(), v);
+    }
+
+    /// Records into an explicit rotation — the testable core of
+    /// [`record`](WindowedHistogram::record).
+    pub fn record_at(&self, rotation: u64, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let slot = &self.slots[(rotation % self.slots.len() as u64) as usize];
+        slot.rotate_to(rotation);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        slot.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        // sum += v, via CAS on the f64 bits.
+        let mut cur = slot.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match slot.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Merged bucket counts over the slots still inside the live window.
+    fn merged_at(&self, rotation: u64) -> (Vec<u64>, u64, f64) {
+        let len = self.slots.len() as u64;
+        let mut buckets = vec![0u64; self.bounds.len() + 1];
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for slot in &self.slots {
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            // Live = stamped with a rotation in (rotation - len, rotation].
+            if epoch == u64::MAX || epoch > rotation || epoch + len <= rotation {
+                continue;
+            }
+            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum += f64::from_bits(slot.sum_bits.load(Ordering::Relaxed));
+        }
+        (buckets, count, sum)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the live window, linearly
+    /// interpolated within the containing bucket; 0.0 on an empty window.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.quantile_at(self.rotation(), q)
+    }
+
+    /// [`quantile`](WindowedHistogram::quantile) at an explicit rotation.
+    pub fn quantile_at(&self, rotation: u64, q: f64) -> f64 {
+        let (buckets, count, _) = self.merged_at(rotation);
+        quantile_from_buckets(&self.bounds, &buckets, count, q)
+    }
+
+    /// Observations currently inside the live window.
+    pub fn count(&self) -> u64 {
+        self.merged_at(self.rotation()).1
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Freezes the live window's totals and p50/p95/p99.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.rotation())
+    }
+
+    /// [`snapshot`](WindowedHistogram::snapshot) at an explicit rotation.
+    pub fn snapshot_at(&self, rotation: u64) -> WindowSnapshot {
+        let (buckets, count, sum) = self.merged_at(rotation);
+        WindowSnapshot {
+            count,
+            sum,
+            p50: quantile_from_buckets(&self.bounds, &buckets, count, 0.50),
+            p95: quantile_from_buckets(&self.bounds, &buckets, count, 0.95),
+            p99: quantile_from_buckets(&self.bounds, &buckets, count, 0.99),
+        }
+    }
+}
+
+/// Bucket-interpolated quantile: find the bucket holding the `q`-rank
+/// observation, then place it linearly within that bucket's span. The
+/// overflow bucket has no upper edge, so it reports its lower edge — an
+/// underestimate, which is the conservative direction for an alert.
+fn quantile_from_buckets(bounds: &[f64], buckets: &[u64], count: u64, q: f64) -> f64 {
+    if count == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let within = rank - seen as f64;
+        seen += c;
+        if (seen as f64) >= rank {
+            let lo = if i == 0 { 0.0f64.min(bounds[0]) } else { bounds[i - 1] };
+            let hi = if i < bounds.len() { bounds[i] } else { return bounds[bounds.len() - 1] };
+            return lo + (hi - lo) * (within / c as f64).clamp(0.0, 1.0);
+        }
+    }
+    bounds[bounds.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Vec<f64> {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0]
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let w = WindowedHistogram::with_ring(&bounds(), 4, 1_000_000);
+        // 100 values uniform over (0, 10]: p50 ≈ 5, p99 ≈ 9.9.
+        for i in 1..=100 {
+            w.record_at(0, i as f64 / 10.0);
+        }
+        let p50 = w.quantile_at(0, 0.50);
+        let p99 = w.quantile_at(0, 0.99);
+        // True p50 is 5.0 and lands exactly via interpolation; true p99 is
+        // 9.9, reported within its containing (8, 16] bucket.
+        assert!((p50 - 5.0).abs() < 1e-9, "p50 {p50}");
+        assert!((8.0..=16.0).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+        assert_eq!(w.count(), 100);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let w = WindowedHistogram::new(&bounds());
+        assert_eq!(w.quantile(0.5), 0.0);
+        let s = w.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn old_rotations_age_out() {
+        let w = WindowedHistogram::with_ring(&bounds(), 4, 1_000_000);
+        for _ in 0..50 {
+            w.record_at(0, 12.0); // slow requests in rotation 0
+        }
+        // Rotation 0 is live through rotation 3 and gone at rotation 4.
+        assert!(w.quantile_at(3, 0.5) > 8.0);
+        assert_eq!(w.quantile_at(4, 0.5), 0.0, "window must forget rotation 0");
+        // New traffic in rotation 4 dominates alone.
+        for _ in 0..50 {
+            w.record_at(4, 1.5);
+        }
+        let p50 = w.quantile_at(4, 0.5);
+        assert!((1.0..=2.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_data() {
+        let w = WindowedHistogram::with_ring(&bounds(), 2, 1_000_000);
+        for _ in 0..10 {
+            w.record_at(0, 10.0);
+        }
+        // Rotation 2 maps onto rotation 0's slot and must clear it.
+        for _ in 0..10 {
+            w.record_at(2, 1.0);
+        }
+        let s = w.snapshot_at(2);
+        assert_eq!(s.count, 10, "stale slot data must be dropped on reuse");
+        assert!(s.p99 <= 2.0, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn nonfinite_values_are_dropped() {
+        let w = WindowedHistogram::new(&bounds());
+        w.record(f64::NAN);
+        w.record(f64::INFINITY);
+        w.record(3.0);
+        let s = w.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum.is_finite());
+    }
+
+    #[test]
+    fn overflow_bucket_reports_last_bound() {
+        let w = WindowedHistogram::with_ring(&bounds(), 4, 1_000_000);
+        for _ in 0..10 {
+            w.record_at(0, 100.0);
+        }
+        assert_eq!(w.quantile_at(0, 0.99), 16.0);
+    }
+
+    #[test]
+    fn concurrent_records_land_exactly_within_one_rotation() {
+        let w = WindowedHistogram::with_ring(&bounds(), 4, u64::MAX / 2);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..5_000 {
+                        w.record(((i % 15) + 1) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.count(), 8 * 5_000, "no rotation can occur; counts are exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        WindowedHistogram::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for `obs::json`: the hand-rolled writer and parser must
+//! agree on every document the crate can emit, and the parser must reject
+//! malformed input with `Err` — never a panic — because `/metricz`
+//! consumers and the CLI feed it arbitrary bytes.
+
+use proptest::prelude::*;
+use v2v_obs::json::{self, Value};
+use v2v_obs::{Registry, SpanTree, Telemetry};
+
+/// Decodes a list of generated code points into a string that exercises
+/// the escaper: quotes, backslashes, control bytes, and non-ASCII.
+fn decode_string(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .map(|&c| match c % 8 {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(c % 0x20).unwrap_or('\u{1}'), // control
+            3 => 'é',
+            4 => '\u{1F600}', // astral plane
+            _ => char::from_u32(0x20 + c % 0x5E).unwrap_or('x'), // printable
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any string survives write_escaped → parse unchanged.
+    #[test]
+    fn escaped_strings_round_trip(codes in proptest::collection::vec(0u32..1_000_000, 0..40)) {
+        let s = decode_string(&codes);
+        let mut doc = String::new();
+        json::write_escaped(&mut doc, &s);
+        prop_assert_eq!(json::parse(&doc).unwrap(), Value::String(s));
+    }
+
+    /// Any finite f64 the writer emits reads back to the same bits.
+    #[test]
+    fn f64_round_trips_losslessly(mantissa in any::<f64>(), scale in -300i32..300) {
+        let v = mantissa * 10f64.powi(scale);
+        let mut doc = String::new();
+        json::write_f64(&mut doc, v);
+        let back = json::parse(&doc).unwrap().as_f64().unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {doc} -> {back}");
+    }
+
+    /// Telemetry-shaped documents — random provenance, counters, gauges,
+    /// histogram and window observations — round-trip through
+    /// `to_json` → `parse` with every value intact.
+    #[test]
+    fn telemetry_documents_round_trip(
+        prov in proptest::collection::vec((0u32..1_000_000, 0u32..1_000_000), 0..4),
+        counters in proptest::collection::vec((0u32..1_000_000, 0u64..1_000_000_000), 0..5),
+        gauge_vals in proptest::collection::vec(any::<f64>(), 0..5),
+        hist_vals in proptest::collection::vec(0.0f64..1000.0, 0..20),
+    ) {
+        let metrics = Registry::new();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            // Distinct names: generated name + index suffix.
+            metrics.counter(&format!("{}.{i}", decode_string(&[*k]))).add(*v);
+        }
+        for (i, v) in gauge_vals.iter().enumerate() {
+            metrics.gauge(&format!("g{i}")).set(*v);
+        }
+        let h = metrics.histogram("h.vals", &[1.0, 10.0, 100.0]);
+        let w = metrics.windowed("w.vals", &[1.0, 10.0, 100.0]);
+        for v in &hist_vals {
+            h.record(*v);
+            w.record(*v);
+        }
+        let mut t = Telemetry::capture(&SpanTree::new(), &metrics);
+        for (i, (k, v)) in prov.iter().enumerate() {
+            // Index suffix keeps generated keys distinct (JSON objects
+            // collapse duplicate keys on parse).
+            t = t.with(&format!("{}.{i}", decode_string(&[*k])), decode_string(&[*v]));
+        }
+
+        let doc = json::parse(&t.to_json()).expect("export must parse");
+        let m = doc.get("metrics").unwrap();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            let name = format!("{}.{i}", decode_string(&[*k]));
+            prop_assert_eq!(
+                m.get("counters").unwrap().get(&name).unwrap().as_u64(),
+                Some(*v)
+            );
+        }
+        for (i, v) in gauge_vals.iter().enumerate() {
+            let back = m.get("gauges").unwrap().get(&format!("g{i}")).unwrap().as_f64();
+            prop_assert_eq!(back, Some(*v));
+        }
+        let hist = m.get("histograms").unwrap().get("h.vals").unwrap();
+        prop_assert_eq!(hist.get("count").unwrap().as_u64(), Some(hist_vals.len() as u64));
+        let win = m.get("windows").unwrap().get("w.vals").unwrap();
+        prop_assert_eq!(win.get("count").unwrap().as_u64(), Some(hist_vals.len() as u64));
+        for (i, (k, v)) in prov.iter().enumerate() {
+            let got = doc
+                .get("provenance").unwrap()
+                .get(&format!("{}.{i}", decode_string(&[*k]))).unwrap()
+                .as_str().unwrap();
+            prop_assert_eq!(got, decode_string(&[*v]));
+        }
+    }
+
+    /// Truncating a valid document anywhere yields `Err`, not a panic.
+    #[test]
+    fn truncated_documents_error(cut_seed in any::<u64>(), n_hist in 0usize..10) {
+        let metrics = Registry::new();
+        let h = metrics.histogram("h", &[1.0, 2.0]);
+        for i in 0..n_hist {
+            h.record(i as f64);
+        }
+        let full = Telemetry::capture(&SpanTree::new(), &metrics)
+            .with("quote\"key", "back\\slash")
+            .to_json();
+        // Cut at a char boundary strictly inside the document.
+        let mut cut = (cut_seed % full.len() as u64) as usize;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut == 0 || full[..cut].trim().is_empty() {
+            return; // empty prefix is "unexpected end", trivially Err too
+        }
+        prop_assert!(json::parse(&full[..cut]).is_err(), "prefix of len {cut} parsed");
+    }
+
+    /// Random byte soup never panics the parser; it returns Ok only if it
+    /// happens to be valid JSON.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..255, 0..64)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = json::parse(&text);
+    }
+}
+
+/// Malformed inputs the spec calls out explicitly: truncation, bad
+/// escapes, and bare non-finite literals all return `Err`.
+#[test]
+fn malformed_inputs_are_rejected() {
+    for bad in [
+        "{\"a\": 1",            // truncated object
+        "[1, 2",                // truncated array
+        "\"abc",                // unterminated string
+        "\"bad \\x escape\"",   // unknown escape
+        "\"bad \\u12 escape\"", // short unicode escape
+        "\"\\ud800\"",          // lone surrogate
+        "NaN",                  // bare NaN is not JSON
+        "Infinity",
+        "-Infinity",
+        "nan",
+        "{\"a\": NaN}",
+        "1.2.3",                // malformed number
+        "0x10",
+        "{} trailing",
+        "[1,]",
+        "{\"a\" 1}",
+    ] {
+        assert!(json::parse(bad).is_err(), "{bad:?} must not parse");
+    }
+}

@@ -12,7 +12,12 @@
 //!   vote for an out-of-sample query vector, parsed with the `v2v-obs`
 //!   JSON parser.
 //! * `GET /metricz` — the process metrics registry (request counters,
-//!   latency histogram, index build time) as JSON.
+//!   latency histogram + rotating-window quantiles, index build time) as
+//!   JSON; `?format=prometheus` returns the text exposition format for
+//!   standard scrapers.
+//! * `GET /tracez` — the flight recorder: the most recent structured
+//!   events (requests with IDs/status/latency, sheds, reloads, panics)
+//!   as JSON, for post-hoc "what just happened" queries.
 //! * `POST /reload` — rebuild the state from the reload source and swap
 //!   it in without dropping in-flight requests (see [`ServeHandle`]).
 //!
@@ -141,9 +146,24 @@ impl ServeHandle {
             .reloader
             .as_ref()
             .ok_or_else(|| "server was started without a reload source".to_string())?;
-        let fresh = Arc::new(reloader()?);
+        let fresh = match reloader() {
+            Ok(state) => Arc::new(state),
+            Err(e) => {
+                v2v_obs::record_event(v2v_obs::Event::new(
+                    "reload",
+                    "",
+                    &format!("reload failed, old state kept: {e}"),
+                ));
+                return Err(e);
+            }
+        };
         self.state.store(fresh.clone());
         v2v_obs::global_metrics().counter("serve.reloads").inc();
+        v2v_obs::record_event(v2v_obs::Event::new(
+            "reload",
+            "",
+            &format!("swapped in {} vectors", fresh.embedding.len()),
+        ));
         v2v_obs::obs_info!("reloaded serving state: {} vectors", fresh.embedding.len());
         Ok(fresh)
     }
@@ -179,22 +199,40 @@ impl ServeHandle {
     }
 }
 
-/// Routes one request.
+/// Routes one request. The request's trace context is already populated
+/// (`req.request_id`); handlers run under a span named for the endpoint so
+/// slow-request logs show where the time went.
 pub fn handle(state: &ServeState, req: &Request) -> Response {
+    let name = req.path.trim_start_matches('/');
+    let metric_named = !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric());
+    let _span = match (metric_named, req.path.as_str()) {
+        // Static names keep the span tree's cardinality bounded.
+        (true, "/healthz") => Some(v2v_obs::span("serve/healthz")),
+        (true, "/neighbors") => Some(v2v_obs::span("serve/neighbors")),
+        (true, "/similarity") => Some(v2v_obs::span("serve/similarity")),
+        (true, "/predict") => Some(v2v_obs::span("serve/predict")),
+        (true, "/metricz") => Some(v2v_obs::span("serve/metricz")),
+        (true, "/tracez") => Some(v2v_obs::span("serve/tracez")),
+        _ => None,
+    };
+    if !req.request_id.is_empty() {
+        v2v_obs::obs_debug!("[{}] {} {}", req.request_id, req.method, req.path);
+    }
     let route = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/neighbors") => neighbors(state, req),
         ("GET", "/similarity") => similarity(state, req),
         ("GET", "/predict") => predict_vertex(state, req),
         ("POST", "/predict") => predict_vector(state, req),
-        ("GET", "/metricz") => metricz(),
-        (_, "/healthz" | "/neighbors" | "/similarity" | "/predict" | "/metricz") => {
-            Response::error(405, &format!("method {} not allowed here", req.method))
-        }
+        ("GET", "/metricz") => metricz(req),
+        ("GET", "/tracez") => tracez(),
+        (
+            _,
+            "/healthz" | "/neighbors" | "/similarity" | "/predict" | "/metricz" | "/tracez",
+        ) => Response::error(405, &format!("method {} not allowed here", req.method)),
         (_, path) => Response::error(404, &format!("no such route {path}")),
     };
-    let name = req.path.trim_start_matches('/');
-    if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric()) {
+    if metric_named {
         v2v_obs::global_metrics().counter(&format!("serve.requests.{name}")).inc();
     }
     route
@@ -384,9 +422,22 @@ fn predict_vector(state: &ServeState, req: &Request) -> Response {
 }
 
 /// Serializes the global metrics registry (counters, gauges, histogram
-/// summaries) as one JSON object.
-fn metricz() -> Response {
+/// summaries, rotating-window quantiles) as one JSON object — or, with
+/// `?format=prometheus`, as the text exposition format scrapers consume.
+fn metricz(req: &Request) -> Response {
     let snap = v2v_obs::global_metrics().snapshot();
+    match req.param("format") {
+        Some("prometheus") => {
+            return Response {
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                ..Response::text(200, v2v_obs::prometheus::write_prometheus(&snap))
+            }
+        }
+        Some(other) if other != "json" => {
+            return Response::error(400, &format!("unknown format {other:?} (json, prometheus)"))
+        }
+        _ => {}
+    }
     let mut body = String::with_capacity(1024);
     body.push_str("{\"counters\": {");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -439,8 +490,28 @@ fn metricz() -> Response {
         }
         body.push_str("]}");
     }
+    body.push_str("}, \"windows\": {");
+    for (i, (name, w)) in snap.windows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        json::write_escaped(&mut body, name);
+        let _ = write!(body, ": {{\"count\": {}, \"p50\": ", w.count);
+        json::write_f64(&mut body, w.p50);
+        body.push_str(", \"p95\": ");
+        json::write_f64(&mut body, w.p95);
+        body.push_str(", \"p99\": ");
+        json::write_f64(&mut body, w.p99);
+        body.push('}');
+    }
     body.push_str("}}");
     Response::json(200, body)
+}
+
+/// Dumps the flight recorder: the most recent structured events, each
+/// carrying the request ID the client saw in `X-Request-Id`.
+fn tracez() -> Response {
+    Response::json(200, v2v_obs::global_recorder().to_json())
 }
 
 #[cfg(test)]
@@ -470,7 +541,7 @@ mod tests {
                     (k.to_string(), v.to_string())
                 })
                 .collect(),
-            body: Vec::new(),
+            ..Default::default()
         };
         handle(state, &req)
     }
@@ -533,8 +604,8 @@ mod tests {
         let req = Request {
             method: "POST".into(),
             path: "/predict".into(),
-            query: Vec::new(),
             body: br#"{"vector": [0.95, 0.02], "k": 3}"#.to_vec(),
+            ..Default::default()
         };
         let r = handle(&state, &req);
         assert_eq!(r.status, 200, "{}", r.body);
@@ -554,8 +625,8 @@ mod tests {
             let req = Request {
                 method: "POST".into(),
                 path: "/predict".into(),
-                query: Vec::new(),
                 body: body.to_vec(),
+                ..Default::default()
             };
             assert_eq!(handle(&state, &req).status, 400);
         }
@@ -582,8 +653,13 @@ mod tests {
         let req = Request {
             method: "DELETE".into(),
             path: "/healthz".into(),
-            query: Vec::new(),
-            body: Vec::new(),
+            ..Default::default()
+        };
+        assert_eq!(handle(&state, &req).status, 405);
+        let req = Request {
+            method: "POST".into(),
+            path: "/tracez".into(),
+            ..Default::default()
         };
         assert_eq!(handle(&state, &req).status, 405);
     }
@@ -597,5 +673,45 @@ mod tests {
         let v = json::parse(&r.body).unwrap();
         assert!(v.get("counters").unwrap().as_object().is_some());
         assert!(v.get("gauges").unwrap().get("serve.index.vectors").is_some());
+        assert!(v.get("windows").unwrap().as_object().is_some());
+    }
+
+    #[test]
+    fn metricz_prometheus_format_validates() {
+        let state = state_with_labels();
+        get(&state, "/healthz");
+        // A windowed instrument so the exposition includes quantile gauges.
+        v2v_obs::global_metrics().windowed("serve.latency.test", &[1.0, 10.0]).record(2.0);
+        let r = get(&state, "/metricz?format=prometheus");
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.starts_with("text/plain"));
+        let samples = v2v_obs::prometheus::validate(&r.body)
+            .expect("exposition output must pass the format parser");
+        assert!(samples > 0);
+        assert!(r.body.contains("v2v_serve_latency_test_p50"));
+        assert!(r.body.contains("v2v_serve_latency_test_p95"));
+        assert!(r.body.contains("v2v_serve_latency_test_p99"));
+        // Unknown formats are a client error, not silently JSON.
+        assert_eq!(get(&state, "/metricz?format=xml").status, 400);
+    }
+
+    #[test]
+    fn tracez_dumps_recorded_events() {
+        let state = state_with_labels();
+        v2v_obs::record_event(
+            v2v_obs::Event::new("request", "test-trace-id-007", "GET /healthz")
+                .with_status(200)
+                .with_latency_ms(0.5),
+        );
+        let r = get(&state, "/tracez");
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).expect("tracez must be valid JSON");
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert!(
+            events.iter().any(|e| {
+                e.get("request_id").unwrap().as_str() == Some("test-trace-id-007")
+            }),
+            "recorded request ID must be retrievable from /tracez"
+        );
     }
 }

@@ -24,9 +24,15 @@
 //!   request (counted as `serve.panics`) instead of killing the worker.
 //!
 //! Every request is counted and timed into the global `v2v-obs` registry
-//! (`serve.requests`, `serve.errors`, `serve.latency_ms`), which
+//! (`serve.requests`, `serve.errors`, `serve.latency_ms`, plus the
+//! rotating-window `serve.latency.<endpoint>` quantiles), which
 //! `/metricz` then exports — the server measures itself with the same
-//! machinery as the training pipeline.
+//! machinery as the training pipeline. Each request carries a trace
+//! context: the client's `X-Request-Id` (validated) or a generated ID is
+//! echoed on every response — including sheds and parse failures — logged
+//! on the structured access log (`V2V_ACCESS_LOG`), and stamped on the
+//! flight-recorder events (`/tracez`); requests slower than
+//! `V2V_SLOW_REQUEST_MS` (default 250) additionally log the span tree.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -81,7 +87,12 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters in order of appearance.
     pub query: Vec<(String, String)>,
+    /// Request headers in order of appearance (names as sent).
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Correlation ID: the validated `X-Request-Id` header if the client
+    /// sent one, a generated ID otherwise. Always echoed on the response.
+    pub request_id: String,
 }
 
 impl Request {
@@ -89,13 +100,23 @@ impl Request {
     pub fn param(&self, key: &str) -> Option<&str> {
         self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
+
+    /// First value of header `name` (case-insensitive, per RFC 9110).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
-/// An HTTP response (always JSON in this server).
+/// An HTTP response (JSON unless `content_type` says otherwise).
 #[derive(Debug)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
     /// Extra response headers (e.g. `Retry-After` on 503).
     pub headers: Vec<(String, String)>,
 }
@@ -103,7 +124,22 @@ pub struct Response {
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, body: body.into(), headers: Vec::new() }
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition, debug dumps).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+        }
     }
 
     /// A JSON `{"error": ...}` response.
@@ -111,7 +147,7 @@ impl Response {
         let mut body = String::from("{\"error\": ");
         v2v_obs::json::write_escaped(&mut body, message);
         body.push('}');
-        Response { status, body, headers: Vec::new() }
+        Response::json(status, body)
     }
 
     /// Adds a response header.
@@ -291,8 +327,16 @@ impl Server {
 fn shed_connection(stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut stream = stream;
+    // The request was never read, so there is no client ID to echo; a
+    // generated one still lets the shed be found in the flight recorder.
+    let request_id = v2v_obs::gen_request_id();
+    v2v_obs::record_event(
+        v2v_obs::Event::new("shed", &request_id, "queue full, answered 503 inline")
+            .with_status(503),
+    );
     let response = Response::error(503, "server overloaded, retry later")
-        .with_header("Retry-After", "1");
+        .with_header("Retry-After", "1")
+        .with_header("X-Request-Id", request_id);
     write_response(&mut stream, &response);
     drain_before_close(&mut stream, Duration::from_millis(100));
 }
@@ -320,9 +364,10 @@ fn drain_before_close(stream: &mut TcpStream, budget: Duration) {
 /// gone).
 fn write_response(stream: &mut TcpStream, response: &Response) {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.status_text(),
+        response.content_type,
         response.body.len()
     );
     for (name, value) in &response.headers {
@@ -337,7 +382,8 @@ fn write_response(stream: &mut TcpStream, response: &Response) {
     let _ = stream.flush();
 }
 
-/// Serves one request on `stream` and closes it, recording metrics.
+/// Serves one request on `stream` and closes it, recording metrics, the
+/// access log, and the flight recorder — all keyed by the request ID.
 fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig) {
     let metrics = v2v_obs::global_metrics();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
@@ -347,8 +393,21 @@ fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig
     let started = Instant::now();
     let deadline = started + config.request_deadline;
     let mut request_unread = false;
+    let mut method = String::new();
+    let mut path = String::new();
+    let mut trace = None;
     let response = match read_request(&mut stream, deadline, config.max_body) {
-        Ok(Some(request)) => {
+        Ok(Some(mut request)) => {
+            // Adopt the client's X-Request-Id or mint one; the handler
+            // sees it on the request, the client gets it echoed back.
+            let ctx = match request.header("x-request-id") {
+                Some(supplied) => v2v_obs::TraceCtx::from_supplied(supplied),
+                None => v2v_obs::TraceCtx::new(),
+            };
+            request.request_id = ctx.request_id;
+            method = request.method.clone();
+            path = request.path.clone();
+            trace = Some(request.request_id.clone());
             metrics.counter("serve.requests").inc();
             // A panicking handler must cost one request, not a worker
             // thread: catch it, count it, answer 500. The handler only
@@ -359,6 +418,14 @@ fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig
                 Ok(response) => response,
                 Err(_) => {
                     metrics.counter("serve.panics").inc();
+                    v2v_obs::record_event(
+                        v2v_obs::Event::new(
+                            "panic",
+                            &request.request_id,
+                            &format!("handler panicked on {} {}", request.method, request.path),
+                        )
+                        .with_status(500),
+                    );
                     Response::error(500, "handler panicked; see server logs")
                 }
             }
@@ -370,6 +437,8 @@ fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig
             Response::error(e.status, &e.message)
         }
     };
+    let request_id = trace.unwrap_or_else(v2v_obs::gen_request_id);
+    let response = response.with_header("X-Request-Id", request_id.clone());
     if response.status >= 400 {
         metrics.counter("serve.errors").inc();
     }
@@ -377,12 +446,112 @@ fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig
     metrics
         .histogram("serve.latency_ms", &latency_bounds())
         .record(latency_ms);
+    // Live tail quantiles: overall plus per endpoint, over a rotating
+    // window, so `/metricz` shows "now" and not "since boot".
+    metrics.windowed("serve.latency.all", &latency_bounds()).record(latency_ms);
+    if let Some(endpoint) = endpoint_name(&path) {
+        metrics
+            .windowed(&format!("serve.latency.{endpoint}"), &latency_bounds())
+            .record(latency_ms);
+    }
+    v2v_obs::record_event(
+        v2v_obs::Event::new(
+            "request",
+            &request_id,
+            &format!("{method} {path}"),
+        )
+        .with_status(response.status)
+        .with_latency_ms(latency_ms),
+    );
+    if latency_ms >= slow_request_ms() {
+        // Outliers get the full span tree so "what was slow" is answerable
+        // from the log alone.
+        v2v_obs::record_event(
+            v2v_obs::Event::new("slow", &request_id, &format!("{method} {path}"))
+                .with_status(response.status)
+                .with_latency_ms(latency_ms),
+        );
+        v2v_obs::obs_info!(
+            "slow request [{request_id}] {method} {path} took {latency_ms:.1}ms; spans:\n{}",
+            v2v_obs::Telemetry::capture_global().summary()
+        );
+    }
+    access_log(&request_id, &method, &path, response.status, response.body.len(), latency_ms);
 
     write_response(&mut stream, &response);
     if request_unread {
         // The request was rejected before it was fully read; see
         // `drain_before_close` for why closing now would eat the response.
         drain_before_close(&mut stream, Duration::from_secs(1));
+    }
+}
+
+/// The metric-safe endpoint name for a path (`/neighbors` → `neighbors`);
+/// `None` for paths that would explode metric cardinality.
+fn endpoint_name(path: &str) -> Option<&str> {
+    let name = path.trim_start_matches('/');
+    (!name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric())).then_some(name)
+}
+
+/// Latency (ms) beyond which a request is logged as slow with its span
+/// tree; `V2V_SLOW_REQUEST_MS` overrides the 250 ms default.
+fn slow_request_ms() -> f64 {
+    static THRESHOLD: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("V2V_SLOW_REQUEST_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|v: &f64| v.is_finite() && *v > 0.0)
+            .unwrap_or(250.0)
+    })
+}
+
+/// Structured access log: one JSON line per request to the destination
+/// named by `V2V_ACCESS_LOG` (a file path, or `stderr`; unset = off).
+/// The line carries the same request ID the client received, so client
+/// logs, this log, and `/tracez` join on one key.
+fn access_log(
+    request_id: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    bytes: usize,
+    latency_ms: f64,
+) {
+    enum Sink {
+        Stderr,
+        File(Mutex<std::fs::File>),
+    }
+    static SINK: std::sync::OnceLock<Option<Sink>> = std::sync::OnceLock::new();
+    let sink = SINK.get_or_init(|| match std::env::var("V2V_ACCESS_LOG") {
+        Err(_) => None,
+        Ok(dest) if dest == "stderr" => Some(Sink::Stderr),
+        Ok(dest) => match std::fs::OpenOptions::new().create(true).append(true).open(&dest) {
+            Ok(f) => Some(Sink::File(Mutex::new(f))),
+            Err(e) => {
+                v2v_obs::obs_error!("cannot open access log {dest}: {e}");
+                None
+            }
+        },
+    });
+    let Some(sink) = sink else { return };
+    let mut line = format!("{{\"ts_ms\": {}, \"request_id\": ", v2v_obs::recorder::now_ms());
+    v2v_obs::json::write_escaped(&mut line, request_id);
+    line.push_str(", \"method\": ");
+    v2v_obs::json::write_escaped(&mut line, method);
+    line.push_str(", \"path\": ");
+    v2v_obs::json::write_escaped(&mut line, path);
+    let _ = {
+        use std::fmt::Write as _;
+        write!(line, ", \"status\": {status}, \"bytes\": {bytes}, \"latency_ms\": ")
+    };
+    v2v_obs::json::write_f64(&mut line, latency_ms);
+    line.push_str("}\n");
+    match sink {
+        Sink::Stderr => eprint!("{line}"),
+        Sink::File(f) => {
+            let _ = f.lock().unwrap().write_all(line.as_bytes());
+        }
     }
 }
 
@@ -458,14 +627,16 @@ fn read_request(
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| RequestError::bad("invalid Content-Length"))?;
             }
+            headers.push((name.trim().to_string(), value.to_string()));
         }
     }
     if content_length > max_body {
@@ -493,7 +664,10 @@ fn read_request(
         method,
         path: percent_decode(path),
         query,
+        headers,
         body,
+        // Populated by `handle_connection` once the trace context exists.
+        request_id: String::new(),
     }))
 }
 
@@ -578,6 +752,36 @@ mod tests {
         };
         assert_eq!(req.param("k"), Some("5"));
         assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = Request {
+            headers: vec![
+                ("X-Request-Id".into(), "abc".into()),
+                ("Content-Length".into(), "0".into()),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(req.header("x-request-id"), Some("abc"));
+        assert_eq!(req.header("X-REQUEST-ID"), Some("abc"));
+        assert_eq!(req.header("x-missing"), None);
+    }
+
+    #[test]
+    fn endpoint_names_bound_cardinality() {
+        assert_eq!(endpoint_name("/neighbors"), Some("neighbors"));
+        assert_eq!(endpoint_name("/healthz"), Some("healthz"));
+        assert_eq!(endpoint_name("/"), None);
+        assert_eq!(endpoint_name("/a/b"), None, "nested paths stay unnamed");
+        assert_eq!(endpoint_name("/☃"), None);
+    }
+
+    #[test]
+    fn text_responses_carry_plain_content_type() {
+        let r = Response::text(200, "ok");
+        assert!(r.content_type.starts_with("text/plain"));
+        assert_eq!(Response::json(200, "{}").content_type, "application/json");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! SIGINT/SIGTERM → shutdown flag, SIGHUP → reload flag.
+//! SIGINT/SIGTERM → shutdown flag, SIGHUP → reload flag, SIGUSR1 →
+//! flight-recorder dump flag.
 //!
 //! The server's accept loop polls [`requested`] so Ctrl-C drains in-flight
 //! requests and exits 0 instead of killing the process mid-write, and the
@@ -13,6 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 static REQUESTED: AtomicBool = AtomicBool::new(false);
 static RELOAD: AtomicBool = AtomicBool::new(false);
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
@@ -22,6 +24,10 @@ mod imp {
 
     extern "C" fn on_reload(_signum: i32) {
         super::trigger_reload();
+    }
+
+    extern "C" fn on_dump(_signum: i32) {
+        super::trigger_dump();
     }
 
     extern "C" {
@@ -43,6 +49,13 @@ mod imp {
             signal(SIGHUP, on_reload);
         }
     }
+
+    pub fn install_dump() {
+        const SIGUSR1: i32 = 10;
+        unsafe {
+            signal(SIGUSR1, on_dump);
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -50,6 +63,8 @@ mod imp {
     pub fn install() {}
 
     pub fn install_reload() {}
+
+    pub fn install_dump() {}
 }
 
 /// Installs the SIGINT/SIGTERM handler (idempotent; no-op off Unix).
@@ -92,6 +107,25 @@ pub fn trigger_reload() {
     RELOAD.store(true, Ordering::SeqCst);
 }
 
+/// Installs the SIGUSR1 → flight-recorder-dump handler (idempotent;
+/// no-op off Unix). The CLI's watcher thread polls [`take_dump`] and
+/// writes the recorder JSON to `V2V_FLIGHT_DUMP`.
+pub fn install_dump() {
+    imp::install_dump();
+}
+
+/// Consumes a pending dump request: true at most once per SIGUSR1 (or
+/// [`trigger_dump`]).
+pub fn take_dump() -> bool {
+    DUMP.swap(false, Ordering::SeqCst)
+}
+
+/// Requests a flight-recorder dump programmatically — what the SIGUSR1
+/// handler does.
+pub fn trigger_dump() {
+    DUMP.store(true, Ordering::SeqCst);
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -111,5 +145,13 @@ mod tests {
         super::trigger_reload();
         assert!(super::take_reload());
         assert!(!super::take_reload(), "take_reload must consume the flag");
+    }
+
+    #[test]
+    fn dump_is_consumed_once() {
+        super::install_dump();
+        super::trigger_dump();
+        assert!(super::take_dump());
+        assert!(!super::take_dump(), "take_dump must consume the flag");
     }
 }

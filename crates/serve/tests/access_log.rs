@@ -1,0 +1,69 @@
+//! Access-log integration test, isolated in its own test binary because
+//! the log sink is resolved from `V2V_ACCESS_LOG` once per process: this
+//! file's single test sets the variable before the first request is
+//! served, which would be impossible racing other tests in a shared
+//! binary.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use v2v_embed::Embedding;
+use v2v_obs::json;
+use v2v_serve::{HnswConfig, Server, ServerConfig, ServeState};
+
+#[test]
+fn access_log_records_request_ids_and_latencies() {
+    let dir = std::env::temp_dir().join(format!("v2v-access-log-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("access.jsonl");
+    // Must happen before the first request initializes the sink.
+    std::env::set_var("V2V_ACCESS_LOG", &log_path);
+
+    let embedding = Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0]);
+    let state = Arc::new(ServeState::new(embedding, HnswConfig::default(), None).unwrap());
+    let config = ServerConfig { threads: 2, watch_signals: false, ..Default::default() };
+    let server = Server::bind(config, state.into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    let send = |req: String| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    };
+    send("GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-1\r\n\r\n".into());
+    send("GET /nowhere HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-2\r\n\r\n".into());
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().unwrap().unwrap();
+
+    let text = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<json::Value> = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad log line {l:?}: {e}")))
+        .collect();
+    assert!(lines.len() >= 2, "one line per request, got {}", lines.len());
+
+    let find = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.get("request_id").unwrap().as_str() == Some(id))
+            .unwrap_or_else(|| panic!("request {id} missing from access log"))
+    };
+    let ok = find("log-trace-1");
+    assert_eq!(ok.get("method").unwrap().as_str(), Some("GET"));
+    assert_eq!(ok.get("path").unwrap().as_str(), Some("/healthz"));
+    assert_eq!(ok.get("status").unwrap().as_u64(), Some(200));
+    assert!(ok.get("bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(ok.get("latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(ok.get("ts_ms").unwrap().as_u64().unwrap() > 0);
+    let err = find("log-trace-2");
+    assert_eq!(err.get("status").unwrap().as_u64(), Some(404));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

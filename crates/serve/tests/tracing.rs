@@ -1,0 +1,141 @@
+//! End-to-end request tracing: every response carries `X-Request-Id`
+//! (echoed when supplied, generated otherwise), the same ID shows up in
+//! `/tracez`, and `/metricz?format=prometheus` serves valid exposition
+//! text with per-endpoint window quantiles — all over real TCP.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use v2v_embed::Embedding;
+use v2v_obs::json;
+use v2v_serve::{HnswConfig, Server, ServerConfig, ServeState};
+
+fn test_state() -> Arc<ServeState> {
+    let embedding = Embedding::from_flat(
+        2,
+        vec![1.0, 0.0, 1.0, 0.1, 0.9, -0.1, -1.0, 0.0, -1.0, 0.1, -0.9, -0.1],
+    );
+    Arc::new(ServeState::new(embedding, HnswConfig::default(), None).unwrap())
+}
+
+/// One raw exchange; returns (status, headers lowercased, body).
+fn roundtrip(
+    addr: std::net::SocketAddr,
+    request: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn request_ids_thread_through_responses_and_tracez() {
+    let config = ServerConfig { threads: 2, watch_signals: false, ..Default::default() };
+    let server = Server::bind(config, test_state().into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    // Supplied ID is echoed verbatim.
+    let (status, headers, _) = roundtrip(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: trace-test-42\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("trace-test-42"));
+
+    // No ID supplied: a 16-hex-char one is generated.
+    let (_, headers, _) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    let generated = header(&headers, "x-request-id").expect("generated ID").to_string();
+    assert_eq!(generated.len(), 16);
+    assert!(generated.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // Garbage IDs are not echoed back (log-injection guard) but still
+    // get a generated replacement.
+    let (_, headers, _) = roundtrip(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: bad id with spaces\r\n\r\n",
+    );
+    let replaced = header(&headers, "x-request-id").unwrap();
+    assert_ne!(replaced, "bad id with spaces");
+    assert_eq!(replaced.len(), 16);
+
+    // Errors carry the ID too.
+    let (status, headers, _) = roundtrip(
+        addr,
+        "GET /nowhere HTTP/1.1\r\nHost: t\r\nX-Request-Id: err-trace-7\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+    assert_eq!(header(&headers, "x-request-id"), Some("err-trace-7"));
+
+    // Both IDs are retrievable from /tracez, tied to their requests.
+    let (status, _, body) = roundtrip(addr, "GET /tracez HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).expect("tracez JSON");
+    let events = doc.get("events").unwrap().as_array().unwrap();
+    let find = |id: &str| {
+        events
+            .iter()
+            .find(|e| e.get("request_id").unwrap().as_str() == Some(id))
+            .unwrap_or_else(|| panic!("request {id} missing from /tracez"))
+    };
+    let sent = find("trace-test-42");
+    assert_eq!(sent.get("status").unwrap().as_u64(), Some(200));
+    assert!(sent.get("detail").unwrap().as_str().unwrap().contains("/healthz"));
+    assert!(sent.get("latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+    let errored = find("err-trace-7");
+    assert_eq!(errored.get("status").unwrap().as_u64(), Some(404));
+    find(&generated);
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().unwrap().unwrap();
+}
+
+#[test]
+fn prometheus_endpoint_serves_valid_exposition_over_tcp() {
+    let config = ServerConfig { threads: 2, watch_signals: false, ..Default::default() };
+    let server = Server::bind(config, test_state().into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    // Generate traffic so per-endpoint windows exist.
+    for _ in 0..5 {
+        roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    }
+    let (status, headers, body) =
+        roundtrip(addr, "GET /metricz?format=prometheus HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "content-type").unwrap().starts_with("text/plain"));
+    let samples =
+        v2v_obs::prometheus::validate(&body).expect("served exposition must validate");
+    assert!(samples > 0);
+    assert!(body.contains("# TYPE v2v_serve_requests_total counter"));
+    assert!(body.contains("v2v_serve_latency_ms_bucket{le=\"+Inf\"}"));
+    // Per-endpoint live quantiles from the rotating window.
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            body.contains(&format!("v2v_serve_latency_healthz_{q} ")),
+            "missing healthz {q} gauge"
+        );
+    }
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().unwrap().unwrap();
+}

@@ -26,6 +26,8 @@ printf '6 2\n0 1.0 0.0\n1 1.0 0.1\n2 0.9 -0.1\n3 -1.0 0.0\n4 -1.0 0.1\n5 -0.9 -0
   > "$smoke_dir/emb.txt"
 printf '0 0\n1 0\n2 0\n3 1\n4 1\n' > "$smoke_dir/labels.txt"
 
+V2V_ACCESS_LOG="$smoke_dir/access.jsonl" \
+V2V_FLIGHT_DUMP="$smoke_dir/flight.json" \
 ./target/release/v2v serve \
   --embedding "$smoke_dir/emb.txt" \
   --labels "$smoke_dir/labels.txt" \
@@ -72,6 +74,39 @@ printf '0 0\n1 0\n2 0\n3 1\n4 1\n' > "$smoke_dir/labels.txt"
 curl -sf -X POST "http://$addr/reload" | grep -q '"reloaded": true'
 curl -sf "http://$addr/healthz" | grep -q '"vectors": 7'
 echo "reload smoke test: ok"
+
+# --- Observability smoke: tracing, prometheus, access log, SIGUSR1 ---------
+# Every response carries X-Request-Id; a supplied ID is echoed and shows up
+# in /tracez and the access log.
+curl -sfD "$smoke_dir/headers.txt" -H 'X-Request-Id: smoke-trace-42' \
+  "http://$addr/healthz" > /dev/null
+grep -qi '^X-Request-Id: smoke-trace-42' "$smoke_dir/headers.txt" \
+  || { echo "supplied request ID not echoed" >&2; exit 1; }
+curl -sfD "$smoke_dir/headers2.txt" "http://$addr/healthz" > /dev/null
+grep -qi '^X-Request-Id: ' "$smoke_dir/headers2.txt" \
+  || { echo "no generated request ID on response" >&2; exit 1; }
+curl -sf "http://$addr/tracez" | grep -q 'smoke-trace-42' \
+  || { echo "request ID missing from /tracez" >&2; exit 1; }
+grep -q 'smoke-trace-42' "$smoke_dir/access.jsonl" \
+  || { echo "request ID missing from access log" >&2; exit 1; }
+
+# Prometheus exposition: typed counter families, cumulative buckets, and
+# live window quantiles must all be present.
+curl -sf "http://$addr/metricz?format=prometheus" > "$smoke_dir/prom.txt"
+grep -q '^# TYPE v2v_serve_requests_total counter$' "$smoke_dir/prom.txt"
+grep -q 'v2v_serve_latency_ms_bucket{le="+Inf"}' "$smoke_dir/prom.txt"
+grep -q '^v2v_serve_latency_healthz_p99 ' "$smoke_dir/prom.txt"
+echo "tracing + prometheus smoke test: ok"
+
+# SIGUSR1 dumps the flight recorder to V2V_FLIGHT_DUMP.
+kill -USR1 "$server_pid"
+for _ in $(seq 1 100); do
+  [ -s "$smoke_dir/flight.json" ] && break
+  sleep 0.1
+done
+grep -q 'smoke-trace-42' "$smoke_dir/flight.json" \
+  || { echo "SIGUSR1 flight dump missing or incomplete" >&2; exit 1; }
+echo "flight-recorder smoke test: ok"
 
 kill -INT "$server_pid"
 wait "$server_pid"   # non-zero (set -e) if shutdown was not clean
