@@ -100,6 +100,7 @@ fn main() {
     let requests: usize = args.get("requests", 20_000);
     let out_json: String = args.get("out-json", "BENCH_serve.json".to_string());
     let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+    let backend = v2v_linalg::kernels::backend_name();
 
     let embedding = v2v_embed::Embedding::from_flat(dim, synthetic_embedding(n, dim, 0x5EED));
     let labels: Vec<Option<usize>> = (0..n).map(|i| Some(i % 5)).collect();
@@ -109,7 +110,7 @@ fn main() {
     let build_secs = t0.elapsed().as_secs_f64();
     println!(
         "bench_serve: {n} vectors x {dim} dims, index built in {build_secs:.2}s, \
-         {requests} requests/op"
+         {requests} requests/op, {backend} kernels"
     );
 
     let ops = vec![
@@ -146,6 +147,8 @@ fn main() {
     let mut doc = String::from("{\n  \"bench\": \"serve\",\n");
     let _ = write!(doc, "  \"git_rev\": ");
     v2v_obs::json::write_escaped(&mut doc, &git_rev);
+    doc.push_str(",\n  \"kernel_backend\": ");
+    v2v_obs::json::write_escaped(&mut doc, backend);
     let _ = write!(doc, ",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n");
     let _ = write!(doc, "  \"index_build_secs\": ");
     v2v_obs::json::write_f64(&mut doc, build_secs);

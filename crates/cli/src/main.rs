@@ -61,6 +61,10 @@ environment:
                         (default 250)
   V2V_FLIGHT_DUMP       serve: where SIGUSR1 (and panics) dump the flight
                         recorder (default v2v-flight-<pid>.json)
+  V2V_NO_SIMD           set to 1 to force the scalar f32 kernels (no AVX2/
+                        unrolled SIMD paths) in training and ANN search;
+                        single-threaded scalar runs are bit-reproducible
+                        across machines
 
 serve signals: SIGINT/SIGTERM drain and exit; SIGHUP hot-reloads the embedding;
 SIGUSR1 dumps the flight recorder. Live introspection over HTTP: /metricz

@@ -23,6 +23,7 @@ fn help_documents_observability_controls() {
         "V2V_ACCESS_LOG",
         "V2V_SLOW_REQUEST_MS",
         "V2V_FLIGHT_DUMP",
+        "V2V_NO_SIMD",
         "X-Request-Id",
         "/metricz",
         "/tracez",

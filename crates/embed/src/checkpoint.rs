@@ -96,8 +96,16 @@ pub struct TrainCheckpoint {
 /// refuses a checkpoint whose fingerprint differs — continuing SGD under
 /// a different window, architecture, LR, corpus, or seed would silently
 /// produce an embedding neither run describes.
+///
+/// The active SIMD kernel backend (`v2v_linalg::kernels::backend_name`)
+/// is part of the fingerprint: backends agree only to within rounding,
+/// so a checkpoint trained under AVX2 resumed under the scalar path (or
+/// vice versa, e.g. via `V2V_NO_SIMD=1`) would not reproduce the
+/// uninterrupted run bit for bit. Versioning the fingerprint keeps the
+/// "resume equals uninterrupted" guarantee honest per backend.
 pub fn fingerprint(config: &EmbedConfig, num_vertices: usize, num_tokens: usize) -> u64 {
     let mut h = FNV_OFFSET;
+    h = fnv1a64(h, v2v_linalg::kernels::backend_name().as_bytes());
     let mut eat = |bytes: &[u8]| h = fnv1a64(h, bytes);
     eat(&(config.dimensions as u64).to_le_bytes());
     eat(&(config.window as u64).to_le_bytes());

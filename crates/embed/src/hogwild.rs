@@ -5,22 +5,47 @@
 //! occasional lost update because gradient sparsity makes collisions rare.
 //!
 //! Rust's memory model forbids plain data races, so [`HogwildMatrix`]
-//! stores weights as `AtomicU32` bit patterns accessed with `Relaxed`
-//! loads/stores (see *Rust Atomics and Locks* ch. 2–3: relaxed atomics are
-//! exactly "shared memory without ordering guarantees"). On x86-64 and
-//! ARM64 a relaxed load/store compiles to a plain `mov`/`ldr`, so this
-//! costs nothing over the C original while staying free of undefined
-//! behavior.
+//! stores weights as `AtomicU32` bit patterns. Cold paths (`get`/`set`,
+//! snapshots) access them with `Relaxed` loads/stores. The hot paths do
+//! not: per-element atomic accessors force one bounds check and one
+//! bit-cast per element and — more importantly — make the row loops
+//! opaque to SIMD. Since the whole point of Hogwild is that racing
+//! relaxed-width reads and writes of weight cells are *accepted* (lost or
+//! mixed updates merely add gradient noise), the row kernels instead hand
+//! the underlying buffer to `v2v_linalg::kernels` as plain `f32` rows via
+//! [`row`](HogwildMatrix::row) / [`row_mut`](HogwildMatrix::row_mut):
+//! `AtomicU32` is documented to have the same size and bit validity as
+//! `u32`, so a row of atomics reinterprets as a row of `f32` exactly.
+//!
+//! The resulting contract (the "Hogwild contract" referenced by the
+//! `SAFETY` comments):
+//!
+//! * rows may be read while another thread writes them — readers may see
+//!   a mix of old and new elements, never garbage (word-sized plain
+//!   loads/stores on every supported target);
+//! * concurrent row updates may lose elements under contention, exactly
+//!   as in the C original;
+//! * single-threaded use is entirely race-free, so `threads == 1` runs
+//!   stay deterministic.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use v2v_linalg::kernels;
 
 /// A `rows x cols` matrix of `f32` weights that many threads may read and
-/// write concurrently without synchronization (relaxed atomics).
+/// write concurrently without synchronization.
 pub struct HogwildMatrix {
     rows: usize,
     cols: usize,
     data: Vec<AtomicU32>,
 }
+
+/// `AtomicU32` is `repr(transparent)` over `u32` with identical size and
+/// bit validity, and `f32` likewise round-trips through `u32` bits, so a
+/// contiguous run of cells reinterprets as a run of `f32`.
+const _LAYOUT: () = assert!(
+    std::mem::size_of::<AtomicU32>() == std::mem::size_of::<f32>()
+        && std::mem::align_of::<AtomicU32>() == std::mem::align_of::<f32>()
+);
 
 impl HogwildMatrix {
     /// An all-zeros matrix.
@@ -51,6 +76,45 @@ impl HogwildMatrix {
         self.cols
     }
 
+    /// Raw pointer to the first element of row `r`, viewed as `f32`.
+    ///
+    /// # Panics
+    /// Panics (via slice indexing) if `r` is out of range.
+    #[inline(always)]
+    fn row_ptr(&self, r: usize) -> *mut f32 {
+        let base = r * self.cols;
+        // One bounds check per *row* instead of per element.
+        self.data[base..base + self.cols].as_ptr() as *mut f32
+    }
+
+    /// Row `r` as a plain `f32` slice, for whole-row kernel calls.
+    ///
+    /// Under the Hogwild contract (module docs) a concurrently-updated row
+    /// may yield a mix of old and new elements; that is accepted SGD
+    /// noise, not corruption. Single-threaded use is race-free.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[f32] {
+        // SAFETY: `row_ptr` bounds-checks the range; the layout assertion
+        // above guarantees `AtomicU32` cells reinterpret as `f32`; racing
+        // writers are tolerated per the Hogwild contract.
+        unsafe { std::slice::from_raw_parts(self.row_ptr(r), self.cols) }
+    }
+
+    /// Row `r` as a mutable `f32` slice — the Hogwild update target.
+    ///
+    /// Takes `&self` deliberately: overlapping "exclusive" views from
+    /// concurrent threads are the Hogwild design (lost updates accepted).
+    /// Callers must drop the returned slice before obtaining another view
+    /// of the *same* row on the *same* thread.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)] // Hogwild: unsynchronized shared writes are the design
+    pub fn row_mut(&self, r: usize) -> &mut [f32] {
+        // SAFETY: as in `row`; mutation through `&self` is confined to
+        // plain word stores that racing readers observe per-element, which
+        // the Hogwild contract accepts.
+        unsafe { std::slice::from_raw_parts_mut(self.row_ptr(r), self.cols) }
+    }
+
     /// Reads element `(r, c)`.
     #[inline(always)]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -67,45 +131,26 @@ impl HogwildMatrix {
     #[inline]
     pub fn load_row(&self, r: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.cols);
-        let base = r * self.cols;
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
-        }
+        out.copy_from_slice(self.row(r));
     }
 
-    /// Dot product of row `r` with `v`.
+    /// Dot product of row `r` with `v` (SIMD-dispatched).
     #[inline]
     pub fn dot_row(&self, r: usize, v: &[f32]) -> f32 {
-        debug_assert_eq!(v.len(), self.cols);
-        let base = r * self.cols;
-        let mut acc = 0.0f32;
-        for (i, &x) in v.iter().enumerate() {
-            acc += f32::from_bits(self.data[base + i].load(Ordering::Relaxed)) * x;
-        }
-        acc
+        kernels::dot(self.row(r), v)
     }
 
     /// `row(r) += alpha * v` — the Hogwild update. Lost updates under
     /// contention are acceptable by design.
     #[inline]
     pub fn axpy_row(&self, r: usize, alpha: f32, v: &[f32]) {
-        debug_assert_eq!(v.len(), self.cols);
-        let base = r * self.cols;
-        for (i, &x) in v.iter().enumerate() {
-            let cell = &self.data[base + i];
-            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
-            cell.store((cur + alpha * x).to_bits(), Ordering::Relaxed);
-        }
+        kernels::axpy(alpha, v, self.row_mut(r));
     }
 
     /// `acc += alpha * row(r)` — gradient accumulation into a local buffer.
     #[inline]
     pub fn accumulate_row(&self, r: usize, alpha: f32, acc: &mut [f32]) {
-        debug_assert_eq!(acc.len(), self.cols);
-        let base = r * self.cols;
-        for (i, a) in acc.iter_mut().enumerate() {
-            *a += alpha * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
-        }
+        kernels::axpy(alpha, self.row(r), acc);
     }
 
     /// Snapshots the whole matrix into a plain `Vec<f32>` (row-major).
@@ -137,6 +182,16 @@ mod tests {
     }
 
     #[test]
+    fn row_views_alias_atomic_cells() {
+        let m = HogwildMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.row_mut(0)[2] = 9.0;
+        assert_eq!(m.get(0, 2), 9.0, "kernel-side writes visible to atomic reads");
+        m.set(1, 0, -1.0);
+        assert_eq!(m.row(1)[0], -1.0, "atomic writes visible to kernel-side reads");
+    }
+
+    #[test]
     fn row_kernels() {
         let m = HogwildMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
         assert_eq!(m.dot_row(0, &[1.0, 1.0, 1.0]), 6.0);
@@ -148,6 +203,22 @@ mod tests {
         let mut acc = vec![10.0, 10.0, 10.0];
         m.accumulate_row(0, -1.0, &mut acc);
         assert_eq!(acc, vec![9.0, 8.0, 7.0]);
+    }
+
+    /// Row kernels on a width that exercises the SIMD main loops + tail.
+    #[test]
+    fn wide_row_kernels_match_reference() {
+        let cols = 37;
+        let init: Vec<f32> = (0..2 * cols).map(|i| i as f32 * 0.5 - 9.0).collect();
+        let m = HogwildMatrix::from_vec(2, cols, init.clone());
+        let v: Vec<f32> = (0..cols).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let want: f64 = (0..cols).map(|i| init[i] as f64 * v[i] as f64).sum();
+        assert!((m.dot_row(0, &v) as f64 - want).abs() < 1e-3);
+        m.axpy_row(1, 2.0, &v);
+        for i in 0..cols {
+            let want = init[cols + i] + 2.0 * v[i];
+            assert!((m.get(1, i) - want).abs() < 1e-4, "axpy col {i}");
+        }
     }
 
     #[test]
@@ -174,5 +245,11 @@ mod tests {
     #[should_panic(expected = "wrong length")]
     fn bad_init_panics() {
         HogwildMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_row_panics() {
+        HogwildMatrix::zeros(2, 2).row(2);
     }
 }

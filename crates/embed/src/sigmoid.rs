@@ -13,6 +13,12 @@ const TABLE_SIZE: usize = 1024;
 #[derive(Clone)]
 pub struct SigmoidTable {
     table: Vec<f32>,
+    /// `-ln(table[i].max(1e-7))`, precomputed with the same `f32` ops the
+    /// on-the-fly version used, so tabled losses stay bit-identical while
+    /// the hot loop drops one libm `ln` call per training sample.
+    neg_log_table: Vec<f32>,
+    /// `neg_log` value at the negative saturation clamp (`sigma -> 0`).
+    neg_log_floor: f32,
 }
 
 impl Default for SigmoidTable {
@@ -22,15 +28,17 @@ impl Default for SigmoidTable {
 }
 
 impl SigmoidTable {
-    /// Builds the table (1024 entries).
+    /// Builds the tables (1024 entries each).
     pub fn new() -> Self {
-        let table = (0..TABLE_SIZE)
+        let table: Vec<f32> = (0..TABLE_SIZE)
             .map(|i| {
                 let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP;
                 1.0 / (1.0 + (-x).exp())
             })
             .collect();
-        SigmoidTable { table }
+        let neg_log_table = table.iter().map(|&s| -s.max(1e-7).ln()).collect();
+        let neg_log_floor = -0.0f32.max(1e-7).ln();
+        SigmoidTable { table, neg_log_table, neg_log_floor }
     }
 
     /// `sigma(x)`, clamped to exactly 0 or 1 outside `[-MAX_EXP, MAX_EXP]`.
@@ -47,10 +55,20 @@ impl SigmoidTable {
     }
 
     /// `-ln(sigma(x))` with a floor to avoid infinities at the clamp, used
-    /// for loss tracking.
-    #[inline]
+    /// for loss tracking. Fully tabled: bit-identical to computing
+    /// `-get(x).max(1e-7).ln()` on the fly, without the libm call.
+    #[inline(always)]
     pub fn neg_log(&self, x: f32) -> f32 {
-        -self.get(x).max(1e-7).ln()
+        if x >= MAX_EXP {
+            // -ln(1.0), kept as a computation so the clamp value can never
+            // drift from the on-the-fly formula.
+            -1.0f32.ln()
+        } else if x <= -MAX_EXP {
+            self.neg_log_floor
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
+            self.neg_log_table[idx.min(TABLE_SIZE - 1)]
+        }
     }
 }
 
@@ -91,6 +109,22 @@ mod tests {
             let v = t.get(i as f32 / 10.0);
             assert!(v >= prev - 1e-6);
             prev = v;
+        }
+    }
+
+    /// The precomputed table must reproduce `-get(x).max(1e-7).ln()` bit
+    /// for bit — losses are part of the checkpoint/resume identity
+    /// contract, so tabling may not change a single ulp.
+    #[test]
+    fn neg_log_table_is_bit_identical_to_formula() {
+        let t = SigmoidTable::new();
+        for i in -1300..=1300 {
+            let x = i as f32 / 100.0; // spans the table and both clamps
+            assert_eq!(
+                t.neg_log(x).to_bits(),
+                (-t.get(x).max(1e-7).ln()).to_bits(),
+                "x = {x}"
+            );
         }
     }
 

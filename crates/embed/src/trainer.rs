@@ -25,7 +25,9 @@ use crate::sigmoid::SigmoidTable;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use v2v_linalg::kernels;
 use v2v_graph::VertexId;
 use v2v_walks::rng::derive_seed;
 use v2v_walks::WalkCorpus;
@@ -107,7 +109,8 @@ pub fn train_with_checkpoints(
                 .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
             if c.fingerprint != fp {
                 return Err(format!(
-                    "checkpoint {} was produced by a different config or corpus \
+                    "checkpoint {} was produced by a different config, corpus, or \
+                     kernel backend \
                      (fingerprint {:#018x}, expected {fp:#018x}); refusing to resume",
                     path.display(),
                     c.fingerprint,
@@ -209,6 +212,11 @@ pub fn train_with_checkpoints(
     // epoch, invisible next to millions of pair updates.
     let train_span = v2v_obs::span("train");
     let metrics = v2v_obs::global_metrics();
+    // Record which kernel backend runs the hot loop, so --metrics exports
+    // and bench sidecars identify what produced the numbers.
+    metrics
+        .gauge(&format!("kernels.backend.{}", kernels::backend_name()))
+        .set(1.0);
 
     // Snapshots everything a restart needs and lands it atomically: a
     // SIGKILL mid-save leaves the previous checkpoint intact.
@@ -354,6 +362,19 @@ struct TrainContext<'a> {
     keep_prob: Option<&'a [f32]>,
 }
 
+/// Per-thread scratch reused across walks: the CBOW hidden activation and
+/// the input-gradient accumulator. Replaces two heap allocations per walk;
+/// resized (rarely) when the dimensionality changes between runs.
+struct Scratch {
+    h: Vec<f32>,
+    neu1e: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> =
+        const { RefCell::new(Scratch { h: Vec::new(), neu1e: Vec::new() }) };
+}
+
 fn run_epoch_parallel(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64) -> (f64, u64) {
     corpus
         .walks()
@@ -375,7 +396,61 @@ fn run_epoch_sequential(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64)
 }
 
 /// Trains on one walk; returns (summed loss, pair count).
+///
+/// Dispatches **once per walk** into a per-backend instantiation of
+/// [`train_walk_body`]. Per-kernel-call dispatch is ruinous here: a pair
+/// update issues dozens of row kernels on dim-32..128 rows, and each
+/// opaque call clobbers the caller-saved SIMD registers and re-checks CPU
+/// features. Instantiating the whole walk loop per backend lets every
+/// kernel inline and keeps rows in registers across adjacent kernels.
 fn train_walk(walk: &[VertexId], walk_idx: u64, epoch: u64, ctx: &TrainContext<'_>) -> (f64, u64) {
+    match kernels::backend() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `backend()` returns `Avx2Fma` only after runtime
+        // detection of AVX2+FMA on this CPU.
+        kernels::Backend::Avx2Fma => unsafe { train_walk_avx2(walk, walk_idx, epoch, ctx) },
+        #[cfg(not(target_arch = "x86_64"))]
+        kernels::Backend::Avx2Fma => unreachable!("avx2fma backend is x86-64 only"),
+        kernels::Backend::Unrolled => {
+            train_walk_body::<kernels::UnrolledKernels>(walk, walk_idx, epoch, ctx)
+        }
+        kernels::Backend::Scalar => {
+            train_walk_body::<kernels::ScalarKernels>(walk, walk_idx, epoch, ctx)
+        }
+    }
+}
+
+/// The walk loop compiled with AVX2+FMA codegen: under the
+/// `#[target_feature]` wrapper the `Avx2FmaKernels` calls inline into the
+/// loop and the surrounding glue (scratch fills, hidden-layer averaging)
+/// is vectorized with the same features.
+///
+/// # Safety
+/// Requires AVX2+FMA; only called from the `Backend::Avx2Fma` dispatch arm.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn train_walk_avx2(
+    walk: &[VertexId],
+    walk_idx: u64,
+    epoch: u64,
+    ctx: &TrainContext<'_>,
+) -> (f64, u64) {
+    train_walk_body::<kernels::Avx2FmaKernels>(walk, walk_idx, epoch, ctx)
+}
+
+/// One walk of training, generic over the compile-time kernel set.
+///
+/// All `K` calls are `unsafe` because they skip length checks and, for the
+/// AVX2 backend, require CPU support; see the SAFETY notes inline. Every
+/// kernel call in the body pairs equal-length buffers by construction:
+/// `h` and `neu1e` are sized to `dim == syn0.cols() == syn1.cols()`.
+#[inline(always)]
+fn train_walk_body<K: kernels::Kernels>(
+    walk: &[VertexId],
+    walk_idx: u64,
+    epoch: u64,
+    ctx: &TrainContext<'_>,
+) -> (f64, u64) {
     let dim = ctx.config.dimensions;
     let window = ctx.config.window;
     let mut rng =
@@ -387,8 +462,6 @@ fn train_walk(walk: &[VertexId], walk_idx: u64, epoch: u64, ctx: &TrainContext<'
     let frac = done as f32 / ctx.schedule_total.max(1) as f32;
     let lr = (ctx.config.initial_lr * (1.0 - frac)).max(ctx.config.initial_lr * 1e-4);
 
-    let mut h = vec![0.0f32; dim];
-    let mut neu1e = vec![0.0f32; dim];
     let mut loss = 0.0f64;
     let mut pairs = 0u64;
 
@@ -407,62 +480,88 @@ fn train_walk(walk: &[VertexId], walk_idx: u64, epoch: u64, ctx: &TrainContext<'
         }
     };
 
-    for (i, &center) in walk.iter().enumerate() {
-        let lo = i.saturating_sub(window);
-        let hi = (i + window + 1).min(walk.len());
-        let ctx_len = hi - lo - 1;
-        if ctx_len == 0 {
-            continue;
+    SCRATCH.with(|scratch| {
+        let Scratch { h, neu1e } = &mut *scratch.borrow_mut();
+        if h.len() != dim {
+            h.clear();
+            h.resize(dim, 0.0);
+            neu1e.clear();
+            neu1e.resize(dim, 0.0);
         }
-        pairs += 1;
-        match ctx.config.architecture {
-            Architecture::Cbow => {
-                // h = average of the context input vectors.
-                h.iter_mut().for_each(|x| *x = 0.0);
-                for j in lo..hi {
-                    if j != i {
-                        ctx.syn0.accumulate_row(walk[j].index(), 1.0, &mut h);
+
+        for (i, &center) in walk.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(walk.len());
+            let ctx_len = hi - lo - 1;
+            if ctx_len == 0 {
+                continue;
+            }
+            pairs += 1;
+            match ctx.config.architecture {
+                Architecture::Cbow => {
+                    // h = average of the context input vectors, whole rows
+                    // at a time through the SIMD kernels.
+                    h.fill(0.0);
+                    for j in lo..hi {
+                        if j != i {
+                            // SAFETY: equal lengths (`dim`); K chosen by dispatch.
+                            unsafe { K::axpy(1.0, ctx.syn0.row(walk[j].index()), h) };
+                        }
+                    }
+                    let inv = 1.0 / ctx_len as f32;
+                    // SAFETY: K chosen by dispatch.
+                    unsafe { K::scale(h, inv) };
+                    neu1e.fill(0.0);
+
+                    loss += train_output::<K>(center.index(), h, neu1e, lr, &mut rng, ctx);
+
+                    // The true gradient of the averaged hidden layer w.r.t.
+                    // each input vector is neu1e / |context| (the "cbow_mean
+                    // gradient fix"; word2vec.c skips the division, which
+                    // inflates the input step by the window size and destroys
+                    // small-vocabulary embeddings as training lengthens).
+                    for j in lo..hi {
+                        if j != i {
+                            // SAFETY: equal lengths (`dim`); K chosen by dispatch.
+                            unsafe { K::axpy(inv, neu1e, ctx.syn0.row_mut(walk[j].index())) };
+                        }
                     }
                 }
-                let inv = 1.0 / ctx_len as f32;
-                h.iter_mut().for_each(|x| *x *= inv);
-                neu1e.iter_mut().for_each(|x| *x = 0.0);
-
-                loss += train_output(center.index(), &h, &mut neu1e, lr, &mut rng, ctx);
-
-                // The true gradient of the averaged hidden layer w.r.t.
-                // each input vector is neu1e / |context| (the "cbow_mean
-                // gradient fix"; word2vec.c skips the division, which
-                // inflates the input step by the window size and destroys
-                // small-vocabulary embeddings as training lengthens).
-                for j in lo..hi {
-                    if j != i {
-                        ctx.syn0.axpy_row(walk[j].index(), inv, &neu1e);
+                Architecture::SkipGram => {
+                    for j in lo..hi {
+                        if j == i {
+                            continue;
+                        }
+                        let input = walk[j].index();
+                        neu1e.fill(0.0);
+                        // The input row is used directly as the hidden
+                        // activation (as in word2vec.c) — no per-pair copy.
+                        // It is only *read* until train_output returns;
+                        // racing Hogwild writers are accepted noise.
+                        loss += train_output::<K>(
+                            center.index(),
+                            ctx.syn0.row(input),
+                            neu1e,
+                            lr,
+                            &mut rng,
+                            ctx,
+                        );
+                        // SAFETY: equal lengths (`dim`); K chosen by dispatch.
+                        unsafe { K::axpy(1.0, neu1e, ctx.syn0.row_mut(input)) };
                     }
                 }
             }
-            Architecture::SkipGram => {
-                for j in lo..hi {
-                    if j == i {
-                        continue;
-                    }
-                    let input = walk[j].index();
-                    ctx.syn0.load_row(input, &mut h);
-                    neu1e.iter_mut().for_each(|x| *x = 0.0);
-                    loss += train_output(center.index(), &h, &mut neu1e, lr, &mut rng, ctx);
-                    ctx.syn0.axpy_row(input, 1.0, &neu1e);
-                }
-            }
         }
-    }
+    });
     (loss, pairs)
 }
 
 /// One output-layer update for hidden activation `h` and target word
 /// `target`; accumulates the input gradient into `neu1e` and returns the
-/// loss contribution.
-#[inline]
-fn train_output(
+/// loss contribution. Generic over the compile-time kernel set so the
+/// dot/axpy calls inline into the per-backend walk loop.
+#[inline(always)]
+fn train_output<K: kernels::Kernels>(
     target: usize,
     h: &[f32],
     neu1e: &mut [f32],
@@ -480,12 +579,17 @@ fn train_output(
                 } else {
                     (sampler.sample(rng, target), 0.0f32)
                 };
-                let f = ctx.syn1.dot_row(t, h);
+                let row = ctx.syn1.row(t);
+                // SAFETY: all rows and scratch share length `dim`; K chosen
+                // by dispatch (availability verified).
+                let f = unsafe { K::dot(row, h) };
                 let sig = ctx.sigmoid.get(f);
                 loss += ctx.sigmoid.neg_log(if label == 1.0 { f } else { -f }) as f64;
                 let g = (label - sig) * lr;
-                ctx.syn1.accumulate_row(t, g, neu1e);
-                ctx.syn1.axpy_row(t, g, h);
+                // SAFETY: as above.
+                unsafe { K::axpy(g, row, neu1e) };
+                // SAFETY: as above.
+                unsafe { K::axpy(g, h, ctx.syn1.row_mut(t)) };
             }
         }
         OutputLayer::HierarchicalSoftmax => {
@@ -493,14 +597,19 @@ fn train_output(
             let code = tree.code(target);
             let point = tree.point(target);
             for (&p, &bit) in point.iter().zip(code) {
-                let f = ctx.syn1.dot_row(p as usize, h);
+                let row = ctx.syn1.row(p as usize);
+                // SAFETY: all rows and scratch share length `dim`; K chosen
+                // by dispatch (availability verified).
+                let f = unsafe { K::dot(row, h) };
                 let sig = ctx.sigmoid.get(f);
                 // code bit 0 -> label 1, bit 1 -> label 0 (word2vec).
                 let label = 1.0 - bit as u8 as f32;
                 loss += ctx.sigmoid.neg_log(if bit { -f } else { f }) as f64;
                 let g = (label - sig) * lr;
-                ctx.syn1.accumulate_row(p as usize, g, neu1e);
-                ctx.syn1.axpy_row(p as usize, g, h);
+                // SAFETY: as above.
+                unsafe { K::axpy(g, row, neu1e) };
+                // SAFETY: as above.
+                unsafe { K::axpy(g, h, ctx.syn1.row_mut(p as usize)) };
             }
         }
     }

@@ -10,8 +10,12 @@
 //!   components, and a cyclic Jacobi solver for full spectra of small
 //!   matrices (also used to cross-check power iteration in tests).
 //!
-//! Everything is `f64`; the embedding trainer keeps its own `f32` hot path
-//! and converts at the boundary.
+//! Everything above is `f64`. The `f32` hot paths — the embedding
+//! trainer's SGD inner loop and the ANN index's distance evaluation — go
+//! through [`kernels`] instead: a shared set of `dot` / `axpy` / `scale` /
+//! `squared_l2` / `cosine_prenormed` kernels with runtime CPU-feature
+//! dispatch (AVX2+FMA where detected, an unrolled `mul_add` fallback
+//! elsewhere, and a forced-scalar reference path under `V2V_NO_SIMD=1`).
 
 //! ```
 //! use v2v_linalg::{Pca, RowMatrix};
@@ -25,6 +29,7 @@
 //! assert!(pca.explained_variance[0] > 1.0);
 //! ```
 
+pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod stats;

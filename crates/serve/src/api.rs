@@ -70,6 +70,12 @@ impl ServeState {
         let metrics = v2v_obs::global_metrics();
         metrics.gauge("serve.index.build_ms").set(index.build_time().as_secs_f64() * 1e3);
         metrics.gauge("serve.index.vectors").set(index.len() as f64);
+        // Which SIMD kernel backend evaluates distances — exported so
+        // /metricz (JSON and Prometheus) identifies what produced the
+        // latencies on this host.
+        metrics
+            .gauge(&format!("kernels.backend.{}", v2v_linalg::kernels::backend_name()))
+            .set(1.0);
         // A structurally broken graph must not serve wrong neighbors;
         // degrade to the exact scan — slower, still correct — and say so.
         let (index, degraded) = match index.validate() {

@@ -28,18 +28,22 @@
 //!   recall is validated against the exact scan in the property tests.
 //!
 //! Cosine distance is served by storing L2-normalized copies of the
-//! vectors so every comparison is one dot product; Euclidean is served as
-//! squared distance (monotone-equivalent for ranking). All ranking uses
-//! `total_cmp`, so NaNs from degenerate rows rank last instead of
-//! panicking the server.
+//! vectors (norms are paid once at build time), so every comparison is one
+//! dot product — evaluated by the runtime-dispatched SIMD kernels in
+//! `v2v_linalg::kernels`, as is the squared-Euclidean path and the exact
+//! brute-force scan. Euclidean is served as squared distance
+//! (monotone-equivalent for ranking). All ranking uses `total_cmp`, so
+//! NaNs from degenerate rows rank last instead of panicking the server.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 use v2v_embed::Embedding;
+use v2v_linalg::kernels;
 
 /// Which distance the index ranks by.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -295,7 +299,7 @@ impl HnswIndex {
             return self.search_exact(query, k);
         }
         let q = self.prepared_query(query);
-        let q = q.as_slice();
+        let q = q.as_ref();
 
         // Greedy descent through the upper layers.
         let mut ep = self.entry;
@@ -329,7 +333,9 @@ impl HnswIndex {
     pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
         assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
         let q = self.prepared_query(query);
-        let q = q.as_slice();
+        let q = q.as_ref();
+        // One SIMD distance per stored row; rows are contiguous, so the
+        // scan streams the vector buffer front to back.
         let scored: Vec<(usize, f32)> =
             (0..self.len()).map(|i| (i, self.dist_to(q, i))).collect();
         v2v_linalg::top_k_by(scored, k, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
@@ -343,21 +349,25 @@ impl HnswIndex {
         &self.vectors[i * self.dims..(i + 1) * self.dims]
     }
 
-    /// Normalizes a query copy under cosine; borrows-by-value either way.
-    fn prepared_query(&self, query: &[f32]) -> Vec<f32> {
-        let mut q = query.to_vec();
+    /// The query in stored-vector space: a normalized copy under cosine, a
+    /// plain borrow under Euclidean (no per-query allocation).
+    fn prepared_query<'q>(&self, query: &'q [f32]) -> Cow<'q, [f32]> {
         if self.config.metric == Metric::Cosine {
+            let mut q = query.to_vec();
             normalize(&mut q);
+            Cow::Owned(q)
+        } else {
+            Cow::Borrowed(query)
         }
-        q
     }
 
     #[inline]
     fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
         match self.config.metric {
-            // Pre-normalized: cosine distance is 1 - dot.
-            Metric::Cosine => 1.0 - dot(a, b),
-            Metric::Euclidean => a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum(),
+            // Pre-normalized at build/query time: cosine distance is
+            // 1 - dot, with the dot clamped so rounding can't go negative.
+            Metric::Cosine => 1.0 - kernels::cosine_prenormed(a, b),
+            Metric::Euclidean => kernels::squared_l2(a, b),
         }
     }
 
@@ -564,19 +574,12 @@ impl HnswIndex {
     }
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
 /// Scales to unit L2 norm in place; zero (and non-finite-norm) vectors are
 /// left untouched.
 fn normalize(v: &mut [f32]) {
-    let n = dot(v, v).sqrt();
+    let n = kernels::dot(v, v).sqrt();
     if n.is_finite() && n > 0.0 {
-        for x in v.iter_mut() {
-            *x /= n;
-        }
+        kernels::scale(v, 1.0 / n);
     }
 }
 

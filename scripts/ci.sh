@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The f32 kernel layer dispatches on CPU features at runtime; run its test
+# suites again with SIMD forced off so the scalar reference path (what
+# non-x86 hosts and V2V_NO_SIMD=1 deployments run) stays verified too.
+V2V_NO_SIMD=1 cargo test -q -p v2v-linalg -p v2v-embed -p v2v-serve
 cargo clippy --workspace -- -D warnings
 
 # --- Server smoke test -----------------------------------------------------
