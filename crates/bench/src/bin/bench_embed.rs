@@ -6,8 +6,12 @@
 //! epochs single-threaded (deterministic, stable timing), and reports
 //! wall time plus pairs/sec and tokens/sec. A thread-scaling sweep
 //! (`--sweep 1,2,4,8` by default; `--sweep ""` to skip) then re-trains at
-//! each thread count and records per-count throughput and scaling
-//! efficiency `pairs_per_sec(t) / (t * pairs_per_sec(1))`. Writes a
+//! each thread count and records per-count throughput, scaling
+//! efficiency `pairs_per_sec(t) / (t * pairs_per_sec(1))`, and the
+//! trainer's concurrency attribution (throughput skew across workers,
+//! barrier-wait fraction, and hardware cache misses per pair — `null`
+//! with a top-level `perf_note` reason where `perf_event_open` is
+//! denied). Writes a
 //! machine-readable `BENCH_embed.json` at the repo root (`--out-json` to
 //! relocate) so successive PRs record a comparable trajectory; the schema
 //! is documented in EXPERIMENTS.md. The git revision is stamped from the
@@ -76,24 +80,41 @@ fn main() {
         stats.epoch_losses.last().copied().unwrap_or(0.0)
     );
 
-    // Thread-scaling sweep: throughput and efficiency per thread count.
+    // Thread-scaling sweep: throughput, efficiency, and the concurrency
+    // attribution (skew, barrier wait, cache misses) per thread count — the
+    // report says not just *that* scaling is broken but *where* the time went.
     let sweep_counts: Vec<usize> = sweep_arg
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .filter(|&t| t > 0)
         .collect();
-    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut sweep: Vec<(usize, f64, v2v_obs::ConcurrencyReport)> = Vec::new();
     for &t in &sweep_counts {
         let (secs, s) = run_train(&corpus, dim, epochs, t);
         let pps = s.total_pairs as f64 / secs;
-        println!("sweep: {t} thread(s) -> {pps:.0} pairs/s");
-        sweep.push((t, pps));
+        let rep = &s.concurrency;
+        println!(
+            "sweep: {t} thread(s) -> {pps:.0} pairs/s | skew {:.2} | barrier {:.1}% | {}",
+            rep.throughput_skew,
+            rep.barrier_wait_frac * 100.0,
+            match rep.cache_miss_per_pair {
+                Some(m) => format!("{m:.1} cache misses/pair"),
+                None => "cache misses unavailable".to_string(),
+            }
+        );
+        sweep.push((t, pps, s.concurrency));
     }
     let base_pps = sweep
         .iter()
-        .find(|&&(t, _)| t == 1)
-        .map(|&(_, p)| p)
+        .find(|entry| entry.0 == 1)
+        .map(|entry| entry.1)
         .unwrap_or(pairs_per_sec);
+    // Why the hardware columns are (or aren't) populated; recorded once at
+    // the top level since it's a property of the machine, not of a run.
+    let perf_note = match v2v_obs::perf_counters::probe() {
+        Ok(()) => String::new(),
+        Err(reason) => reason,
+    };
 
     // Machine-readable trajectory record; schema in EXPERIMENTS.md.
     let mut doc = String::from("{\n  \"bench\": \"embed\",\n");
@@ -117,15 +138,26 @@ fn main() {
     v2v_obs::json::write_f64(&mut doc, tokens_per_sec);
     doc.push_str(",\n  \"final_loss\": ");
     v2v_obs::json::write_f64(&mut doc, stats.epoch_losses.last().copied().unwrap_or(0.0));
+    doc.push_str(",\n  \"perf_note\": ");
+    v2v_obs::json::write_escaped(&mut doc, &perf_note);
     doc.push_str(",\n  \"thread_sweep\": [");
-    for (i, &(t, pps)) in sweep.iter().enumerate() {
+    for (i, (t, pps, rep)) in sweep.iter().enumerate() {
         if i > 0 {
             doc.push(',');
         }
         let _ = write!(doc, "\n    {{\"threads\": {t}, \"pairs_per_sec\": ");
-        v2v_obs::json::write_f64(&mut doc, pps);
+        v2v_obs::json::write_f64(&mut doc, *pps);
         doc.push_str(", \"efficiency\": ");
-        v2v_obs::json::write_f64(&mut doc, pps / (t as f64 * base_pps));
+        v2v_obs::json::write_f64(&mut doc, pps / (*t as f64 * base_pps));
+        doc.push_str(", \"throughput_skew\": ");
+        v2v_obs::json::write_f64(&mut doc, rep.throughput_skew);
+        doc.push_str(", \"barrier_wait_frac\": ");
+        v2v_obs::json::write_f64(&mut doc, rep.barrier_wait_frac);
+        doc.push_str(", \"cache_miss_per_pair\": ");
+        match rep.cache_miss_per_pair {
+            Some(m) => v2v_obs::json::write_f64(&mut doc, m),
+            None => doc.push_str("null"),
+        }
         doc.push('}');
     }
     if !sweep.is_empty() {

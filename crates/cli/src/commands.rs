@@ -89,10 +89,43 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         config.walks.walk_length,
         config.embedding.epochs
     );
+    // --profile: SIGPROF self-sampling across the whole pipeline. Only the
+    // trainer tags phases, so walk generation and I/O sample as `idle`;
+    // the flat profile answers "where do the training cycles go".
+    let profiler = match opts.get_str("profile") {
+        Some(_) => Some(
+            v2v_obs::SelfProfiler::start(v2v_obs::sampler::hz_from_env())
+                .map_err(|e| format!("cannot start profiler: {e}"))?,
+        ),
+        None => None,
+    };
     let model = V2vModel::train_with_checkpoints(&graph, &config, checkpoint.as_ref())
         .map_err(|e| e.to_string())?;
+    if let (Some(profiler), Some(path)) = (profiler, opts.get_str("profile")) {
+        let flat = profiler.stop();
+        v2v_core::io::write_atomic(path, flat.to_json().as_bytes())
+            .map_err(|e| format!("cannot write profile {path}: {e}"))?;
+        obs_info!(
+            "wrote flat profile to {path} ({} samples at {} Hz; render with `v2v profile --input {path}`)",
+            flat.total(),
+            flat.hz
+        );
+    }
     if let Some(from) = model.stats().resumed_from {
         obs_info!("resumed from checkpoint at epoch {from}");
+    }
+    let report = &model.stats().concurrency;
+    if report.threads > 1 {
+        obs_info!(
+            "concurrency: {} workers, skew {:.2}, barrier wait {:.1}%{}",
+            report.threads,
+            report.throughput_skew,
+            report.barrier_wait_frac * 100.0,
+            match report.cache_miss_per_pair {
+                Some(m) => format!(", {m:.1} cache misses/pair"),
+                None => format!(" (hardware counters: {})", report.perf_note),
+            }
+        );
     }
     obs_info!(
         "trained in {:.2?} (walks {:.2?}); final loss {:.4}",
@@ -103,6 +136,22 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
 
     write_embedding_file(model.embedding(), output)?;
     obs_info!("wrote {output}");
+    Ok(())
+}
+
+/// `v2v profile`: render a flat profile written by `v2v embed --profile`
+/// as an aligned text table (default) or normalized JSON.
+pub fn profile(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("input")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let flat = v2v_obs::FlatProfile::from_json(&text)
+        .map_err(|e| format!("{path} is not a v2v flat profile: {e}"))?;
+    match opts.get_str("format").unwrap_or("table") {
+        "table" => print!("{}", flat.render_table()),
+        "json" => print!("{}", flat.to_json()),
+        other => return Err(format!("unknown --format {other:?} (table|json)")),
+    }
     Ok(())
 }
 
@@ -664,6 +713,63 @@ mod tests {
         assert!(read_labels(path.to_str().unwrap(), 5).is_err());
         let path = write_temp("oor", "99 1\n");
         assert!(read_labels(path.to_str().unwrap(), 5).is_err());
+    }
+
+    /// `embed --profile` must write a file the `profile` subcommand can
+    /// parse back — the smoke contract scripts/ci.sh also exercises.
+    #[test]
+    fn embed_profile_output_feeds_profile_subcommand() {
+        let edges = "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n";
+        let input = write_temp("edges_prof", edges);
+        let dir = std::env::temp_dir();
+        let emb_path = dir.join(format!("v2v_cli_prof_emb_{}", std::process::id()));
+        let prof_path = dir.join(format!("v2v_cli_prof_{}.json", std::process::id()));
+
+        embed(&opts(&[
+            "embed",
+            "--input", input.to_str().unwrap(),
+            "--output", emb_path.to_str().unwrap(),
+            "--dims", "8",
+            "--epochs", "2",
+            "--threads", "1",
+            "--profile", prof_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&prof_path).unwrap();
+        let flat = v2v_obs::FlatProfile::from_json(&text).expect("embed wrote a valid profile");
+        assert!(flat.hz >= 1);
+        assert!(flat.wall_secs > 0.0);
+
+        // Both render formats parse from the file the embed run produced.
+        for format in ["table", "json"] {
+            profile(&opts(&[
+                "profile",
+                "--input", prof_path.to_str().unwrap(),
+                "--format", format,
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn profile_subcommand_rejects_bad_input() {
+        assert!(profile(&opts(&["profile", "--input", "/nonexistent/prof.json"])).is_err());
+        let junk = write_temp("prof_junk", "{\"not\": \"a profile\"}");
+        let err = profile(&opts(&["profile", "--input", junk.to_str().unwrap()]))
+            .expect_err("junk must be rejected");
+        assert!(err.contains("not a v2v flat profile"), "got {err:?}");
+        // A valid file with an unknown --format is still an error.
+        let valid = write_temp(
+            "prof_valid",
+            "{\"v2v_profile\":1,\"hz\":97,\"wall_secs\":1.0,\"total_samples\":0,\"samples\":{}}",
+        );
+        assert!(profile(&opts(&[
+            "profile",
+            "--input", valid.to_str().unwrap(),
+            "--format", "yaml",
+        ]))
+        .is_err());
     }
 }
 

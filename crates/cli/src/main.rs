@@ -8,10 +8,15 @@
 //!                 [--p 1.0 --q 1.0] [--time-window T] [--threads 0] [--seed S]
 //!                 [--checkpoint-dir DIR [--checkpoint-every-epochs 1]
 //!                 [--checkpoint-every-secs T] [--resume]]
+//!                 [--profile prof.json]
 //!                 (a `.bin`/`.v2e` --output writes the checksummed binary format;
 //!                 --checkpoint-dir snapshots training state atomically at epoch
 //!                 boundaries and --resume restarts from the latest snapshot
-//!                 after a crash or kill)
+//!                 after a crash or kill; --profile self-samples the run with a
+//!                 SIGPROF timer and writes a flat phase profile as JSON)
+//! v2v profile     --input prof.json [--format table|json]
+//!                 (render a flat profile written by `v2v embed --profile` as an
+//!                 aligned table, or normalized JSON for scripts)
 //! v2v communities --embedding emb.txt --k 10 [--restarts 100] [--output labels.txt]
 //! v2v predict     --embedding emb.txt --labels labels.txt [--k 3] [--output out.txt]
 //!                 [--ann [--ef-search 64]]
@@ -45,15 +50,30 @@ mod opts;
 use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
-const USAGE: &str = "usage: v2v <embed|communities|predict|serve|project|stats|quality> [options]
+const USAGE: &str = "usage: v2v <embed|communities|predict|serve|project|stats|quality|profile> [options]
 
 common options (every subcommand):
   --metrics <path>      after the run, write telemetry (span tree, metrics,
                         provenance) to <path> as JSON (.csv extension switches
                         to CSV) and print a summary to stderr
 
+profiling and concurrency telemetry:
+  embed --profile <path>  self-sample the run with a SIGPROF timer and write a
+                        flat profile (walk-fetch/forward/gradient/output-update/
+                        barrier-wait CPU split) to <path> as JSON; render it
+                        with `v2v profile --input <path> [--format table|json]`
+  hardware counters     per-thread cache-miss telemetry (train.thread.*.cache_
+                        miss_per_pair, bench cache_miss_per_pair) needs the
+                        perf_event_open syscall; containers and locked-down
+                        kernels (kernel.perf_event_paranoid >= 2, seccomp, no
+                        PMU) deny it, and those metrics then read null with the
+                        reason — everything else degrades gracefully
+
 environment:
   V2V_LOG               stderr log level: off, error, info (default), debug, trace
+  V2V_PROFILE_HZ        embed --profile: sampling frequency in Hz (default 97,
+                        clamped to 1..10000); a prime default avoids
+                        phase-locking with periodic work
   V2V_ACCESS_LOG        serve: write a JSON access-log line per request to this
                         file path (or 'stderr'); each line carries the request's
                         X-Request-Id, method, path, status, bytes, latency_ms
@@ -92,6 +112,7 @@ fn main() {
         Some("project") => commands::project(&opts),
         Some("stats") => commands::stats(&opts),
         Some("quality") => commands::quality(&opts),
+        Some("profile") => commands::profile(&opts),
         Some("help") | None => {
             println!("{USAGE}");
             return;

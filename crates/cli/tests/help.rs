@@ -34,6 +34,26 @@ fn help_documents_observability_controls() {
     }
 }
 
+/// The concurrency-observability surface added for the Hogwild-scaling
+/// investigation: the self-sampling profiler (`--profile`, its sampling
+/// rate knob, and the `v2v profile` renderer) and the perf-counter
+/// availability caveat.
+#[test]
+fn help_documents_profiling_surface() {
+    let help = help_output();
+    for needle in [
+        "--profile",
+        "v2v profile",
+        "--format table|json",
+        "V2V_PROFILE_HZ",
+        "SIGPROF",
+        "perf_event_open",
+        "perf_event_paranoid",
+    ] {
+        assert!(help.contains(needle), "v2v help must mention {needle}\n---\n{help}");
+    }
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_v2v"))

@@ -53,9 +53,10 @@ pub struct EmbedConfig {
     pub subsample: Option<f64>,
     /// Seed for weight init and sampling.
     pub seed: u64,
-    /// Number of worker threads; `0` uses the global rayon pool. With more
-    /// than one thread, Hogwild updates make results run-to-run
-    /// nondeterministic (by design); set `1` for reproducibility.
+    /// Number of worker threads; `0` uses the machine's logical CPU
+    /// count. With more than one thread, Hogwild updates make results
+    /// run-to-run nondeterministic (by design); set `1` for
+    /// reproducibility.
     pub threads: usize,
 }
 

@@ -24,11 +24,14 @@ use crate::negative::NegativeSampler;
 use crate::sigmoid::SigmoidTable;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use v2v_linalg::kernels;
 use v2v_graph::VertexId;
+use v2v_obs::perf_counters::ThreadCounters;
+use v2v_obs::perthread::{set_phase, Phase, WorkerTable};
+use v2v_obs::ConcurrencyReport;
 use v2v_walks::rng::derive_seed;
 use v2v_walks::WalkCorpus;
 
@@ -47,6 +50,11 @@ pub struct TrainStats {
     /// `Some(epoch)` when this run resumed from a checkpoint holding
     /// `epoch` completed epochs.
     pub resumed_from: Option<usize>,
+    /// Per-worker attribution of this run: pairs/busy/wait per thread,
+    /// throughput skew, barrier-wait fraction, and hardware cache-miss
+    /// rates when `perf_event_open` is available (`perf_note` explains
+    /// when it is not).
+    pub concurrency: ConcurrencyReport,
 }
 
 /// Trains an embedding on `corpus` under `config`.
@@ -146,6 +154,7 @@ pub fn train_with_checkpoints(
                 total_pairs: c.total_pairs,
                 converged: false,
                 resumed_from: Some(c.next_epoch),
+                concurrency: ConcurrencyReport::default(),
             };
             syn0 = HogwildMatrix::from_vec(n, dim, c.syn0.2);
             syn1 = HogwildMatrix::from_vec(out_rows, dim, c.syn1.2);
@@ -166,6 +175,7 @@ pub fn train_with_checkpoints(
                 total_pairs: 0,
                 converged: false,
                 resumed_from: None,
+                concurrency: ConcurrencyReport::default(),
             };
             // word2vec init: syn0 ~ U(-0.5, 0.5)/dim, output matrix zeros.
             let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, 0x1217, n as u64));
@@ -212,6 +222,18 @@ pub fn train_with_checkpoints(
     // epoch, invisible next to millions of pair updates.
     let train_span = v2v_obs::span("train");
     let metrics = v2v_obs::global_metrics();
+    // Per-run worker table (not the process-global one): concurrent
+    // training runs in one process — the test suite does this — must not
+    // scramble each other's attribution. The table still publishes into
+    // the global registry per epoch, so `/metricz` sees the live view.
+    let workers = WorkerTable::new();
+    // Probe hardware-counter availability once so the final report can
+    // say *why* cache-miss columns are null (containers and locked-down
+    // kernels commonly deny `perf_event_open`).
+    let perf_note = match v2v_obs::perf_counters::probe() {
+        Ok(()) => String::new(),
+        Err(reason) => reason,
+    };
     // Record which kernel backend runs the hot loop, so --metrics exports
     // and bench sidecars identify what produced the numbers.
     metrics
@@ -252,13 +274,16 @@ pub fn train_with_checkpoints(
         let run_started = std::time::Instant::now();
         let mut last_ckpt_at = std::time::Instant::now();
         let mut epochs_since_ckpt = 0usize;
+        // Cumulative per-worker pairs at the previous epoch boundary, for
+        // per-epoch deltas in the `train.thread` flight events.
+        let mut prev_pairs: Vec<u64> = Vec::new();
         for epoch in start_epoch..config.epochs {
             let epoch_started = std::time::Instant::now();
             let epoch_span = v2v_obs::span("epoch");
             let (loss, pairs) = if config.threads == 1 {
-                run_epoch_sequential(corpus, &ctx, epoch as u64)
+                run_epoch_sequential(corpus, &ctx, epoch as u64, &workers)
             } else {
-                run_epoch_parallel(corpus, &ctx, epoch as u64)
+                run_epoch_parallel(corpus, &ctx, epoch as u64, &workers)
             };
             drop(epoch_span);
             stats.epochs_run += 1;
@@ -303,6 +328,31 @@ pub fn train_with_checkpoints(
                 )
                 .with_latency_ms(epoch_secs * 1e3),
             );
+            // Thread-level liveness: bounded `train.thread.N.*` gauges for
+            // scrapers plus one flight event per worker per epoch, so
+            // `/tracez` and SIGUSR1 dumps show which workers made progress
+            // (a wedged or starved worker shows up as a 0-pair event).
+            workers.publish(metrics);
+            for (w, snap) in workers.snapshot().iter().enumerate() {
+                let before = prev_pairs.get(w).copied().unwrap_or(0);
+                if prev_pairs.len() <= w {
+                    prev_pairs.resize(w + 1, 0);
+                }
+                prev_pairs[w] = snap.pairs;
+                let wait_ms = snap.wait_ns as f64 / 1e6;
+                v2v_obs::record_event(
+                    v2v_obs::Event::new(
+                        "train.thread",
+                        "",
+                        &format!(
+                            "epoch {epoch} thread {w}: {} pairs (+{}), wait {wait_ms:.1}ms total",
+                            snap.pairs,
+                            snap.pairs - before,
+                        ),
+                    )
+                    .with_latency_ms(epoch_secs * 1e3),
+                );
+            }
             v2v_obs::obs_debug!(
                 "epoch {epoch}: loss {avg:.5}, {pairs} pairs in {epoch_secs:.3}s (lr {lr:.5})"
             );
@@ -334,16 +384,9 @@ pub fn train_with_checkpoints(
         Ok(())
     };
 
-    if config.threads > 1 {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(config.threads)
-            .build()
-            .map_err(|e| format!("failed to build thread pool: {e}"))?;
-        pool.install(|| run_all(&mut stats))?;
-    } else {
-        run_all(&mut stats)?;
-    }
+    run_all(&mut stats)?;
     drop(train_span);
+    stats.concurrency = workers.report(&perf_note);
 
     Ok((Embedding::from_flat(dim, syn0.to_vec()), stats))
 }
@@ -375,23 +418,109 @@ thread_local! {
         const { RefCell::new(Scratch { h: Vec::new(), neu1e: Vec::new() }) };
 }
 
-fn run_epoch_parallel(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64) -> (f64, u64) {
-    corpus
-        .walks()
-        .par_iter()
-        .enumerate()
-        .map(|(i, walk)| train_walk(walk, i as u64, epoch, ctx))
-        .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+/// Worker count for one parallel epoch: `threads == 0` means the machine
+/// default; never more workers than walks, never fewer than one.
+fn resolve_workers(threads: usize, walks: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    t.min(walks).max(1)
 }
 
-fn run_epoch_sequential(corpus: &WalkCorpus, ctx: &TrainContext<'_>, epoch: u64) -> (f64, u64) {
+/// One Hogwild epoch on explicit scoped workers.
+///
+/// The walk list splits into one contiguous chunk per worker (the same
+/// static split the previous `par_iter` implementation used, and with the
+/// same *global* walk indexes, so per-walk RNG streams are unchanged).
+/// Each worker records into its own cache-line-padded [`WorkerTable`]
+/// slot: pairs and walks as it goes, busy time and hardware counters per
+/// chunk, and — computed by the parent after the join — how long it sat
+/// at the epoch barrier waiting for the slowest sibling. That wait is
+/// wall-clock by construction: a blocked thread burns no CPU, so the
+/// SIGPROF profiler cannot see it, and these two measurements are
+/// deliberately complementary (profiler = CPU split, slots = wall split).
+fn run_epoch_parallel(
+    corpus: &WalkCorpus,
+    ctx: &TrainContext<'_>,
+    epoch: u64,
+    workers: &WorkerTable,
+) -> (f64, u64) {
+    let walks = corpus.walks();
+    let n_workers = resolve_workers(ctx.config.threads, walks.len());
+    let chunk = walks.len().div_ceil(n_workers);
+    let results: Vec<(f64, u64, Instant)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                let lo = (w * chunk).min(walks.len());
+                let hi = ((w + 1) * chunk).min(walks.len());
+                s.spawn(move || {
+                    let slot = workers.slot(w);
+                    let counters = ThreadCounters::open();
+                    counters.start();
+                    let started = Instant::now();
+                    set_phase(Phase::WalkFetch);
+                    let mut loss = 0.0f64;
+                    let mut pairs = 0u64;
+                    for (i, walk) in walks[lo..hi].iter().enumerate() {
+                        let (l, p) = train_walk(walk, (lo + i) as u64, epoch, ctx);
+                        loss += l;
+                        pairs += p;
+                        slot.add_walk(p);
+                    }
+                    slot.add_busy(started.elapsed().as_nanos() as u64);
+                    if let Some(r) = counters.stop() {
+                        slot.add_perf(r.cycles, r.instructions, r.cache_misses, r.llc_load_misses);
+                    }
+                    set_phase(Phase::BarrierWait);
+                    (loss, pairs, Instant::now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("training worker panicked")).collect()
+    });
+    // The barrier "ends" when the slowest worker finishes; everyone else's
+    // gap to that instant is time this epoch's static split wasted.
+    let barrier_end = results.iter().map(|r| r.2).max().expect("at least one worker");
+    let mut total = (0.0f64, 0u64);
+    for (w, (loss, pairs, done)) in results.into_iter().enumerate() {
+        workers
+            .slot(w)
+            .add_wait(barrier_end.duration_since(done).as_nanos() as u64);
+        total.0 += loss;
+        total.1 += pairs;
+    }
+    total
+}
+
+/// The `threads == 1` path: bit-identical to previous releases (checkpoint
+/// resume tests depend on it), but it still records worker-0 telemetry so
+/// single-thread runs get the same attribution columns.
+fn run_epoch_sequential(
+    corpus: &WalkCorpus,
+    ctx: &TrainContext<'_>,
+    epoch: u64,
+    workers: &WorkerTable,
+) -> (f64, u64) {
+    let slot = workers.slot(0);
+    let counters = ThreadCounters::open();
+    counters.start();
+    let started = Instant::now();
+    set_phase(Phase::WalkFetch);
     let mut loss = 0.0;
     let mut pairs = 0u64;
     for (i, walk) in corpus.walks().iter().enumerate() {
         let (l, p) = train_walk(walk, i as u64, epoch, ctx);
         loss += l;
         pairs += p;
+        slot.add_walk(p);
     }
+    slot.add_busy(started.elapsed().as_nanos() as u64);
+    if let Some(r) = counters.stop() {
+        slot.add_perf(r.cycles, r.instructions, r.cache_misses, r.llc_load_misses);
+    }
+    set_phase(Phase::Idle);
     (loss, pairs)
 }
 
@@ -453,6 +582,11 @@ fn train_walk_body<K: kernels::Kernels>(
 ) -> (f64, u64) {
     let dim = ctx.config.dimensions;
     let window = ctx.config.window;
+    // Phase tags for the SIGPROF profiler: each `set_phase` is one plain
+    // TLS byte store (~1 ns against ~350 ns per pair), transition points
+    // chosen so the sampled split answers "where do the cycles go" —
+    // walk setup vs hidden layer vs output kernels vs input gradient.
+    set_phase(Phase::WalkFetch);
     let mut rng =
         SmallRng::seed_from_u64(derive_seed(ctx.config.seed ^ 0x7A1B, epoch, walk_idx));
 
@@ -501,6 +635,7 @@ fn train_walk_body<K: kernels::Kernels>(
                 Architecture::Cbow => {
                     // h = average of the context input vectors, whole rows
                     // at a time through the SIMD kernels.
+                    set_phase(Phase::Forward);
                     h.fill(0.0);
                     for j in lo..hi {
                         if j != i {
@@ -513,7 +648,9 @@ fn train_walk_body<K: kernels::Kernels>(
                     unsafe { K::scale(h, inv) };
                     neu1e.fill(0.0);
 
+                    set_phase(Phase::OutputUpdate);
                     loss += train_output::<K>(center.index(), h, neu1e, lr, &mut rng, ctx);
+                    set_phase(Phase::Gradient);
 
                     // The true gradient of the averaged hidden layer w.r.t.
                     // each input vector is neu1e / |context| (the "cbow_mean
@@ -532,8 +669,10 @@ fn train_walk_body<K: kernels::Kernels>(
                         if j == i {
                             continue;
                         }
+                        set_phase(Phase::Forward);
                         let input = walk[j].index();
                         neu1e.fill(0.0);
+                        set_phase(Phase::OutputUpdate);
                         // The input row is used directly as the hidden
                         // activation (as in word2vec.c) — no per-pair copy.
                         // It is only *read* until train_output returns;
@@ -546,6 +685,7 @@ fn train_walk_body<K: kernels::Kernels>(
                             &mut rng,
                             ctx,
                         );
+                        set_phase(Phase::Gradient);
                         // SAFETY: equal lengths (`dim`); K chosen by dispatch.
                         unsafe { K::axpy(1.0, neu1e, ctx.syn0.row_mut(input)) };
                     }
@@ -749,6 +889,43 @@ mod tests {
         let same = emb.cosine_similarity(VertexId(1), VertexId(2));
         let diff = emb.cosine_similarity(VertexId(1), VertexId(8));
         assert!(same > diff, "hogwild: same-clique {same} <= cross {diff}");
+    }
+
+    #[test]
+    fn parallel_training_attributes_work_per_thread() {
+        let corpus = small_corpus(14);
+        let cfg = EmbedConfig { threads: 3, epochs: 2, ..quick_config() };
+        let (_, stats) = train(&corpus, &cfg).unwrap();
+        let report = &stats.concurrency;
+        assert_eq!(report.threads, 3);
+        assert_eq!(
+            report.per_thread_pairs.iter().sum::<u64>(),
+            stats.total_pairs,
+            "per-thread pairs must account for every trained pair: {report:?}"
+        );
+        assert!(report.per_thread_pairs.iter().all(|&p| p > 0), "a worker starved: {report:?}");
+        assert!(report.throughput_skew >= 1.0);
+        assert!((0.0..1.0).contains(&report.barrier_wait_frac), "{report:?}");
+        // Hardware columns: populated or explained, never silently absent.
+        assert_eq!(report.cache_miss_per_pair.is_none(), !report.perf_note.is_empty());
+    }
+
+    #[test]
+    fn sequential_training_reports_single_worker() {
+        let corpus = small_corpus(15);
+        let (_, stats) = train(&corpus, &quick_config()).unwrap();
+        let report = &stats.concurrency;
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.per_thread_pairs, vec![stats.total_pairs]);
+        assert_eq!(report.barrier_wait_frac, 0.0, "one worker never waits at a barrier");
+    }
+
+    #[test]
+    fn more_threads_than_walks_clamps() {
+        assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(2, 100), 2);
+        assert!(resolve_workers(0, 100) >= 1, "0 resolves to the machine default");
+        assert_eq!(resolve_workers(5, 0), 1, "empty corpora still get one worker");
     }
 
     #[test]

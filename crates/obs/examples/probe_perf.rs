@@ -1,0 +1,18 @@
+//! Prints whether hardware perf counters are readable in this
+//! environment, and why not if they aren't:
+//!
+//! ```text
+//! cargo run -p v2v-obs --example probe_perf
+//! ```
+//!
+//! Containers and locked-down kernels commonly deny `perf_event_open`
+//! (`kernel.perf_event_paranoid`, seccomp) or expose no PMU at all; the
+//! trainer's `cache_miss_per_pair` telemetry reads `null` with this same
+//! reason string in those environments.
+
+fn main() {
+    match v2v_obs::perf_counters::probe() {
+        Ok(()) => println!("perf counters AVAILABLE"),
+        Err(e) => println!("perf counters UNAVAILABLE: {e}"),
+    }
+}

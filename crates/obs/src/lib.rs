@@ -32,6 +32,15 @@
 //! * **Prometheus exposition** ([`prometheus`]) — renders any
 //!   [`metrics::MetricsSnapshot`] in the text format standard scrapers
 //!   consume (`/metricz?format=prometheus`).
+//! * **Per-thread training telemetry** ([`perthread`]) — cache-line-padded
+//!   per-worker stat slots and cheap phase tags, aggregated into bounded
+//!   `train.thread.N.*` gauges plus skew/imbalance summaries.
+//! * **Hardware counters** ([`perf_counters`]) — raw-syscall
+//!   `perf_event_open` (Linux x86-64; graceful stub elsewhere or when
+//!   denied) for cycles / instructions / cache misses per training thread.
+//! * **Self-sampling profiler** ([`sampler`]) — SIGPROF/itimer flat
+//!   profiles over the phase tags, dumped by `v2v embed --profile` and
+//!   rendered by `v2v profile`.
 //!
 //! Everything is process-global by default (like any metrics runtime) but
 //! the underlying [`SpanTree`] and [`metrics::Registry`] types are plain
@@ -43,8 +52,11 @@ pub mod export;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod perf_counters;
+pub mod perthread;
 pub mod prometheus;
 pub mod recorder;
+pub mod sampler;
 pub mod span;
 pub mod trace;
 pub mod window;
@@ -52,7 +64,12 @@ pub mod window;
 pub use export::Telemetry;
 pub use log::{log_enabled, max_level, Level};
 pub use metrics::{global as global_metrics, Counter, Gauge, Histogram, Registry};
+pub use perf_counters::{CounterReading, ThreadCounters};
+pub use perthread::{
+    current_phase, set_phase, workers, ConcurrencyReport, Phase, WorkerTable,
+};
 pub use recorder::{global_recorder, record_event, Event, FlightRecorder};
+pub use sampler::{FlatProfile, SelfProfiler};
 pub use span::{global_spans, span, SpanGuard, SpanSnapshot, SpanTree};
 pub use trace::{gen_request_id, TraceCtx};
 pub use window::{WindowSnapshot, WindowedHistogram};

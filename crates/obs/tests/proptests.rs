@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use v2v_obs::json::{self, Value};
-use v2v_obs::{Registry, SpanTree, Telemetry};
+use v2v_obs::sampler::FlatProfile;
+use v2v_obs::{Phase, Registry, SpanTree, Telemetry};
 
 /// Decodes a list of generated code points into a string that exercises
 /// the escaper: quotes, backslashes, control bytes, and non-ASCII.
@@ -128,6 +129,55 @@ proptest! {
     fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..255, 0..64)) {
         let text = String::from_utf8_lossy(&bytes).into_owned();
         let _ = json::parse(&text);
+    }
+
+    /// Any flat profile — arbitrary sample counts, frequency, and wall
+    /// time — survives `to_json` → `from_json` bit-exact, and its derived
+    /// fractions stay normalized. Counts are bounded by 2^53 because the
+    /// parser goes through f64 (at 10 kHz that is still ~28,000 years of
+    /// sampling, so the bound is theoretical).
+    #[test]
+    fn flat_profiles_round_trip(
+        sample_vec in proptest::collection::vec(0u64..(1u64 << 53), 6..=6),
+        hz in 1u64..10_000,
+        wall_ms in 0u64..100_000_000,
+    ) {
+        let mut samples = [0u64; 6];
+        samples.copy_from_slice(&sample_vec);
+        let profile = FlatProfile { hz, wall_secs: wall_ms as f64 / 1000.0, samples };
+        let back = FlatProfile::from_json(&profile.to_json()).expect("own output must parse");
+        prop_assert_eq!(&back, &profile);
+        let frac_sum: f64 = Phase::ALL.iter().map(|p| back.frac(*p)).sum();
+        if back.total() > 0 {
+            prop_assert!((frac_sum - 1.0).abs() < 1e-9, "fracs sum to {frac_sum}");
+        } else {
+            prop_assert_eq!(frac_sum, 0.0);
+        }
+        // The table renderer must stay total-consistent too.
+        prop_assert!(back.render_table().contains(&back.total().to_string()));
+    }
+
+    /// Corrupting any single byte of a profile document either still
+    /// parses (the corruption hit insignificant whitespace/digits) or
+    /// fails with `Err` — never a panic, and never a silently *different
+    /// phase set*.
+    #[test]
+    fn corrupted_profiles_never_panic(
+        sample_vec in proptest::collection::vec(0u64..1_000_000, 6..=6),
+        pos_seed in any::<u64>(),
+        byte in 0u8..255,
+    ) {
+        let mut samples = [0u64; 6];
+        samples.copy_from_slice(&sample_vec);
+        let profile = FlatProfile { hz: 97, wall_secs: 1.0, samples };
+        let text = profile.to_json();
+        let mut bytes = text.into_bytes();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] = byte;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(parsed) = FlatProfile::from_json(&corrupted) {
+            prop_assert_eq!(parsed.hz > 0, true);
+        }
     }
 }
 

@@ -4,7 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo build --release --workspace   # --workspace: smokes below need the
+                                    # v2v and bench_embed member binaries
 cargo test -q
 # The f32 kernel layer dispatches on CPU features at runtime; run its test
 # suites again with SIMD forced off so the scalar reference path (what
@@ -141,3 +142,37 @@ grep -q 'resumed from checkpoint at epoch' "$smoke_dir/resume.err" \
   || { echo "resume did not pick up the checkpoint" >&2; cat "$smoke_dir/resume.err" >&2; exit 1; }
 [ -s "$smoke_dir/emb-ck.txt" ] || { echo "resumed run produced no embedding" >&2; exit 1; }
 echo "kill-and-resume smoke test: ok"
+
+# --- Profiler smoke: `v2v profile` parses what `embed --profile` wrote ------
+# High sampling rate so even this short run collects a real histogram.
+V2V_PROFILE_HZ=2000 ./target/release/v2v embed \
+  --input "$smoke_dir/edges.txt" --output "$smoke_dir/emb-prof.txt" \
+  --dims 24 --walks 8 --length 60 --epochs 4 --threads 2 --seed 7 \
+  --profile "$smoke_dir/prof.json" > /dev/null 2>&1
+./target/release/v2v profile --input "$smoke_dir/prof.json" > "$smoke_dir/prof.txt"
+grep -q 'gradient' "$smoke_dir/prof.txt" \
+  || { echo "profile table missing the gradient phase" >&2; cat "$smoke_dir/prof.txt" >&2; exit 1; }
+grep -q 'total' "$smoke_dir/prof.txt" \
+  || { echo "profile table missing the total row" >&2; exit 1; }
+# The JSON renderer's output must itself be a parseable profile.
+./target/release/v2v profile --input "$smoke_dir/prof.json" --format json \
+  > "$smoke_dir/prof2.json"
+./target/release/v2v profile --input "$smoke_dir/prof2.json" > /dev/null
+echo "profiler smoke test: ok"
+
+# --- Bench-regression gate: single-thread training throughput ---------------
+# A short bench run must stay within 30% of the checked-in single-thread
+# baseline in BENCH_embed.json (same graph family and dim; fewer epochs so
+# the gate stays fast — pairs/s is per-epoch-shape-independent).
+base_pps=$(sed -n 's/^  "pairs_per_sec": \([0-9.eE+-]*\),\{0,1\}$/\1/p' BENCH_embed.json | head -1)
+[ -n "$base_pps" ] || { echo "no pairs_per_sec baseline in BENCH_embed.json" >&2; exit 1; }
+./target/release/bench_embed --n 1000 --epochs 2 --threads 1 --sweep "" \
+  --out-json "$smoke_dir/bench.json" > "$smoke_dir/bench.log"
+new_pps=$(sed -n 's/^  "pairs_per_sec": \([0-9.eE+-]*\),\{0,1\}$/\1/p' "$smoke_dir/bench.json" | head -1)
+[ -n "$new_pps" ] || { echo "bench run wrote no pairs_per_sec" >&2; exit 1; }
+awk -v new="$new_pps" -v base="$base_pps" 'BEGIN {
+  ratio = new / base
+  printf "bench gate: %.0f pairs/s vs baseline %.0f (ratio %.2f)\n", new, base, ratio
+  exit !(ratio >= 0.70)
+}' || { echo "single-thread training throughput regressed >30% vs BENCH_embed.json" >&2; exit 1; }
+echo "bench-regression gate: ok"
