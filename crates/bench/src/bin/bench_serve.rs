@@ -9,6 +9,14 @@
 //! repo root (`--out-json` to relocate) so successive PRs record a
 //! comparable trajectory; the schema is documented in EXPERIMENTS.md.
 //!
+//! Also measures the serve cold-start path against a `.v2s` store: the
+//! same vectors are written to a V2VE v2 container with an embedded
+//! HNSW snapshot, then timed from `EmbeddingStore::open` through a
+//! ready `ServeState` — once loading the persisted snapshot
+//! (`cold_start_ms`) and once forcing a rebuild
+//! (`cold_start_rebuild_ms`), so the JSON trajectory records both the
+//! win and its denominator.
+//!
 //! The git revision is stamped from the `GIT_REV` environment variable
 //! (CI passes `GIT_REV=$(git rev-parse --short HEAD)`).
 
@@ -92,6 +100,40 @@ fn get_request(path: &str, query: Vec<(String, String)>) -> Request {
     }
 }
 
+/// Cold-start timings against a `.v2s` store written to a temp path.
+struct ColdStart {
+    snapshot_ms: f64,
+    rebuild_ms: f64,
+}
+
+/// Writes `data` as a snapshot-indexed store, then times
+/// `ServeState::from_store` with and without snapshot loading. The
+/// returned states are dropped — only the wall clock matters here.
+fn measure_cold_start(dim: usize, data: &[f32], config: &HnswConfig) -> ColdStart {
+    let path = std::env::temp_dir().join(format!("bench_serve_{}.v2s", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path").to_string();
+    let shard_rows = v2v_store::default_shard_rows(dim);
+    let fp = v2v_store::write_store(&path, dim, data, shard_rows, None).expect("write store");
+    let index = v2v_serve::HnswIndex::build(dim, data.to_vec(), config.clone());
+    let snap = index.snapshot(fp);
+    v2v_store::write_store(&path, dim, data, shard_rows, Some(&snap)).expect("embed snapshot");
+    drop(index);
+
+    let timed = |allow_snapshot: bool, expect: &str| {
+        let t0 = Instant::now();
+        let store = v2v_store::EmbeddingStore::open(&path).expect("open store");
+        let state = ServeState::from_store(store, config.clone(), None, allow_snapshot)
+            .expect("state from store");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(state.index_source(), expect, "unexpected index source");
+        ms
+    };
+    let snapshot_ms = timed(true, "snapshot");
+    let rebuild_ms = timed(false, "rebuilt");
+    let _ = std::fs::remove_file(&path);
+    ColdStart { snapshot_ms, rebuild_ms }
+}
+
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("n", 2000);
@@ -102,7 +144,8 @@ fn main() {
     let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
     let backend = v2v_linalg::kernels::backend_name();
 
-    let embedding = v2v_embed::Embedding::from_flat(dim, synthetic_embedding(n, dim, 0x5EED));
+    let data = synthetic_embedding(n, dim, 0x5EED);
+    let embedding = v2v_embed::Embedding::from_flat(dim, data.clone());
     let labels: Vec<Option<usize>> = (0..n).map(|i| Some(i % 5)).collect();
     let t0 = Instant::now();
     let state = ServeState::new(embedding, HnswConfig::default(), Some(labels))
@@ -111,6 +154,12 @@ fn main() {
     println!(
         "bench_serve: {n} vectors x {dim} dims, index built in {build_secs:.2}s, \
          {requests} requests/op, {backend} kernels"
+    );
+
+    let cold = measure_cold_start(dim, &data, &HnswConfig::default());
+    println!(
+        "cold start from .v2s store: {:.1} ms with snapshot, {:.1} ms rebuilding",
+        cold.snapshot_ms, cold.rebuild_ms
     );
 
     let ops = vec![
@@ -152,6 +201,10 @@ fn main() {
     let _ = write!(doc, ",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n");
     let _ = write!(doc, "  \"index_build_secs\": ");
     v2v_obs::json::write_f64(&mut doc, build_secs);
+    doc.push_str(",\n  \"cold_start_ms\": ");
+    v2v_obs::json::write_f64(&mut doc, cold.snapshot_ms);
+    doc.push_str(",\n  \"cold_start_rebuild_ms\": ");
+    v2v_obs::json::write_f64(&mut doc, cold.rebuild_ms);
     doc.push_str(",\n  \"ops\": {");
     for (i, s) in ops.iter().enumerate() {
         doc.push_str(if i == 0 { "\n" } else { ",\n" });

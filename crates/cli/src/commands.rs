@@ -47,9 +47,12 @@ fn parse_strategy(opts: &Opts) -> Result<WalkStrategy, String> {
     }
 }
 
-/// `v2v embed`: edge list → word2vec-format embedding file.
+/// `v2v embed`: edge list (or a sharded walk corpus from `v2v walks`) →
+/// embedding file. `--corpus <dir>` streams epochs from disk shards with
+/// bounded memory instead of generating walks in RAM; the walk options are
+/// then baked into the corpus and ignored here. A `.v2s` output writes the
+/// mmap-able V2VE v2 store `v2v serve` cold-starts from.
 pub fn embed(opts: &Opts) -> Result<(), String> {
-    let graph = load_graph(opts)?;
     let output = opts.require("output")?;
 
     let mut config = V2vConfig::default()
@@ -80,15 +83,6 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         None => None,
     };
 
-    obs_info!(
-        "embedding {} vertices / {} edges: {} dims, {} walks x {} steps, {} epochs",
-        graph.num_vertices(),
-        graph.num_edges(),
-        config.embedding.dimensions,
-        config.walks.walks_per_vertex,
-        config.walks.walk_length,
-        config.embedding.epochs
-    );
     // --profile: SIGPROF self-sampling across the whole pipeline. Only the
     // trainer tags phases, so walk generation and I/O sample as `idle`;
     // the flat profile answers "where do the training cycles go".
@@ -99,8 +93,41 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
         ),
         None => None,
     };
-    let model = V2vModel::train_with_checkpoints(&graph, &config, checkpoint.as_ref())
-        .map_err(|e| e.to_string())?;
+    let model = match opts.get_str("corpus") {
+        Some(dir) => {
+            use v2v_walks::WalkSource;
+            let corpus = v2v_store::ShardedCorpus::open(dir)
+                .map_err(|e| format!("cannot open walk corpus {dir}: {e}"))?;
+            obs_info!(
+                "embedding {} vertices from sharded corpus {dir}: {} walks / {} tokens in {} shards",
+                corpus.num_vertices(),
+                corpus.num_walks(),
+                corpus.num_tokens(),
+                corpus.num_shards()
+            );
+            V2vModel::train_on_source_with_checkpoints(
+                &corpus,
+                &config,
+                std::time::Duration::ZERO,
+                checkpoint.as_ref(),
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => {
+            let graph = load_graph(opts)?;
+            obs_info!(
+                "embedding {} vertices / {} edges: {} dims, {} walks x {} steps, {} epochs",
+                graph.num_vertices(),
+                graph.num_edges(),
+                config.embedding.dimensions,
+                config.walks.walks_per_vertex,
+                config.walks.walk_length,
+                config.embedding.epochs
+            );
+            V2vModel::train_with_checkpoints(&graph, &config, checkpoint.as_ref())
+                .map_err(|e| e.to_string())?
+        }
+    };
     if let (Some(profiler), Some(path)) = (profiler, opts.get_str("profile")) {
         let flat = profiler.stop();
         v2v_core::io::write_atomic(path, flat.to_json().as_bytes())
@@ -139,6 +166,88 @@ pub fn embed(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `v2v walks`: edge list → sharded on-disk walk corpus directory.
+///
+/// Walks stream to bounded-size checksummed shards as they are generated
+/// (peak memory is one shard, not the corpus), a token-count sidecar, and
+/// a manifest written last so a crashed run is recognizably incomplete.
+/// `v2v embed --corpus <dir>` trains from the result out of core with the
+/// same global walk indexes — bit-identical to in-RAM at `--threads 1`.
+pub fn walks(opts: &Opts) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let out_dir = opts.require("output")?;
+    let config = v2v_walks::WalkConfig {
+        walks_per_vertex: opts.get("walks", 10usize)?,
+        walk_length: opts.get("length", 80usize)?,
+        strategy: parse_strategy(opts)?,
+        seed: opts.get("seed", 0x5EEDu64)?,
+    };
+    let shard_mb = opts.get("shard-mb", 8usize)?;
+    let mut writer = v2v_store::CorpusShardWriter::create(
+        out_dir,
+        graph.num_vertices(),
+        v2v_store::ShardWriterConfig { target_shard_bytes: shard_mb.max(1) << 20 },
+    )
+    .map_err(|e| format!("cannot create corpus directory {out_dir}: {e}"))?;
+    v2v_walks::WalkCorpus::generate_streamed(&graph, &config, 4096, |_first, walks| {
+        for walk in &walks {
+            writer.push_walk(walk)?;
+        }
+        Ok::<(), v2v_store::StoreError>(())
+    })
+    .map_err(|e| e.to_string())?;
+    let (total_walks, total_tokens) =
+        writer.finish().map_err(|e| format!("cannot finalize corpus {out_dir}: {e}"))?;
+    // Reopen through the reader: proves the manifest round-trips before the
+    // user spends a training run on it, and reports the shard count.
+    let corpus = v2v_store::ShardedCorpus::open(out_dir)
+        .map_err(|e| format!("corpus verification failed for {out_dir}: {e}"))?;
+    obs_info!(
+        "wrote {total_walks} walks / {total_tokens} tokens to {} shards in {out_dir}",
+        corpus.num_shards()
+    );
+    Ok(())
+}
+
+/// `v2v index`: build the HNSW graph over a V2VE v2 store once and embed
+/// the snapshot into the store's index section, fingerprinted against the
+/// exact payload and build configuration. `v2v serve` then loads the
+/// graph instead of rebuilding it — the difference between a sub-second
+/// and a multi-minute cold start at large vertex counts.
+pub fn index(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("store")?;
+    let store = v2v_store::EmbeddingStore::open(path)
+        .map_err(|e| format!("cannot open store {path}: {e}"))?;
+    let config = v2v_serve::HnswConfig {
+        m: opts.get("m", 16usize)?,
+        ef_construction: opts.get("ef-construction", 200usize)?,
+        ..Default::default()
+    };
+    let dims = store.dims();
+    let shard_rows = store.shard_rows();
+    let fingerprint = store.fingerprint();
+    let data = store.payload().map_err(|e| format!("{path}: {e}"))?.to_vec();
+    drop(store);
+
+    let index = v2v_serve::HnswIndex::build(dims, data.clone(), config);
+    index
+        .validate()
+        .map_err(|e| format!("freshly built index failed validation: {e}"))?;
+    let snapshot = index.snapshot(fingerprint);
+    // Same payload, same shard_rows → same fingerprint; only the index
+    // section changes, and the rewrite is atomic (old store until rename).
+    v2v_store::write_store(path, dims, &data, shard_rows, Some(&snapshot))
+        .map_err(|e| format!("cannot rewrite {path}: {e}"))?;
+    v2v_obs::global_metrics().counter("index.snapshots_written").inc();
+    obs_info!(
+        "indexed {} vectors x {dims} dims in {:.2?}; embedded {} KiB snapshot into {path}",
+        index.len(),
+        index.build_time(),
+        snapshot.len() / 1024
+    );
+    Ok(())
+}
+
 /// `v2v profile`: render a flat profile written by `v2v embed --profile`
 /// as an aligned text table (default) or normalized JSON.
 pub fn profile(opts: &Opts) -> Result<(), String> {
@@ -155,10 +264,23 @@ pub fn profile(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `.bin` / `.v2e` outputs get the checksummed binary format, everything
-/// else the word2vec text format. Either way the file lands atomically:
-/// a crash mid-write leaves the previous artifact, never a torn one.
+/// `.v2s` outputs get the mmap-able shard-checksummed V2VE v2 store,
+/// `.bin` / `.v2e` the checksummed binary format, everything else the
+/// word2vec text format. Either way the file lands atomically: a crash
+/// mid-write leaves the previous artifact, never a torn one.
 fn write_embedding_file(emb: &v2v_embed::Embedding, output: &str) -> Result<(), String> {
+    if output.ends_with(".v2s") {
+        let dims = emb.dimensions();
+        return v2v_store::write_store(
+            output,
+            dims,
+            emb.as_flat(),
+            v2v_store::default_shard_rows(dims),
+            None,
+        )
+        .map(|_| ())
+        .map_err(|e| format!("cannot write {output}: {e}"));
+    }
     v2v_core::io::write_atomic_with(output, |w| {
         if output.ends_with(".bin") || output.ends_with(".v2e") {
             v2v_embed::binary::write_embedding_binary(emb, w)
@@ -203,6 +325,23 @@ fn load_embedding_path(path: &str) -> Result<v2v_embed::Embedding, String> {
             .map_err(|e| format!("{path}: {e}"))
     } else {
         v2v_embed::io::read_embedding(reader).map_err(|e| e.to_string())
+    }
+}
+
+/// Whether `path` is a V2VE **v2** store (mmap-able container) rather
+/// than a v1 binary or text embedding: by `.v2s` extension, or by
+/// sniffing the magic + version so renamed files still route correctly.
+fn is_store_file(path: &str) -> bool {
+    if path.ends_with(".v2s") {
+        return true;
+    }
+    let mut head = [0u8; 8];
+    use std::io::Read as _;
+    match File::open(path).and_then(|mut f| f.read_exact(&mut head)) {
+        Ok(()) => {
+            head[..4] == *b"V2VE" && u32::from_le_bytes(head[4..8].try_into().unwrap()) == 2
+        }
+        Err(_) => false,
     }
 }
 
@@ -338,8 +477,10 @@ pub fn predict(opts: &Opts) -> Result<(), String> {
 /// SIGHUP (or `/reload`) re-reads the embedding and label files and
 /// swaps the state in without dropping in-flight requests.
 pub fn serve(opts: &Opts) -> Result<(), String> {
+    let cold_start = std::time::Instant::now();
     let embedding_path = opts.require("embedding")?.to_string();
     let labels_path = opts.get_str("labels").map(str::to_string);
+    let rebuild_index = opts.flag("rebuild-index");
     let config = v2v_serve::HnswConfig {
         ef_search: opts.get("ef-search", 64usize)?,
         ..Default::default()
@@ -347,22 +488,36 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     // The reloader re-reads the same paths the server booted from, so a
     // retrain + atomic rename + `kill -HUP` rolls new vectors out live.
     let build: v2v_serve::Reloader = Box::new(move || {
-        let embedding = load_embedding_path(&embedding_path)?;
-        let labels = match &labels_path {
-            Some(path) => Some(read_labels(path, embedding.len())?.0),
-            None => None,
+        let read_label_file = |n: usize| match &labels_path {
+            Some(path) => Ok::<_, String>(Some(read_labels(path, n)?.0)),
+            None => Ok(None),
         };
-        v2v_serve::ServeState::new(embedding, config.clone(), labels).map_err(|e| e.to_string())
+        if is_store_file(&embedding_path) {
+            // V2VE v2 store: mmap (heap fallback), lazy shard verification,
+            // and — unless --rebuild-index — the persisted HNSW snapshot.
+            let store = v2v_store::EmbeddingStore::open(&embedding_path)
+                .map_err(|e| format!("cannot open store {embedding_path}: {e}"))?;
+            let labels = read_label_file(store.len())?;
+            v2v_serve::ServeState::from_store(store, config.clone(), labels, !rebuild_index)
+        } else {
+            let embedding = load_embedding_path(&embedding_path)?;
+            let labels = read_label_file(embedding.len())?;
+            v2v_serve::ServeState::new(embedding, config.clone(), labels)
+        }
+        .map_err(|e| e.to_string())
     });
     let initial = build()?;
     obs_info!(
-        "indexed {} vectors x {} dims (ef_search = {}) in {:.2?}{}",
-        initial.embedding().len(),
-        initial.embedding().dimensions(),
+        "indexed {} vectors x {} dims (ef_search = {}, index {}, backing {}) in {:.2?}{}",
+        initial.vectors().len(),
+        initial.vectors().dimensions(),
         initial.index().config().ef_search,
+        initial.index_source(),
+        initial.vectors().source(),
         initial.index().build_time(),
         if initial.degraded() { " [DEGRADED: exact scan]" } else { "" }
     );
+    let index_source = initial.index_source();
     let handle = v2v_serve::ServeHandle::new(initial, Some(build));
 
     let server_config = v2v_serve::ServerConfig {
@@ -387,7 +542,7 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     std::thread::spawn(move || loop {
         if v2v_serve::signal::take_reload() {
             match handle.reload() {
-                Ok(state) => obs_info!("SIGHUP reload: {} vectors", state.embedding().len()),
+                Ok(state) => obs_info!("SIGHUP reload: {} vectors", state.vectors().len()),
                 Err(e) => obs_error!("SIGHUP reload failed, keeping old state: {e}"),
             }
         }
@@ -400,6 +555,20 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
     });
+    // Ready to accept: everything from process entry to here is the cold
+    // start the ROADMAP's million-vertex target cares about. Exposed as a
+    // gauge so the restart smoke (and operators) can assert on it.
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    v2v_obs::global_metrics().gauge("serve.cold_start_ms").set(cold_ms);
+    v2v_obs::record_event(
+        v2v_obs::Event::new(
+            "cold_start",
+            "",
+            &format!("ready in {cold_ms:.1} ms (index {index_source})"),
+        )
+        .with_latency_ms(cold_ms),
+    );
+    obs_info!("cold start: ready in {cold_ms:.1} ms (index {index_source})");
     // The smoke test and scripts parse this line for the resolved port.
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;

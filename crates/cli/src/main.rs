@@ -8,12 +8,24 @@
 //!                 [--p 1.0 --q 1.0] [--time-window T] [--threads 0] [--seed S]
 //!                 [--checkpoint-dir DIR [--checkpoint-every-epochs 1]
 //!                 [--checkpoint-every-secs T] [--resume]]
-//!                 [--profile prof.json]
-//!                 (a `.bin`/`.v2e` --output writes the checksummed binary format;
+//!                 [--profile prof.json] [--corpus walks_dir/]
+//!                 (a `.bin`/`.v2e` --output writes the checksummed binary format
+//!                 and a `.v2s` --output writes the mmap-able V2VE v2 store;
+//!                 --corpus trains from a sharded on-disk corpus written by
+//!                 `v2v walks` instead of generating walks in RAM;
 //!                 --checkpoint-dir snapshots training state atomically at epoch
 //!                 boundaries and --resume restarts from the latest snapshot
 //!                 after a crash or kill; --profile self-samples the run with a
 //!                 SIGPROF timer and writes a flat phase profile as JSON)
+//! v2v walks       --input edges.txt --output walks_dir/ [--walks 10] [--length 80]
+//!                 [--strategy ...] [--seed S] [--shard-mb 8] [--directed] [--format ...]
+//!                 (stream the walk corpus to bounded-size checksummed shards on
+//!                 disk; `v2v embed --corpus walks_dir/` then trains out of core,
+//!                 bit-identical to in-RAM training at --threads 1)
+//! v2v index       --store emb.v2s [--m 16] [--ef-construction 200]
+//!                 (build the HNSW graph once and persist its snapshot into the
+//!                 store's index section, fingerprinted against the payload;
+//!                 `v2v serve` then loads it instead of rebuilding)
 //! v2v profile     --input prof.json [--format table|json]
 //!                 (render a flat profile written by `v2v embed --profile` as an
 //!                 aligned table, or normalized JSON for scripts)
@@ -24,10 +36,13 @@
 //!                 --ann ranks neighbors with an HNSW index instead of a full scan)
 //! v2v serve       --embedding emb.txt [--labels labels.txt] [--port 7878]
 //!                 [--ef-search 64] [--threads 0] [--request-deadline-secs 10]
-//!                 [--max-queue 1024] [--max-body 1048576]
+//!                 [--max-queue 1024] [--max-body 1048576] [--rebuild-index]
 //!                 (HTTP JSON endpoints: /neighbors?v=&k=  /similarity?a=&b=
 //!                 /predict?v=&k= (or POST {"vector":[...],"k":n})  /healthz  /metricz;
-//!                 --embedding may be text or binary; SIGINT/SIGTERM drains and
+//!                 --embedding may be text, binary, or a `.v2s` store — stores
+//!                 are mmap-ed and served with their persisted HNSW snapshot for
+//!                 millisecond cold starts (--rebuild-index forces a rebuild);
+//!                 SIGINT/SIGTERM drains and
 //!                 shuts down cleanly; SIGHUP or POST /reload re-reads the
 //!                 embedding + label files and hot-swaps them without dropping
 //!                 in-flight requests; overload sheds 503 + Retry-After)
@@ -50,7 +65,7 @@ mod opts;
 use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
-const USAGE: &str = "usage: v2v <embed|communities|predict|serve|project|stats|quality|profile> [options]
+const USAGE: &str = "usage: v2v <embed|walks|index|communities|predict|serve|project|stats|quality|profile> [options]
 
 common options (every subcommand):
   --metrics <path>      after the run, write telemetry (span tree, metrics,
@@ -69,6 +84,17 @@ profiling and concurrency telemetry:
                         PMU) deny it, and those metrics then read null with the
                         reason — everything else degrades gracefully
 
+million-vertex serving (the v2v-store path):
+  v2v walks --input edges.txt --output walks_dir/   stream walks to disk shards
+                        of bounded size (--shard-mb, default 8)
+  v2v embed --corpus walks_dir/ --output emb.v2s    train out of core, write a
+                        page-aligned mmap-able store (`.v2s`)
+  v2v index --store emb.v2s                         persist the HNSW snapshot
+                        into the store, fingerprinted against the payload
+  v2v serve --embedding emb.v2s                     mmap + snapshot load: cold
+                        start in milliseconds (serve.cold_start_ms gauge;
+                        --rebuild-index ignores the snapshot)
+
 environment:
   V2V_LOG               stderr log level: off, error, info (default), debug, trace
   V2V_PROFILE_HZ        embed --profile: sampling frequency in Hz (default 97,
@@ -81,6 +107,8 @@ environment:
                         (default 250)
   V2V_FLIGHT_DUMP       serve: where SIGUSR1 (and panics) dump the flight
                         recorder (default v2v-flight-<pid>.json)
+  V2V_NO_MMAP           set to 1 to load `.v2s` stores onto the heap instead of
+                        mmap-ing them (verifies every shard checksum up front)
   V2V_NO_SIMD           set to 1 to force the scalar f32 kernels (no AVX2/
                         unrolled SIMD paths) in training and ANN search;
                         single-threaded scalar runs are bit-reproducible
@@ -106,6 +134,8 @@ fn main() {
     let command = opts.command.clone().unwrap_or_default();
     let result = match opts.command.as_deref() {
         Some("embed") => commands::embed(&opts),
+        Some("walks") => commands::walks(&opts),
+        Some("index") => commands::index(&opts),
         Some("communities") => commands::communities(&opts),
         Some("predict") => commands::predict(&opts),
         Some("serve") => commands::serve(&opts),

@@ -54,6 +54,27 @@ fn help_documents_profiling_surface() {
     }
 }
 
+/// The out-of-core / mmap-store surface: sharded walk corpora, the
+/// `.v2s` store, snapshot indexing, and the serve-side cold-start story
+/// must all be discoverable from `v2v help`.
+#[test]
+fn help_documents_store_surface() {
+    let help = help_output();
+    for needle in [
+        "v2v walks",
+        "v2v index",
+        "--corpus",
+        "--shard-mb",
+        "--store",
+        ".v2s",
+        "--rebuild-index",
+        "V2V_NO_MMAP",
+        "serve.cold_start_ms",
+    ] {
+        assert!(help.contains(needle), "v2v help must mention {needle}\n---\n{help}");
+    }
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_v2v"))

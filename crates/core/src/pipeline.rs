@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use v2v_embed::{CheckpointOptions, Embedding, TrainStats};
 use v2v_graph::Graph;
 use v2v_linalg::{Pca, RowMatrix};
-use v2v_walks::WalkCorpus;
+use v2v_walks::{WalkCorpus, WalkSource};
 
 /// Wall-clock breakdown of a run; Table I reports the training time
 /// separately from the (sub-millisecond) clustering time. The same
@@ -78,7 +78,7 @@ impl V2vModel {
         config: &V2vConfig,
         walk_generation: Duration,
     ) -> Result<V2vModel, V2vError> {
-        Self::train_on_corpus_with_checkpoints(corpus, config, walk_generation, None)
+        Self::train_on_source_with_checkpoints(corpus, config, walk_generation, None)
     }
 
     /// [`V2vModel::train_on_corpus`] with crash-safe checkpoints.
@@ -88,11 +88,33 @@ impl V2vModel {
         walk_generation: Duration,
         ckpt: Option<&CheckpointOptions>,
     ) -> Result<V2vModel, V2vError> {
+        Self::train_on_source_with_checkpoints(corpus, config, walk_generation, ckpt)
+    }
+
+    /// Trains over any [`WalkSource`] — an in-RAM corpus or a sharded
+    /// on-disk corpus streamed with bounded memory (`v2v-store`). Walks
+    /// are consumed by global index, so the same walks produce the same
+    /// model wherever they live.
+    pub fn train_on_source<S: WalkSource + ?Sized>(
+        source: &S,
+        config: &V2vConfig,
+        walk_generation: Duration,
+    ) -> Result<V2vModel, V2vError> {
+        Self::train_on_source_with_checkpoints(source, config, walk_generation, None)
+    }
+
+    /// [`V2vModel::train_on_source`] with crash-safe checkpoints.
+    pub fn train_on_source_with_checkpoints<S: WalkSource + ?Sized>(
+        source: &S,
+        config: &V2vConfig,
+        walk_generation: Duration,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<V2vModel, V2vError> {
         let t1 = Instant::now();
         // v2v_embed::train opens the "train" span (with per-epoch children);
         // when called via `train` above it nests under "pipeline".
         let (embedding, stats) =
-            v2v_embed::train_with_checkpoints(corpus, &config.embedding, ckpt)
+            v2v_embed::train_source_with_checkpoints(source, &config.embedding, ckpt)
                 .map_err(V2vError::Training)?;
         let training = t1.elapsed();
         // Phase gauges mirror the Timing struct for scrapers: Table I's

@@ -1,9 +1,10 @@
 //! Versioned binary persistence for embeddings.
 //!
 //! The text format in [`crate::io`] is the interchange format; this is the
-//! serving format: fixed-width little-endian `f32` rows that load with one
-//! bulk read and no per-token parsing, which is what `v2v-serve` memory-maps
-//! its index source from. Layout (all integers little-endian):
+//! compact format: fixed-width little-endian `f32` rows that stream-decode
+//! with no per-token parsing. (The mmap-able serving container lives in
+//! `v2v-store`; this v1 layout remains the interchange/compat format.)
+//! Layout (all integers little-endian):
 //!
 //! ```text
 //! offset  size            field
@@ -92,65 +93,98 @@ pub fn write_embedding_binary<W: Write>(emb: &Embedding, mut w: W) -> Result<(),
     Ok(())
 }
 
+/// Reads `buf.len()` bytes exactly, turning a clean EOF into a typed
+/// truncation error naming the section that ran short.
+fn read_section<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), BinaryIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            BinaryIoError::Format(format!("truncated while reading {what}"))
+        } else {
+            BinaryIoError::Io(e)
+        }
+    })
+}
+
 /// Reads an embedding written by [`write_embedding_binary`], rejecting
 /// wrong magic, unknown versions, shape overflow, truncation, trailing
 /// garbage, and checksum mismatches.
+///
+/// Validation is streaming and section-by-section: the header is read and
+/// checked first, then the payload is decoded in fixed-size chunks with
+/// the checksum folded incrementally, then the trailer is compared. Peak
+/// memory is the decoded `f32` table plus one 64 KiB scratch buffer — the
+/// raw file bytes are never buffered whole, which at serving sizes halves
+/// the loader's peak RSS relative to a read-to-end-then-parse pass.
 pub fn read_embedding_binary<R: Read>(mut r: R) -> Result<Embedding, BinaryIoError> {
-    let mut bytes = Vec::new();
-    r.read_to_end(&mut bytes)?;
-    parse_embedding_binary(&bytes)
-}
-
-/// [`read_embedding_binary`] over an in-memory buffer.
-pub fn parse_embedding_binary(bytes: &[u8]) -> Result<Embedding, BinaryIoError> {
     let fail = |msg: String| Err(BinaryIoError::Format(msg));
-    if bytes.len() < 28 {
-        return fail(format!("file too short ({} bytes) for header + checksum", bytes.len()));
-    }
-    if !is_binary_header(bytes) {
+    let mut header = [0u8; 20];
+    read_section(&mut r, &mut header, "the 20-byte header")?;
+    if !is_binary_header(&header) {
         return fail("bad magic (not a V2VE file)".into());
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
     if version != FORMAT_VERSION {
         return fail(format!("unsupported format version {version} (expected {FORMAT_VERSION})"));
     }
-    let dims = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let count = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let dims = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let count = u64::from_le_bytes(header[12..20].try_into().unwrap());
     if dims == 0 {
         return fail("zero dimensions".into());
     }
     // Checked all the way down: a wrong-endianness or corrupted header
     // yields astronomical shapes, which must become typed errors, not
     // debug-mode multiply/add panics or release-mode wraparound.
-    let expected = usize::try_from(count)
+    let payload_bytes = usize::try_from(count)
         .ok()
         .and_then(|c| c.checked_mul(dims))
         .and_then(|v| v.checked_mul(4))
-        .and_then(|b| b.checked_add(28))
+        .filter(|b| b.checked_add(28).is_some())
         .ok_or_else(|| BinaryIoError::Format(format!("shape {count} x {dims} overflows")))?;
-    let values = (expected - 28) / 4;
-    if bytes.len() < expected {
-        return fail(format!(
-            "truncated: {} bytes but {count} x {dims} vectors need {expected}",
-            bytes.len()
-        ));
-    }
-    if bytes.len() > expected {
-        return fail(format!("{} trailing bytes after checksum", bytes.len() - expected));
+
+    let mut hash = fnv1a64(FNV_OFFSET, &header);
+    // Grown with the stream, not pre-reserved from the header: a lying
+    // count hits the truncation error below after at most one chunk of
+    // over-read, instead of pre-allocating an astronomical table.
+    let mut data: Vec<f32> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut remaining = payload_bytes;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        read_section(&mut r, &mut chunk[..take], "the vector payload")?;
+        hash = fnv1a64(hash, &chunk[..take]);
+        // `take` is a multiple of 4 except possibly the final chunk of a
+        // file whose byte budget is — by construction — 4-aligned, so
+        // chunks_exact never strands bytes.
+        data.extend(
+            chunk[..take].chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+        remaining -= take;
     }
 
-    let body = &bytes[..expected - 8];
-    let stored = u64::from_le_bytes(bytes[expected - 8..].try_into().unwrap());
-    let computed = fnv1a64(FNV_OFFSET, body);
-    if stored != computed {
-        return fail(format!("checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"));
+    let mut trailer = [0u8; 8];
+    read_section(&mut r, &mut trailer, "the trailing checksum")?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != hash {
+        return fail(format!("checksum mismatch (stored {stored:#018x}, computed {hash:#018x})"));
     }
 
-    let data = bytes[20..20 + values * 4]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    // Anything after the checksum is not ours: reject rather than ignore.
+    let mut probe = [0u8; 1];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => break,
+            Ok(_) => return fail("trailing bytes after checksum".into()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(BinaryIoError::Io(e)),
+        }
+    }
+
     Ok(Embedding::from_flat(dims, data))
+}
+
+/// [`read_embedding_binary`] over an in-memory buffer.
+pub fn parse_embedding_binary(bytes: &[u8]) -> Result<Embedding, BinaryIoError> {
+    read_embedding_binary(bytes)
 }
 
 #[cfg(test)]

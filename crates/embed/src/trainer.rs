@@ -33,7 +33,7 @@ use v2v_obs::perf_counters::ThreadCounters;
 use v2v_obs::perthread::{set_phase, Phase, WorkerTable};
 use v2v_obs::ConcurrencyReport;
 use v2v_walks::rng::derive_seed;
-use v2v_walks::WalkCorpus;
+use v2v_walks::{WalkCorpus, WalkSource};
 
 /// What happened during training.
 #[derive(Clone, Debug)]
@@ -64,6 +64,17 @@ pub fn train(corpus: &WalkCorpus, config: &EmbedConfig) -> Result<(Embedding, Tr
     train_with_checkpoints(corpus, config, None)
 }
 
+/// [`train`] over any [`WalkSource`] — an in-RAM corpus or an on-disk
+/// shard directory. Walks are consumed by global walk index, so two
+/// sources presenting the same walks produce bit-identical models at
+/// `threads = 1` regardless of where the walks live.
+pub fn train_from_source<S: WalkSource + ?Sized>(
+    source: &S,
+    config: &EmbedConfig,
+) -> Result<(Embedding, TrainStats), String> {
+    train_source_with_checkpoints(source, config, None)
+}
+
 /// [`train`] with periodic crash-safe checkpointing.
 ///
 /// With `Some(opts)`, the trainer writes a [`TrainCheckpoint`] into
@@ -80,14 +91,26 @@ pub fn train_with_checkpoints(
     config: &EmbedConfig,
     ckpt: Option<&CheckpointOptions>,
 ) -> Result<(Embedding, TrainStats), String> {
+    train_source_with_checkpoints(corpus, config, ckpt)
+}
+
+/// [`train_with_checkpoints`] over any [`WalkSource`]. The checkpoint
+/// fingerprint folds the source's shape (vocabulary + token count), not
+/// its storage, so a run checkpointed against an in-RAM corpus can resume
+/// against the identical corpus streamed from disk shards.
+pub fn train_source_with_checkpoints<S: WalkSource + ?Sized>(
+    source: &S,
+    config: &EmbedConfig,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<(Embedding, TrainStats), String> {
     config.validate()?;
-    let n = corpus.num_vertices();
-    if n == 0 || corpus.num_tokens() == 0 {
+    let n = source.num_vertices();
+    if n == 0 || source.num_tokens() == 0 {
         return Err("cannot train on an empty corpus".into());
     }
 
     let dim = config.dimensions;
-    let counts = corpus.token_counts();
+    let counts = source.token_counts();
 
     let (sampler, huffman, out_rows) = match config.output {
         OutputLayer::NegativeSampling { .. } => (Some(NegativeSampler::new(&counts)), None, n),
@@ -100,7 +123,7 @@ pub fn train_with_checkpoints(
 
     // Resolve checkpointing up front: create the directory, and on resume
     // load + validate the existing checkpoint before any weight exists.
-    let fp = checkpoint::fingerprint(config, n, corpus.num_tokens());
+    let fp = checkpoint::fingerprint(config, n, source.num_tokens());
     let ckpt_path = match ckpt {
         Some(opts) => {
             std::fs::create_dir_all(&opts.dir).map_err(|e| {
@@ -202,7 +225,7 @@ pub fn train_with_checkpoints(
             .collect()
     });
 
-    let total_tokens = corpus.num_tokens() as u64;
+    let total_tokens = source.num_tokens() as u64;
     let schedule_total = total_tokens * config.epochs as u64;
     let processed = AtomicU64::new(processed_init);
 
@@ -281,9 +304,9 @@ pub fn train_with_checkpoints(
             let epoch_started = std::time::Instant::now();
             let epoch_span = v2v_obs::span("epoch");
             let (loss, pairs) = if config.threads == 1 {
-                run_epoch_sequential(corpus, &ctx, epoch as u64, &workers)
+                run_epoch_sequential(source, &ctx, epoch as u64, &workers)
             } else {
-                run_epoch_parallel(corpus, &ctx, epoch as u64, &workers)
+                run_epoch_parallel(source, &ctx, epoch as u64, &workers)
             };
             drop(epoch_span);
             stats.epochs_run += 1;
@@ -441,20 +464,20 @@ fn resolve_workers(threads: usize, walks: usize) -> usize {
 /// wall-clock by construction: a blocked thread burns no CPU, so the
 /// SIGPROF profiler cannot see it, and these two measurements are
 /// deliberately complementary (profiler = CPU split, slots = wall split).
-fn run_epoch_parallel(
-    corpus: &WalkCorpus,
+fn run_epoch_parallel<S: WalkSource + ?Sized>(
+    source: &S,
     ctx: &TrainContext<'_>,
     epoch: u64,
     workers: &WorkerTable,
 ) -> (f64, u64) {
-    let walks = corpus.walks();
-    let n_workers = resolve_workers(ctx.config.threads, walks.len());
-    let chunk = walks.len().div_ceil(n_workers);
+    let num_walks = source.num_walks();
+    let n_workers = resolve_workers(ctx.config.threads, num_walks);
+    let chunk = num_walks.div_ceil(n_workers);
     let results: Vec<(f64, u64, Instant)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n_workers)
             .map(|w| {
-                let lo = (w * chunk).min(walks.len());
-                let hi = ((w + 1) * chunk).min(walks.len());
+                let lo = (w * chunk).min(num_walks);
+                let hi = ((w + 1) * chunk).min(num_walks);
                 s.spawn(move || {
                     let slot = workers.slot(w);
                     let counters = ThreadCounters::open();
@@ -463,12 +486,12 @@ fn run_epoch_parallel(
                     set_phase(Phase::WalkFetch);
                     let mut loss = 0.0f64;
                     let mut pairs = 0u64;
-                    for (i, walk) in walks[lo..hi].iter().enumerate() {
-                        let (l, p) = train_walk(walk, (lo + i) as u64, epoch, ctx);
+                    source.for_each_walk_in(lo..hi, &mut |idx, walk| {
+                        let (l, p) = train_walk(walk, idx, epoch, ctx);
                         loss += l;
                         pairs += p;
                         slot.add_walk(p);
-                    }
+                    });
                     slot.add_busy(started.elapsed().as_nanos() as u64);
                     if let Some(r) = counters.stop() {
                         slot.add_perf(r.cycles, r.instructions, r.cache_misses, r.llc_load_misses);
@@ -497,8 +520,8 @@ fn run_epoch_parallel(
 /// The `threads == 1` path: bit-identical to previous releases (checkpoint
 /// resume tests depend on it), but it still records worker-0 telemetry so
 /// single-thread runs get the same attribution columns.
-fn run_epoch_sequential(
-    corpus: &WalkCorpus,
+fn run_epoch_sequential<S: WalkSource + ?Sized>(
+    source: &S,
     ctx: &TrainContext<'_>,
     epoch: u64,
     workers: &WorkerTable,
@@ -510,12 +533,12 @@ fn run_epoch_sequential(
     set_phase(Phase::WalkFetch);
     let mut loss = 0.0;
     let mut pairs = 0u64;
-    for (i, walk) in corpus.walks().iter().enumerate() {
-        let (l, p) = train_walk(walk, i as u64, epoch, ctx);
+    source.for_each_walk_in(0..source.num_walks(), &mut |idx, walk| {
+        let (l, p) = train_walk(walk, idx, epoch, ctx);
         loss += l;
         pairs += p;
         slot.add_walk(p);
-    }
+    });
     slot.add_busy(started.elapsed().as_nanos() as u64);
     if let Some(r) = counters.stop() {
         slot.add_perf(r.cycles, r.instructions, r.cache_misses, r.llc_load_misses);

@@ -196,7 +196,7 @@ mod tests {
         assert!(r.snapshot().is_empty());
         let doc = r.to_json();
         let parsed = json::parse(&doc).expect("valid JSON");
-        assert_eq!(format!("{parsed:?}").contains("events"), true);
+        assert!(format!("{parsed:?}").contains("events"));
         assert_eq!(r.dropped(), 0);
     }
 

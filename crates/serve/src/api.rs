@@ -34,10 +34,88 @@ use std::sync::Arc;
 use v2v_embed::Embedding;
 use v2v_graph::VertexId;
 use v2v_obs::json;
+use v2v_store::EmbeddingStore;
+
+/// Where the served vectors live: an in-RAM [`Embedding`] (text/binary
+/// file loads) or an [`EmbeddingStore`] — typically an `mmap`ed V2VE v2
+/// container whose pages the kernel faults in on demand.
+pub enum VectorSet {
+    /// Fully materialized in RAM.
+    Owned(Embedding),
+    /// Backed by a V2VE v2 store (mmap with lazy shard verification, or
+    /// its checksummed heap-load fallback).
+    Store(EmbeddingStore),
+}
+
+impl VectorSet {
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        match self {
+            VectorSet::Owned(e) => e.len(),
+            VectorSet::Store(s) => s.len(),
+        }
+    }
+
+    /// Whether there are no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dimensions(&self) -> usize {
+        match self {
+            VectorSet::Owned(e) => e.dimensions(),
+            VectorSet::Store(s) => s.dims(),
+        }
+    }
+
+    /// Row `i`. The store path verifies the containing shard's checksum on
+    /// first touch, so this can fail on a corrupted file — callers turn
+    /// that into a 500, never into silently wrong vectors.
+    pub fn vector(&self, i: usize) -> Result<&[f32], String> {
+        match self {
+            VectorSet::Owned(e) => Ok(e.vector(VertexId::from_index(i))),
+            VectorSet::Store(s) => s.vector(i).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Cosine similarity of rows `a` and `b` (`0` for zero vectors),
+    /// matching [`Embedding::cosine_similarity`] exactly on both backings.
+    pub fn cosine_similarity(&self, a: usize, b: usize) -> Result<f32, String> {
+        match self {
+            VectorSet::Owned(e) => {
+                Ok(e.cosine_similarity(VertexId::from_index(a), VertexId::from_index(b)))
+            }
+            VectorSet::Store(s) => {
+                let va = s.vector(a).map_err(|e| e.to_string())?;
+                let vb = s.vector(b).map_err(|e| e.to_string())?;
+                let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+                for (x, y) in va.iter().zip(vb) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    Ok(0.0)
+                } else {
+                    Ok((dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0))
+                }
+            }
+        }
+    }
+
+    /// Which backing answers reads: `ram`, `mmap`, or `heap`.
+    pub fn source(&self) -> &'static str {
+        match self {
+            VectorSet::Owned(_) => "ram",
+            VectorSet::Store(s) => s.source(),
+        }
+    }
+}
 
 /// Everything a worker thread needs to answer queries, built once.
 pub struct ServeState {
-    embedding: Embedding,
+    vectors: VectorSet,
     index: HnswIndex,
     /// Per-vertex labels (`None` = unlabeled); present iff a label file
     /// was supplied.
@@ -47,6 +125,9 @@ pub struct ServeState {
     dense_labels: Vec<usize>,
     /// True when index validation failed and queries run the exact scan.
     degraded: bool,
+    /// How the ANN index came to be: `snapshot` (loaded from a persisted
+    /// section), `rebuilt` (constructed at startup), or `degraded`.
+    index_source: &'static str,
 }
 
 impl ServeState {
@@ -57,16 +138,73 @@ impl ServeState {
         config: HnswConfig,
         labels: Option<Vec<Option<usize>>>,
     ) -> Result<ServeState, String> {
+        let index = HnswIndex::from_embedding(&embedding, config);
+        ServeState::finish(VectorSet::Owned(embedding), index, labels, "rebuilt")
+    }
+
+    /// Builds serving state over a V2VE v2 [`EmbeddingStore`]. When the
+    /// store carries an index section and `allow_snapshot` is set, the
+    /// persisted HNSW is loaded instead of rebuilt — the cold-start path
+    /// for million-vertex serving. A snapshot that is corrupt, built under
+    /// a different index configuration, or fingerprinted against different
+    /// embedding payload is *refused* (with a log line and the
+    /// `serve.index.snapshot_rejected` counter) and the index is rebuilt:
+    /// slower, never wrong.
+    pub fn from_store(
+        store: EmbeddingStore,
+        config: HnswConfig,
+        labels: Option<Vec<Option<usize>>>,
+        allow_snapshot: bool,
+    ) -> Result<ServeState, String> {
+        let dims = store.dims();
+        let fingerprint = store.fingerprint();
+        let metrics = v2v_obs::global_metrics();
+        let mut loaded: Option<HnswIndex> = None;
+        if allow_snapshot {
+            if let Some(section) = store.index_section() {
+                let payload = store.payload().map_err(|e| e.to_string())?.to_vec();
+                match HnswIndex::from_snapshot(
+                    section,
+                    dims,
+                    payload,
+                    config.clone(),
+                    fingerprint,
+                ) {
+                    Ok(index) => loaded = Some(index),
+                    Err(e) => {
+                        v2v_obs::obs_error!("refusing persisted ANN snapshot: {e}; rebuilding");
+                        metrics.counter("serve.index.snapshot_rejected").inc();
+                    }
+                }
+            }
+        }
+        let (index, source) = match loaded {
+            Some(index) => (index, "snapshot"),
+            None => {
+                let payload = store.payload().map_err(|e| e.to_string())?.to_vec();
+                (HnswIndex::build(dims, payload, config), "rebuilt")
+            }
+        };
+        ServeState::finish(VectorSet::Store(store), index, labels, source)
+    }
+
+    /// Shared tail of every constructor: label checks, validation with
+    /// exact-scan degradation, and telemetry.
+    fn finish(
+        vectors: VectorSet,
+        index: HnswIndex,
+        labels: Option<Vec<Option<usize>>>,
+        index_source: &'static str,
+    ) -> Result<ServeState, String> {
         if let Some(l) = &labels {
-            if l.len() != embedding.len() {
+            if l.len() != vectors.len() {
                 return Err(format!(
                     "label file covers {} vertices but the embedding has {}",
                     l.len(),
-                    embedding.len()
+                    vectors.len()
                 ));
             }
         }
-        let index = HnswIndex::from_embedding(&embedding, config);
         let metrics = v2v_obs::global_metrics();
         metrics.gauge("serve.index.build_ms").set(index.build_time().as_secs_f64() * 1e3);
         metrics.gauge("serve.index.vectors").set(index.len() as f64);
@@ -78,21 +216,35 @@ impl ServeState {
             .set(1.0);
         // A structurally broken graph must not serve wrong neighbors;
         // degrade to the exact scan — slower, still correct — and say so.
-        let (index, degraded) = match index.validate() {
-            Ok(()) => (index, false),
+        let (index, degraded, index_source) = match index.validate() {
+            Ok(()) => (index, false, index_source),
             Err(e) => {
                 v2v_obs::obs_error!(
                     "ANN index failed validation ({e}); serving degraded via exact scan"
                 );
                 metrics.counter("serve.index.degraded").inc();
-                (index.into_exact(), true)
+                (index.into_exact(), true, "degraded")
             }
         };
+        for s in ["snapshot", "rebuilt", "degraded"] {
+            metrics
+                .gauge(&format!("serve.index_source.{s}"))
+                .set(f64::from(s == index_source));
+        }
+        v2v_obs::record_event(v2v_obs::Event::new(
+            "index",
+            "",
+            &format!(
+                "index source: {index_source} ({} vectors, {} backing)",
+                index.len(),
+                vectors.source()
+            ),
+        ));
         let dense_labels = labels
             .as_deref()
             .map(|l| l.iter().map(|o| o.unwrap_or(usize::MAX)).collect())
             .unwrap_or_default();
-        Ok(ServeState { embedding, index, labels, dense_labels, degraded })
+        Ok(ServeState { vectors, index, labels, dense_labels, degraded, index_source })
     }
 
     /// The underlying ANN index.
@@ -100,14 +252,19 @@ impl ServeState {
         &self.index
     }
 
-    /// The embedding being served.
-    pub fn embedding(&self) -> &Embedding {
-        &self.embedding
+    /// The vectors being served.
+    pub fn vectors(&self) -> &VectorSet {
+        &self.vectors
     }
 
     /// Whether index validation failed and queries run the exact scan.
     pub fn degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// How the ANN index was obtained (`snapshot` / `rebuilt` / `degraded`).
+    pub fn index_source(&self) -> &'static str {
+        self.index_source
     }
 
     /// Wraps this state into the server's request handler.
@@ -168,9 +325,9 @@ impl ServeHandle {
         v2v_obs::record_event(v2v_obs::Event::new(
             "reload",
             "",
-            &format!("swapped in {} vectors", fresh.embedding.len()),
+            &format!("swapped in {} vectors", fresh.vectors.len()),
         ));
-        v2v_obs::obs_info!("reloaded serving state: {} vectors", fresh.embedding.len());
+        v2v_obs::obs_info!("reloaded serving state: {} vectors", fresh.vectors.len());
         Ok(fresh)
     }
 
@@ -187,7 +344,7 @@ impl ServeHandle {
                         200,
                         format!(
                             "{{\"reloaded\": true, \"vectors\": {}, \"degraded\": {}}}",
-                            state.embedding.len(),
+                            state.vectors.len(),
                             state.degraded
                         ),
                     ),
@@ -256,10 +413,10 @@ fn usize_param(req: &Request, key: &str) -> Result<usize, Response> {
 
 fn vertex_param(state: &ServeState, req: &Request, key: &str) -> Result<usize, Response> {
     let v = usize_param(req, key)?;
-    if v >= state.embedding.len() {
+    if v >= state.vectors.len() {
         return Err(Response::error(
             404,
-            &format!("vertex {v} out of range (embedding has {} vectors)", state.embedding.len()),
+            &format!("vertex {v} out of range (embedding has {} vectors)", state.vectors.len()),
         ));
     }
     Ok(v)
@@ -269,10 +426,12 @@ fn healthz(state: &ServeState) -> Response {
     let mut body = String::from("{\"status\": \"ok\"");
     let _ = write!(
         body,
-        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"degraded\": {}, \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
-        state.embedding.len(),
-        state.embedding.dimensions(),
+        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"index_source\": \"{}\", \"backing\": \"{}\", \"degraded\": {}, \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
+        state.vectors.len(),
+        state.vectors.dimensions(),
         if state.index.is_graph() { "hnsw" } else { "exact" },
+        state.index_source,
+        state.vectors.source(),
         state.degraded,
         state.index.config().metric.name(),
         state.index.config().ef_search,
@@ -294,7 +453,10 @@ fn neighbors(state: &ServeState, req: &Request) -> Response {
             Err(r) => return r,
         },
     };
-    let query = state.embedding.vector(VertexId::from_index(v));
+    let query = match state.vectors.vector(v) {
+        Ok(q) => q,
+        Err(e) => return Response::error(500, &e),
+    };
     // Over-fetch by one so the query vertex itself can be dropped.
     let found = match req.param("ef") {
         None => state.index.search(query, k + 1),
@@ -329,9 +491,10 @@ fn similarity(state: &ServeState, req: &Request) -> Response {
         (Ok(a), Ok(b)) => (a, b),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let sim = state
-        .embedding
-        .cosine_similarity(VertexId::from_index(a), VertexId::from_index(b));
+    let sim = match state.vectors.cosine_similarity(a, b) {
+        Ok(s) => s,
+        Err(e) => return Response::error(500, &e),
+    };
     let mut body = format!("{{\"a\": {a}, \"b\": {b}, \"cosine\": ");
     json::write_f64(&mut body, sim as f64);
     body.push('}');
@@ -380,7 +543,10 @@ fn predict_vertex(state: &ServeState, req: &Request) -> Response {
             Err(r) => return r,
         },
     };
-    let query = state.embedding.vector(VertexId::from_index(v)).to_vec();
+    let query = match state.vectors.vector(v) {
+        Ok(q) => q.to_vec(),
+        Err(e) => return Response::error(500, &e),
+    };
     match vote_labeled(state, &query, k, Some(v)) {
         Ok(label) => Response::json(200, format!("{{\"vertex\": {v}, \"k\": {k}, \"label\": {label}}}")),
         Err(r) => r,
@@ -404,13 +570,13 @@ fn predict_vector(state: &ServeState, req: &Request) -> Response {
     let Some(query) = query else {
         return Response::error(400, "\"vector\" must contain only numbers");
     };
-    if query.len() != state.embedding.dimensions() {
+    if query.len() != state.vectors.dimensions() {
         return Response::error(
             400,
             &format!(
                 "\"vector\" has {} components, embedding has {}",
                 query.len(),
-                state.embedding.dimensions()
+                state.vectors.dimensions()
             ),
         );
     }
@@ -699,6 +865,67 @@ mod tests {
         assert!(r.body.contains("v2v_serve_latency_test_p99"));
         // Unknown formats are a client error, not silently JSON.
         assert_eq!(get(&state, "/metricz?format=xml").status, 400);
+    }
+
+    /// Serving from a V2VE v2 store: a persisted snapshot loads (reported
+    /// as `index_source: snapshot` in /healthz) and answers every
+    /// /neighbors query byte-identically to a from-scratch rebuild over
+    /// the same store.
+    #[test]
+    fn from_store_snapshot_matches_rebuild() {
+        let dir = std::env::temp_dir().join(format!("v2v_api_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("served.v2s");
+
+        let (n, dims) = (600usize, 8usize);
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let data: Vec<f32> = (0..n * dims)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect();
+        let config = HnswConfig { brute_force_threshold: 0, ..Default::default() };
+
+        // Write payload-only, build + snapshot against its fingerprint,
+        // rewrite with the index section embedded — the `v2v index` flow.
+        let fp = v2v_store::write_store(&path, dims, &data, 64, None).unwrap();
+        let built = HnswIndex::build(dims, data.clone(), config.clone());
+        let snap = built.snapshot(fp);
+        v2v_store::write_store(&path, dims, &data, 64, Some(&snap)).unwrap();
+
+        let from_snap = ServeState::from_store(
+            EmbeddingStore::open(&path).unwrap(),
+            config.clone(),
+            None,
+            true,
+        )
+        .unwrap();
+        assert_eq!(from_snap.index_source(), "snapshot");
+        assert!(!from_snap.degraded());
+
+        let rebuilt =
+            ServeState::from_store(EmbeddingStore::open(&path).unwrap(), config, None, false)
+                .unwrap();
+        assert_eq!(rebuilt.index_source(), "rebuilt");
+
+        for v in [0usize, 17, 599] {
+            let a = get(&from_snap, &format!("/neighbors?v={v}&k=10"));
+            let b = get(&rebuilt, &format!("/neighbors?v={v}&k=10"));
+            assert_eq!(a.status, 200);
+            assert_eq!(a.body, b.body, "snapshot and rebuilt must answer identically (v={v})");
+        }
+
+        let h = get(&from_snap, "/healthz");
+        let doc = json::parse(&h.body).unwrap();
+        assert_eq!(doc.get("index_source").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(doc.get("index").unwrap().as_str(), Some("hnsw"));
+        let backing = doc.get("backing").unwrap().as_str().unwrap().to_string();
+        assert!(backing == "mmap" || backing == "heap", "{backing}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

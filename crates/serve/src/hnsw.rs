@@ -137,6 +137,17 @@ pub struct HnswIndex {
     build_time: Duration,
 }
 
+impl std::fmt::Debug for HnswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HnswIndex")
+            .field("len", &self.len())
+            .field("dims", &self.dims)
+            .field("graph", &self.is_graph())
+            .field("max_level", &self.max_level)
+            .finish()
+    }
+}
+
 impl HnswIndex {
     /// Builds an index over `count * dims` row-major values.
     ///
@@ -574,6 +585,226 @@ impl HnswIndex {
     }
 }
 
+// --------------------------------------------------------------- snapshots
+//
+// Building a million-vertex graph takes minutes; the topology it produces
+// is deterministic in (vectors, build config). A snapshot persists exactly
+// the parts that are expensive to recompute — the layered link structure —
+// and *not* the vectors, which the serving store already holds and which
+// `from_snapshot` re-derives (including cosine pre-normalization) the same
+// way `build` would. Stale snapshots are refused by two fingerprints: one
+// over the build-shaping config knobs, one over the embedding payload the
+// caller is serving.
+
+/// Snapshot magic: "V2V Hnsw".
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"V2VH";
+
+/// Snapshot format version, bumped on layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Fingerprint of everything that shapes the *built* graph: `m`,
+/// `ef_construction`, metric, seed, brute-force threshold, and the vector
+/// dimensionality. `ef_search` is deliberately excluded — it only affects
+/// queries, so retuning it must not invalidate a snapshot.
+pub fn build_fingerprint(config: &HnswConfig, dims: usize) -> u64 {
+    use v2v_store::hash::{fnv1a64, FNV_OFFSET};
+    let metric_tag = match config.metric {
+        Metric::Cosine => 0u64,
+        Metric::Euclidean => 1u64,
+    };
+    let mut h = FNV_OFFSET;
+    for word in [
+        config.m as u64,
+        config.ef_construction as u64,
+        metric_tag,
+        config.seed,
+        config.brute_force_threshold as u64,
+        dims as u64,
+    ] {
+        h = fnv1a64(h, &word.to_le_bytes());
+    }
+    h
+}
+
+/// Little-endian cursor over snapshot bytes with typed truncation errors.
+struct SnapReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("snapshot truncated at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl HnswIndex {
+    /// Serializes the graph topology (not the vectors) into a
+    /// self-checksummed byte section, stamped with the build fingerprint
+    /// and the caller's embedding fingerprint so [`from_snapshot`]
+    /// (HnswIndex::from_snapshot) can refuse mismatched reloads.
+    pub fn snapshot(&self, embedding_fingerprint: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.links.iter().flatten().flatten().count() * 4);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&build_fingerprint(&self.config, self.dims).to_le_bytes());
+        out.extend_from_slice(&embedding_fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.push(u8::from(self.is_graph()));
+        if self.is_graph() {
+            out.extend_from_slice(&(self.entry as u64).to_le_bytes());
+            out.extend_from_slice(&(self.max_level as u32).to_le_bytes());
+            for &l in &self.levels {
+                out.extend_from_slice(&(l as u32).to_le_bytes());
+            }
+            for layers in &self.links {
+                for nbrs in layers {
+                    out.extend_from_slice(&(nbrs.len() as u32).to_le_bytes());
+                    for &nb in nbrs {
+                        out.extend_from_slice(&nb.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let sum = v2v_store::hash::fnv1a64(v2v_store::hash::FNV_OFFSET, &out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Reconstructs an index from a [`snapshot`](HnswIndex::snapshot) plus
+    /// the raw vectors it was built over, refusing corrupt bytes, unknown
+    /// versions, config mismatches, and — the important one for serving —
+    /// snapshots whose embedding fingerprint differs from the store being
+    /// served (a stale index would silently return wrong neighbors).
+    ///
+    /// Vectors are prepared exactly as [`build`](HnswIndex::build) prepares
+    /// them (cosine pre-normalization), so a reloaded index answers every
+    /// query identically to a fresh build over the same data.
+    pub fn from_snapshot(
+        bytes: &[u8],
+        dims: usize,
+        mut vectors: Vec<f32>,
+        config: HnswConfig,
+        embedding_fingerprint: u64,
+    ) -> Result<HnswIndex, String> {
+        let start = Instant::now();
+        if bytes.len() < 4 + 4 + 8 + 8 + 8 + 1 + 8 {
+            return Err(format!("snapshot too short ({} bytes)", bytes.len()));
+        }
+        if bytes[..4] != SNAPSHOT_MAGIC {
+            return Err("bad snapshot magic (not a V2VH section)".into());
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let computed = v2v_store::hash::fnv1a64(v2v_store::hash::FNV_OFFSET, body);
+        if stored != computed {
+            return Err(format!(
+                "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ));
+        }
+        let mut r = SnapReader { bytes: body, pos: 4 };
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            ));
+        }
+        let snap_build_fp = r.u64()?;
+        let want_build_fp = build_fingerprint(&config, dims);
+        if snap_build_fp != want_build_fp {
+            return Err(format!(
+                "snapshot was built under a different index configuration \
+                 (snapshot fingerprint {snap_build_fp:#018x}, requested {want_build_fp:#018x})"
+            ));
+        }
+        let snap_emb_fp = r.u64()?;
+        if snap_emb_fp != embedding_fingerprint {
+            return Err(format!(
+                "stale snapshot: embedding fingerprint {snap_emb_fp:#018x} does not match \
+                 the store being served ({embedding_fingerprint:#018x})"
+            ));
+        }
+        let n = r.u64()? as usize;
+        if dims == 0 || vectors.len() != n * dims {
+            return Err(format!(
+                "snapshot covers {n} vectors x {dims} dims but {} values were supplied",
+                vectors.len()
+            ));
+        }
+        let has_graph = r.u8()? != 0;
+
+        if config.metric == Metric::Cosine {
+            for row in vectors.chunks_exact_mut(dims) {
+                normalize(row);
+            }
+        }
+        let mut index = HnswIndex {
+            config,
+            dims,
+            vectors,
+            links: Vec::new(),
+            levels: Vec::new(),
+            entry: 0,
+            max_level: 0,
+            build_time: Duration::ZERO,
+        };
+        if has_graph {
+            index.entry = r.u64()? as usize;
+            index.max_level = r.u32()? as usize;
+            let mut levels = Vec::with_capacity(n);
+            for _ in 0..n {
+                levels.push(r.u32()? as usize);
+            }
+            let mut links = Vec::with_capacity(n);
+            for &level in &levels {
+                if level > 64 {
+                    return Err(format!("snapshot level {level} is implausibly deep"));
+                }
+                let mut layers = Vec::with_capacity(level + 1);
+                for _ in 0..=level {
+                    let len = r.u32()? as usize;
+                    if len > n {
+                        return Err(format!("snapshot link list of {len} exceeds {n} vertices"));
+                    }
+                    let raw = r.take(len * 4)?;
+                    layers.push(
+                        raw.chunks_exact(4)
+                            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                            .collect::<Vec<u32>>(),
+                    );
+                }
+                links.push(layers);
+            }
+            index.levels = levels;
+            index.links = links;
+        }
+        if r.pos != body.len() {
+            return Err(format!("{} trailing bytes inside snapshot body", body.len() - r.pos));
+        }
+        index.build_time = start.elapsed();
+        Ok(index)
+    }
+}
+
 /// Scales to unit L2 norm in place; zero (and non-finite-norm) vectors are
 /// left untouched.
 fn normalize(v: &mut [f32]) {
@@ -722,5 +953,112 @@ mod tests {
     fn wrong_query_dims_panics() {
         let index = HnswIndex::build(2, vec![1.0, 0.0], HnswConfig::default());
         index.search(&[1.0, 0.0, 0.0], 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_answers_identically() {
+        let dims = 8;
+        let data = clustered(1500, dims, 10, 13);
+        for metric in [Metric::Cosine, Metric::Euclidean] {
+            let built = HnswIndex::build(dims, data.clone(), small_config(metric));
+            assert!(built.is_graph());
+            let snap = built.snapshot(0xFEED);
+            let loaded = HnswIndex::from_snapshot(
+                &snap,
+                dims,
+                data.clone(),
+                small_config(metric),
+                0xFEED,
+            )
+            .unwrap();
+            assert!(loaded.is_graph());
+            loaded.validate().unwrap();
+            for qi in [0usize, 373, 1499] {
+                let q = &data[qi * dims..(qi + 1) * dims];
+                assert_eq!(built.search(q, 10), loaded.search(q, 10), "{metric:?} query {qi}");
+                assert_eq!(
+                    built.search_ef(q, 5, 200),
+                    loaded.search_ef(q, 5, 200),
+                    "{metric:?} query {qi} wide beam"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_brute_force_index_round_trips() {
+        let dims = 4;
+        let data = clustered(50, dims, 3, 2);
+        let built = HnswIndex::build(dims, data.clone(), HnswConfig::default());
+        assert!(!built.is_graph());
+        let snap = built.snapshot(7);
+        let loaded =
+            HnswIndex::from_snapshot(&snap, dims, data.clone(), HnswConfig::default(), 7).unwrap();
+        assert!(!loaded.is_graph());
+        assert_eq!(built.search(&data[..dims], 5), loaded.search(&data[..dims], 5));
+    }
+
+    #[test]
+    fn snapshot_refuses_stale_embedding_fingerprint() {
+        let dims = 8;
+        let data = clustered(700, dims, 5, 3);
+        let built = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        let snap = built.snapshot(0xAAAA);
+        let err = HnswIndex::from_snapshot(
+            &snap,
+            dims,
+            data,
+            small_config(Metric::Cosine),
+            0xBBBB,
+        )
+        .unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_refuses_config_mismatch() {
+        let dims = 8;
+        let data = clustered(700, dims, 5, 3);
+        let built = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        let snap = built.snapshot(1);
+        // A different m reshapes the graph; ef_search does not.
+        let other = HnswConfig { m: 8, ..small_config(Metric::Cosine) };
+        let err = HnswIndex::from_snapshot(&snap, dims, data.clone(), other, 1).unwrap_err();
+        assert!(err.contains("configuration"), "{err}");
+        let retuned = HnswConfig { ef_search: 999, ..small_config(Metric::Cosine) };
+        assert!(HnswIndex::from_snapshot(&snap, dims, data, retuned, 1).is_ok());
+    }
+
+    #[test]
+    fn snapshot_corruption_and_truncation_rejected() {
+        let dims = 8;
+        let data = clustered(700, dims, 5, 3);
+        let built = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        let snap = built.snapshot(1);
+        for cut in [0, 3, 24, snap.len() / 2, snap.len() - 1] {
+            assert!(
+                HnswIndex::from_snapshot(
+                    &snap[..cut],
+                    dims,
+                    data.clone(),
+                    small_config(Metric::Cosine),
+                    1
+                )
+                .is_err(),
+                "accepted a {cut}-byte prefix"
+            );
+        }
+        let mut flipped = snap.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        let err = HnswIndex::from_snapshot(
+            &flipped,
+            dims,
+            data,
+            small_config(Metric::Cosine),
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("checksum") || err.contains("snapshot"), "{err}");
     }
 }

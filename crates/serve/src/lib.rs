@@ -48,8 +48,8 @@ pub mod http;
 pub mod signal;
 pub mod swap;
 
-pub use api::{Reloader, ServeHandle, ServeState};
-pub use hnsw::{HnswConfig, HnswIndex, Metric};
+pub use api::{Reloader, ServeHandle, ServeState, VectorSet};
+pub use hnsw::{build_fingerprint, HnswConfig, HnswIndex, Metric};
 pub use http::{Handler, Request, Response, Server, ServerConfig};
 pub use swap::Swap;
 

@@ -328,13 +328,13 @@ fn reload_without_a_source_is_rejected_and_failed_reload_keeps_old_state() {
         })
     };
     let handle = ServeHandle::new(test_state(), Some(reloader));
-    assert_eq!(handle.state().embedding().len(), 6);
+    assert_eq!(handle.state().vectors().len(), 6);
     // First reload fails: old state keeps serving untouched.
     assert!(handle.reload().is_err());
-    assert_eq!(handle.state().embedding().len(), 6);
+    assert_eq!(handle.state().vectors().len(), 6);
     // Second succeeds.
     assert!(handle.reload().is_ok());
-    assert_eq!(handle.state().embedding().len(), 9);
+    assert_eq!(handle.state().vectors().len(), 9);
 
     // No reloader at all → 400 over the wire.
     let bare = ServeHandle::new(test_state(), None);

@@ -1,0 +1,41 @@
+//! FNV-1a 64-bit hashing — the workspace's checksum primitive.
+//!
+//! Same function and constants as the V2VE v1 loader in `v2v-embed` and
+//! the checkpoint container; duplicated here (it is four lines) rather
+//! than exporting a crate-internal helper across the dependency graph.
+
+/// FNV-1a 64-bit offset basis: the initial `state` for a fresh hash.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds `bytes` into a running FNV-1a 64-bit state. Chainable:
+/// `fnv1a64(fnv1a64(FNV_OFFSET, a), b)` hashes the concatenation `a ++ b`.
+#[inline]
+pub fn fnv1a64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn chaining_equals_concatenation() {
+        let whole = fnv1a64(FNV_OFFSET, b"hello world");
+        let chained = fnv1a64(fnv1a64(FNV_OFFSET, b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+}

@@ -49,6 +49,27 @@ impl WalkConfig {
     }
 }
 
+/// Error from [`WalkCorpus::generate_streamed`]: either walk generation
+/// itself failed, or the caller's sink did.
+#[derive(Debug)]
+pub enum StreamedWalkError<E> {
+    /// The walker could not be constructed or stepped.
+    Walk(WalkError),
+    /// The batch sink returned an error; generation stopped.
+    Sink(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for StreamedWalkError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamedWalkError::Walk(e) => write!(f, "walk generation failed: {e}"),
+            StreamedWalkError::Sink(e) => write!(f, "walk sink failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for StreamedWalkError<E> {}
+
 /// A materialized set of walks over one graph.
 #[derive(Clone, Debug)]
 pub struct WalkCorpus {
@@ -92,6 +113,55 @@ impl WalkCorpus {
             walks.len() - full
         );
         Ok(WalkCorpus { walks, num_vertices: n })
+    }
+
+    /// Generates the same corpus as [`WalkCorpus::generate`] — same walks,
+    /// same global order — but hands them to `sink` in bounded batches of
+    /// `batch_walks` instead of materializing all of them, so callers can
+    /// spill to disk with peak memory proportional to the batch, not the
+    /// corpus. Each batch is still generated in parallel.
+    ///
+    /// `sink` receives `(first_global_walk_index, walks_of_this_batch)`;
+    /// batches arrive in ascending index order with no gaps. Returning an
+    /// error from `sink` aborts generation.
+    pub fn generate_streamed<E>(
+        graph: &Graph,
+        config: &WalkConfig,
+        batch_walks: usize,
+        mut sink: impl FnMut(u64, Vec<Vec<VertexId>>) -> Result<(), E>,
+    ) -> Result<(), StreamedWalkError<E>> {
+        let walker = Walker::new(graph, config.strategy).map_err(StreamedWalkError::Walk)?;
+        let t = config.walks_per_vertex;
+        let n = graph.num_vertices();
+        let total = n * t;
+        let batch = batch_walks.max(1);
+        let _span = v2v_obs::span("walks");
+        let metrics = v2v_obs::global_metrics();
+        let mut lo = 0usize;
+        while lo < total {
+            let hi = (lo + batch).min(total);
+            // Identical per-walk seed derivation to `generate`: the batch
+            // boundary is invisible in the output.
+            let walks: Vec<Vec<VertexId>> = (lo..hi)
+                .into_par_iter()
+                .map(|job| {
+                    let v = VertexId::from_index(job / t);
+                    let rep = (job % t) as u64;
+                    let seed = derive_seed(config.seed, v.0 as u64, rep);
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    walker.walk(v, config.walk_length, &mut rng)
+                })
+                .collect();
+            let full = walks.iter().filter(|w| w.len() == config.walk_length).count();
+            let tokens: usize = walks.iter().map(Vec::len).sum();
+            metrics.counter("walks.generated").add(walks.len() as u64);
+            metrics.counter("walks.completed_full_length").add(full as u64);
+            metrics.counter("walks.terminated_early").add((walks.len() - full) as u64);
+            metrics.counter("walks.tokens").add(tokens as u64);
+            sink(lo as u64, walks).map_err(StreamedWalkError::Sink)?;
+            lo = hi;
+        }
+        Ok(())
     }
 
     /// Builds a corpus from pre-existing paths (the paper's computer-network
@@ -260,6 +330,39 @@ mod tests {
         let cfg = WalkConfig::paper_scale();
         assert_eq!(cfg.walks_per_vertex, 1000);
         assert_eq!(cfg.walk_length, 1000);
+    }
+
+    #[test]
+    fn streamed_batches_equal_generate() {
+        let g = generators::gnm(25, 80, 11);
+        let cfg = WalkConfig { walks_per_vertex: 3, walk_length: 9, ..Default::default() };
+        let whole = WalkCorpus::generate(&g, &cfg).unwrap();
+        for batch in [1usize, 7, 25, 10_000] {
+            let mut streamed: Vec<Vec<VertexId>> = Vec::new();
+            let mut next_lo = 0u64;
+            WalkCorpus::generate_streamed(&g, &cfg, batch, |lo, walks| {
+                assert_eq!(lo, next_lo, "batches must arrive in order with no gaps");
+                next_lo = lo + walks.len() as u64;
+                streamed.extend(walks);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+            assert_eq!(streamed, whole.walks(), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn streamed_sink_error_aborts() {
+        let g = generators::ring(8);
+        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 5, ..Default::default() };
+        let mut calls = 0;
+        let err = WalkCorpus::generate_streamed(&g, &cfg, 4, |_, _| {
+            calls += 1;
+            Err("sink full")
+        })
+        .unwrap_err();
+        assert!(matches!(err, StreamedWalkError::Sink("sink full")));
+        assert_eq!(calls, 1);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 pub mod alias;
 pub mod corpus;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod strategy;
 pub mod walker;
 
-pub use corpus::{WalkConfig, WalkCorpus};
+pub use corpus::{StreamedWalkError, WalkConfig, WalkCorpus};
+pub use source::WalkSource;
 pub use strategy::WalkStrategy;

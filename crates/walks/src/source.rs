@@ -1,0 +1,114 @@
+//! Abstraction over *where a walk corpus lives*.
+//!
+//! The trainer consumes walks by **global walk index**: walk `i` of epoch
+//! `e` trains with an RNG seeded from `(seed, e, i)`, so any two sources
+//! that present the same walks at the same indexes produce bit-identical
+//! models at `threads = 1`. [`WalkSource`] captures exactly that contract
+//! without saying anything about storage: an in-RAM [`WalkCorpus`] and an
+//! on-disk shard directory (`v2v-store`) both implement it, which is what
+//! lets training run out-of-core with unchanged RNG streams.
+
+use crate::corpus::WalkCorpus;
+use std::ops::Range;
+use v2v_graph::VertexId;
+
+/// A corpus of walks addressable by global walk index.
+///
+/// Implementations must be cheap to share across threads (`Sync`); the
+/// trainer hands each worker a disjoint `[lo, hi)` index range and calls
+/// [`WalkSource::for_each_walk_in`] once per epoch per worker.
+pub trait WalkSource: Sync {
+    /// Vocabulary size (number of vertices of the underlying graph).
+    fn num_vertices(&self) -> usize;
+
+    /// Total number of walks in the corpus.
+    fn num_walks(&self) -> usize;
+
+    /// Total number of tokens across all walks.
+    fn num_tokens(&self) -> usize;
+
+    /// Per-vertex occurrence counts (unigram frequencies for the
+    /// negative-sampling table). Must sum to [`WalkSource::num_tokens`].
+    fn token_counts(&self) -> Vec<u64>;
+
+    /// Visits every walk whose global index falls in `range`, in
+    /// ascending index order, as `(global_index, tokens)`.
+    ///
+    /// Walk order — not storage order — is the determinism contract: the
+    /// callback must see walk `i` with the same tokens regardless of how
+    /// the corpus is laid out. Out-of-core sources are expected to read
+    /// sequentially within the range (and may prefetch ahead).
+    fn for_each_walk_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &[VertexId]));
+}
+
+impl WalkSource for WalkCorpus {
+    fn num_vertices(&self) -> usize {
+        WalkCorpus::num_vertices(self)
+    }
+
+    fn num_walks(&self) -> usize {
+        self.len()
+    }
+
+    fn num_tokens(&self) -> usize {
+        WalkCorpus::num_tokens(self)
+    }
+
+    fn token_counts(&self) -> Vec<u64> {
+        WalkCorpus::token_counts(self)
+    }
+
+    fn for_each_walk_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &[VertexId])) {
+        for i in range {
+            f(i as u64, &self.walks()[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> WalkCorpus {
+        WalkCorpus::from_walks(
+            vec![
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(1), VertexId(2), VertexId(0)],
+                vec![VertexId(2)],
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn corpus_source_agrees_with_inherent_methods() {
+        let c = tiny_corpus();
+        let s: &dyn WalkSource = &c;
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_walks(), 3);
+        assert_eq!(s.num_tokens(), 6);
+        assert_eq!(s.token_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn for_each_walk_in_respects_range_and_indexes() {
+        let c = tiny_corpus();
+        let mut seen = Vec::new();
+        WalkSource::for_each_walk_in(&c, 1..3, &mut |i, w| seen.push((i, w.to_vec())));
+        assert_eq!(
+            seen,
+            vec![
+                (1, vec![VertexId(1), VertexId(2), VertexId(0)]),
+                (2, vec![VertexId(2)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_range_visits_nothing() {
+        let c = tiny_corpus();
+        let mut n = 0;
+        WalkSource::for_each_walk_in(&c, 2..2, &mut |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+}

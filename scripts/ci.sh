@@ -160,6 +160,51 @@ grep -q 'total' "$smoke_dir/prof.txt" \
 ./target/release/v2v profile --input "$smoke_dir/prof2.json" > /dev/null
 echo "profiler smoke test: ok"
 
+# --- Out-of-core store smoke: shards -> .v2s -> snapshot serve --------------
+# The full million-vertex pipeline in miniature: stream walks to disk
+# shards, train from them out of core (asserting loss equality with the
+# in-RAM path), persist the HNSW snapshot into the store, then serve from
+# the mmap twice — the restart must come up from the snapshot in under a
+# second (the acceptance bound is 250 ms; 1 s absorbs CI noise).
+./target/release/v2v walks --input "$smoke_dir/edges.txt" --output "$smoke_dir/walks"   --walks 6 --length 50 --threads 1 --seed 11 --shard-mb 1 2> /dev/null
+./target/release/v2v embed --corpus "$smoke_dir/walks" --output "$smoke_dir/emb.v2s"   --dims 24 --epochs 3 --threads 1 --seed 11 2> "$smoke_dir/shard-train.err"
+./target/release/v2v embed --input "$smoke_dir/edges.txt" --output "$smoke_dir/emb-ram.txt"   --dims 24 --epochs 3 --threads 1 --seed 11 --walks 6 --length 50 2> "$smoke_dir/ram-train.err"
+loss_disk=$(grep -o 'final loss [0-9.]*' "$smoke_dir/shard-train.err" | head -1)
+loss_ram=$(grep -o 'final loss [0-9.]*' "$smoke_dir/ram-train.err" | head -1)
+[ -n "$loss_disk" ] && [ "$loss_disk" = "$loss_ram" ]   || { echo "out-of-core loss ($loss_disk) != in-RAM loss ($loss_ram)" >&2; exit 1; }
+./target/release/v2v index --store "$smoke_dir/emb.v2s" 2> /dev/null
+
+serve_from_store() {
+  : > "$smoke_dir/store-server.log"
+  ./target/release/v2v serve --embedding "$smoke_dir/emb.v2s" --port 0     > "$smoke_dir/store-server.log" 2> "$smoke_dir/store-server.err" &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/store-server.log")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$smoke_dir/store-server.err" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "store server never reported its address" >&2; exit 1; }
+}
+
+serve_from_store
+curl -sf "http://$addr/healthz" | grep -q '"index_source": "snapshot"'   || { echo "server did not boot from the persisted snapshot" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '"backing": "mmap"'   || { echo "server did not mmap the store" >&2; exit 1; }
+curl -sf "http://$addr/neighbors?v=0&k=3" | grep -q '"neighbors": \[{"vertex": '
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+
+# Kill + restart: the second boot is the cold start that matters.
+serve_from_store
+cold_ms=$(curl -sf "http://$addr/metricz"   | sed -n 's/.*"serve.cold_start_ms": \([0-9.]*\).*//p' | head -1)
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+[ -n "$cold_ms" ] || { echo "no serve.cold_start_ms gauge on /metricz" >&2; exit 1; }
+awk -v ms="$cold_ms" 'BEGIN {
+  printf "store restart cold start: %.1f ms\n", ms
+  exit !(ms < 1000)
+}' || { echo "snapshot cold start took ${cold_ms} ms (>= 1 s)" >&2; exit 1; }
+echo "out-of-core store smoke test: ok"
+
 # --- Bench-regression gate: single-thread training throughput ---------------
 # A short bench run must stay within 30% of the checked-in single-thread
 # baseline in BENCH_embed.json (same graph family and dim; fewer epochs so
