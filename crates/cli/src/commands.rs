@@ -520,6 +520,28 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     let index_source = initial.index_source();
     let handle = v2v_serve::ServeHandle::new(initial, Some(build));
 
+    // --wal-dir turns on durable streaming ingest: POST /ingest appends to
+    // the WAL (ACK after fsync), a background worker folds committed edges
+    // into the serving state, and the whole committed log replays here —
+    // before the listener binds — so no request ever sees pre-crash state.
+    let handler = match opts.get_str("wal-dir") {
+        Some(dir) => {
+            let ingest_config = v2v_serve::ingest::IngestConfig {
+                max_pending: opts.get("ingest-queue", 8192usize)?,
+                ..Default::default()
+            };
+            let (ingest, _worker) = v2v_serve::ingest::start(handle.clone(), dir, ingest_config)
+                .map_err(|e| format!("cannot start ingest from {dir}: {e}"))?;
+            obs_info!(
+                "ingest enabled: WAL at {dir}, {} records replayed (durable seq {})",
+                ingest.wal_replayed(),
+                ingest.durable_seq()
+            );
+            v2v_serve::ingest::handler(handle.clone(), ingest)
+        }
+        None => handle.clone().into_handler(),
+    };
+
     let server_config = v2v_serve::ServerConfig {
         addr: format!("127.0.0.1:{}", opts.get("port", 7878u16)?),
         threads: opts.get("threads", 0usize)?,
@@ -530,7 +552,7 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         max_body: opts.get("max-body", 1024 * 1024usize)?,
         ..Default::default()
     };
-    let server = v2v_serve::Server::bind(server_config, handle.clone().into_handler())
+    let server = v2v_serve::Server::bind(server_config, handler)
         .map_err(|e| format!("cannot bind: {e}"))?;
     v2v_serve::signal::install();
     v2v_serve::signal::install_reload();
@@ -575,6 +597,157 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     server.run().map_err(|e| format!("server error: {e}"))?;
     obs_info!("shut down cleanly");
     Ok(())
+}
+
+/// `v2v ingest`: stream edges from a file (or stdin) to a running
+/// server's `POST /ingest` endpoint in batches. A 200 means every edge in
+/// the batch is durable server-side; 503 responses are retried after the
+/// server's `Retry-After` hint, so a temporarily saturated refresh queue
+/// slows the stream down instead of losing edges.
+///
+/// Input lines: `src dst [weight [timestamp]]`; blank lines and `#`
+/// comments are skipped.
+pub fn ingest(opts: &Opts) -> Result<(), String> {
+    let addr = match opts.get_str("addr") {
+        Some(a) => a.to_string(),
+        None => format!("127.0.0.1:{}", opts.get("port", 7878u16)?),
+    };
+    let batch_size = opts.get("batch", 512usize)?.max(1);
+    let reader: Box<dyn BufRead> = match opts.get_str("input") {
+        Some(path) => Box::new(BufReader::new(
+            File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+        )),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+
+    use std::fmt::Write as _;
+    let mut batch: Vec<String> = Vec::with_capacity(batch_size);
+    let (mut acked, mut batches, mut retries) = (0u64, 0u64, 0u64);
+    let mut last_seq = 0u64;
+    let flush = |batch: &mut Vec<String>,
+                 batches: &mut u64,
+                 retries: &mut u64|
+     -> Result<(u64, u64), String> {
+        if batch.is_empty() {
+            return Ok((0, 0));
+        }
+        let body = format!("{{\"edges\": [{}]}}", batch.join(", "));
+        batch.clear();
+        *batches += 1;
+        post_with_retry(&addr, &body, retries)
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error on line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 4 {
+            return Err(format!(
+                "line {}: expected 'src dst [weight [timestamp]]', got {line:?}",
+                lineno + 1
+            ));
+        }
+        let src: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("line {}: bad src {:?}", lineno + 1, fields[0]))?;
+        let dst: u64 = fields[1]
+            .parse()
+            .map_err(|_| format!("line {}: bad dst {:?}", lineno + 1, fields[1]))?;
+        let mut edge = format!("[{src}, {dst}");
+        if let Some(w) = fields.get(2) {
+            let w: f64 =
+                w.parse().map_err(|_| format!("line {}: bad weight {w:?}", lineno + 1))?;
+            let _ = write!(edge, ", {w}");
+            if let Some(t) = fields.get(3) {
+                let t: u64 = t
+                    .parse()
+                    .map_err(|_| format!("line {}: bad timestamp {t:?}", lineno + 1))?;
+                let _ = write!(edge, ", {t}");
+            }
+        }
+        edge.push(']');
+        batch.push(edge);
+        if batch.len() >= batch_size {
+            let (n, seq) = flush(&mut batch, &mut batches, &mut retries)?;
+            acked += n;
+            last_seq = seq.max(last_seq);
+        }
+    }
+    let (n, seq) = flush(&mut batch, &mut batches, &mut retries)?;
+    acked += n;
+    last_seq = seq.max(last_seq);
+
+    obs_info!("acked {acked} edges in {batches} batches ({retries} retries after 503)");
+    // Scripts parse this line — keep the shape stable.
+    println!("acked {acked} edges (last_seq {last_seq})");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// POSTs one /ingest body, sleeping out 503 `Retry-After` hints. Returns
+/// `(acked, last_seq)` from the server's durability acknowledgement.
+fn post_with_retry(addr: &str, body: &str, retries: &mut u64) -> Result<(u64, u64), String> {
+    const MAX_RETRIES: u64 = 120;
+    let mut attempt = 0u64;
+    loop {
+        let (status, headers, resp_body) = http_post(addr, "/ingest", body)?;
+        match status {
+            200 => {
+                let doc = v2v_obs::json::parse(&resp_body)
+                    .map_err(|e| format!("bad /ingest response: {e}"))?;
+                let acked = doc.get("acked").and_then(|v| v.as_u64()).unwrap_or(0);
+                let last_seq = doc.get("last_seq").and_then(|v| v.as_u64()).unwrap_or(0);
+                return Ok((acked, last_seq));
+            }
+            503 => {
+                attempt += 1;
+                *retries += 1;
+                if attempt > MAX_RETRIES {
+                    return Err(format!("gave up after {MAX_RETRIES} 503 retries"));
+                }
+                let secs = headers
+                    .lines()
+                    .find_map(|l| l.to_ascii_lowercase().strip_prefix("retry-after:").map(str::trim).map(String::from))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(1);
+                obs_info!("server shed the batch (503), retrying in {secs}s");
+                std::thread::sleep(std::time::Duration::from_secs(secs.min(30)));
+            }
+            other => return Err(format!("POST /ingest returned {other}: {resp_body}")),
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 POST over a fresh connection; returns `(status,
+/// raw header block, body)`.
+fn http_post(addr: &str, path: &str, body: &str) -> Result<(u16, String, String), String> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let (head, resp_body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}: {head:?}"))?;
+    Ok((status, head.to_string(), resp_body.to_string()))
 }
 
 /// Destination for flight-recorder dumps: `V2V_FLIGHT_DUMP`, or

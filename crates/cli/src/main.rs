@@ -45,7 +45,20 @@
 //!                 SIGINT/SIGTERM drains and
 //!                 shuts down cleanly; SIGHUP or POST /reload re-reads the
 //!                 embedding + label files and hot-swaps them without dropping
-//!                 in-flight requests; overload sheds 503 + Retry-After)
+//!                 in-flight requests; overload sheds 503 + Retry-After;
+//!                 --wal-dir DIR enables durable streaming ingest: POST /ingest
+//!                 appends edges to a write-ahead log — the 200 ACK follows the
+//!                 fsync — and a background worker re-walks just the affected
+//!                 neighborhood, fine-tunes those rows, patches the HNSW, and
+//!                 hot-swaps the state; on restart the committed WAL replays
+//!                 before serving (--ingest-queue bounds the committed-but-
+//!                 unapplied backlog, default 8192))
+//! v2v ingest      [--input edges.txt] [--port 7878 | --addr host:port]
+//!                 [--batch 512]
+//!                 (stream edges from a file or stdin to a running
+//!                 `v2v serve --wal-dir` instance via POST /ingest; a batch is
+//!                 acknowledged only once durable server-side, and 503 sheds
+//!                 are retried after the server's Retry-After hint)
 //! v2v project     --embedding emb.txt --output points.csv [--dims 2]
 //!                 [--svg plot.svg [--labels labels.txt]]
 //! v2v stats       --input edges.txt [--directed] [--format ...]
@@ -65,7 +78,7 @@ mod opts;
 use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
-const USAGE: &str = "usage: v2v <embed|walks|index|communities|predict|serve|project|stats|quality|profile> [options]
+const USAGE: &str = "usage: v2v <embed|walks|index|communities|predict|serve|ingest|project|stats|quality|profile> [options]
 
 common options (every subcommand):
   --metrics <path>      after the run, write telemetry (span tree, metrics,
@@ -114,6 +127,19 @@ environment:
                         single-threaded scalar runs are bit-reproducible
                         across machines
 
+dynamic graphs (durable streaming ingest):
+  v2v serve --embedding emb.txt --wal-dir wal/   accept POST /ingest edge
+                        batches; each 200 ACK follows the WAL fsync, a
+                        background worker folds committed edges into the
+                        serving state with zero dropped requests, and on
+                        restart the WAL replays before serving (watch
+                        ingest.wal_replayed / ingest.lag_edges /
+                        ingest.last_applied_seq in /healthz)
+  v2v ingest --input edges.txt --port 7878       stream an edge file (or
+                        stdin) to /ingest, honoring 503 Retry-After; the
+                        serve-side --ingest-queue bound (default 8192) caps
+                        the committed-but-unapplied backlog
+
 serve signals: SIGINT/SIGTERM drain and exit; SIGHUP hot-reloads the embedding;
 SIGUSR1 dumps the flight recorder. Live introspection over HTTP: /metricz
 (JSON; ?format=prometheus for scrapers), /tracez (recent request events).
@@ -139,6 +165,7 @@ fn main() {
         Some("communities") => commands::communities(&opts),
         Some("predict") => commands::predict(&opts),
         Some("serve") => commands::serve(&opts),
+        Some("ingest") => commands::ingest(&opts),
         Some("project") => commands::project(&opts),
         Some("stats") => commands::stats(&opts),
         Some("quality") => commands::quality(&opts),

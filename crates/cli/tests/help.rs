@@ -75,6 +75,26 @@ fn help_documents_store_surface() {
     }
 }
 
+/// The durable-streaming-ingest surface: the serve-side WAL flags, the
+/// `v2v ingest` streaming client, and the recovery gauges operators watch
+/// after a restart must all be discoverable from `v2v help`.
+#[test]
+fn help_documents_ingest_surface() {
+    let help = help_output();
+    for needle in [
+        "v2v ingest",
+        "--wal-dir",
+        "--ingest-queue",
+        "/ingest",
+        "ingest.wal_replayed",
+        "ingest.lag_edges",
+        "ingest.last_applied_seq",
+        "Retry-After",
+    ] {
+        assert!(help.contains(needle), "v2v help must mention {needle}\n---\n{help}");
+    }
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_v2v"))

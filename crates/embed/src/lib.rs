@@ -57,5 +57,6 @@ pub use checkpoint::{CheckpointOptions, TrainCheckpoint};
 pub use config::{Architecture, EmbedConfig, OutputLayer};
 pub use embedding::Embedding;
 pub use trainer::{
-    train, train_from_source, train_source_with_checkpoints, train_with_checkpoints, TrainStats,
+    fine_tune, train, train_from_source, train_source_with_checkpoints, train_with_checkpoints,
+    TrainStats,
 };

@@ -239,6 +239,7 @@ pub fn train_source_with_checkpoints<S: WalkSource + ?Sized>(
         processed: &processed,
         schedule_total,
         keep_prob: keep_prob.as_deref(),
+        trainable: None,
     };
 
     // All telemetry is per-epoch: one span + a handful of atomics per
@@ -414,6 +415,134 @@ pub fn train_source_with_checkpoints<S: WalkSource + ?Sized>(
     Ok((Embedding::from_flat(dim, syn0.to_vec()), stats))
 }
 
+/// Partial retraining for streaming updates: warm-starts `syn0` from
+/// `base` and runs `config.epochs` of the normal walk loop over `source`,
+/// but gradient writes land only on rows with `trainable[row] == true` —
+/// everything else is frozen at its base value. Rows beyond `base.len()`
+/// (vertices the stream introduced) get the standard word2vec
+/// initialization from the config seed.
+///
+/// Freezing is write-masking, not graph surgery: frozen rows still
+/// participate in forward passes and context averages, so the tuned rows
+/// settle *against* the frozen embedding rather than drifting off on
+/// their own — which is what keeps a partial refresh consistent with the
+/// full model it patches.
+pub fn fine_tune<S: WalkSource + ?Sized>(
+    base: &Embedding,
+    source: &S,
+    config: &EmbedConfig,
+    trainable: &[bool],
+) -> Result<(Embedding, TrainStats), String> {
+    config.validate()?;
+    let n = source.num_vertices();
+    if n == 0 || source.num_tokens() == 0 {
+        return Err("cannot fine-tune on an empty corpus".into());
+    }
+    if base.len() > n {
+        return Err(format!(
+            "fine-tune source covers {n} vertices but the base embedding has {}",
+            base.len()
+        ));
+    }
+    if trainable.len() != n {
+        return Err(format!(
+            "trainable mask covers {} vertices, source has {n}",
+            trainable.len()
+        ));
+    }
+    if base.dimensions() != config.dimensions {
+        return Err(format!(
+            "base embedding is {}-dimensional, config wants {}",
+            base.dimensions(),
+            config.dimensions
+        ));
+    }
+
+    let dim = config.dimensions;
+    let counts = source.token_counts();
+    let (sampler, huffman, out_rows) = match config.output {
+        OutputLayer::NegativeSampling { .. } => (Some(NegativeSampler::new(&counts)), None, n),
+        OutputLayer::HierarchicalSoftmax => {
+            let tree = HuffmanTree::new(&counts);
+            let rows = tree.num_inner_nodes().max(1);
+            (None, Some(tree), rows)
+        }
+    };
+
+    // Warm start: base rows verbatim, new rows word2vec-initialized from a
+    // seed derived the same way as a fresh run over the grown vertex set.
+    let mut init = Vec::with_capacity(n * dim);
+    init.extend_from_slice(base.as_flat());
+    if n > base.len() {
+        let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, 0x1217, n as u64));
+        init.extend((0..(n - base.len()) * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32));
+    }
+    let syn0 = HogwildMatrix::from_vec(n, dim, init);
+    let syn1 = HogwildMatrix::zeros(out_rows, dim);
+    let sigmoid = SigmoidTable::new();
+
+    let keep_prob: Option<Vec<f32>> = config.subsample.map(|t| {
+        let total: u64 = counts.iter().sum();
+        counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    return 1.0;
+                }
+                let f = c as f64 / total as f64;
+                (((f / t).sqrt() + 1.0) * (t / f)).min(1.0) as f32
+            })
+            .collect()
+    });
+
+    let schedule_total = source.num_tokens() as u64 * config.epochs as u64;
+    let processed = AtomicU64::new(0);
+    let ctx = TrainContext {
+        config,
+        syn0: &syn0,
+        syn1: &syn1,
+        sigmoid: &sigmoid,
+        sampler: sampler.as_ref(),
+        huffman: huffman.as_ref(),
+        processed: &processed,
+        schedule_total,
+        keep_prob: keep_prob.as_deref(),
+        trainable: Some(trainable),
+    };
+
+    let mut stats = TrainStats {
+        epochs_run: 0,
+        epoch_losses: Vec::with_capacity(config.epochs),
+        total_pairs: 0,
+        converged: false,
+        resumed_from: None,
+        concurrency: ConcurrencyReport::default(),
+    };
+    let workers = WorkerTable::new();
+    let metrics = v2v_obs::global_metrics();
+    for epoch in 0..config.epochs {
+        let (loss, pairs) = if config.threads == 1 {
+            run_epoch_sequential(source, &ctx, epoch as u64, &workers)
+        } else {
+            run_epoch_parallel(source, &ctx, epoch as u64, &workers)
+        };
+        stats.epochs_run += 1;
+        stats.total_pairs += pairs;
+        let avg = if pairs == 0 { 0.0 } else { loss / pairs as f64 };
+        let prev = stats.epoch_losses.last().copied();
+        stats.epoch_losses.push(avg);
+        metrics.counter("train.finetune.epochs").inc();
+        metrics.counter("train.finetune.pairs").add(pairs);
+        if let (Some(tol), Some(prev)) = (config.convergence_tol, prev) {
+            if prev > 0.0 && (prev - avg) / prev < tol {
+                stats.converged = true;
+                break;
+            }
+        }
+    }
+    Ok((Embedding::from_flat(dim, syn0.to_vec()), stats))
+}
+
 /// Shared references for one training run.
 struct TrainContext<'a> {
     config: &'a EmbedConfig,
@@ -426,6 +555,19 @@ struct TrainContext<'a> {
     schedule_total: u64,
     /// Per-vocabulary-item keep probability when subsampling is on.
     keep_prob: Option<&'a [f32]>,
+    /// Per-row trainability mask for [`fine_tune`]: `syn0` row `i` takes
+    /// gradient writes only when `trainable[i]`. `None` (full training)
+    /// compiles to the unconditional write path — bit-identical to the
+    /// trainer before this field existed. Output rows are never masked;
+    /// frozen rows still shape their neighbors' gradients through the
+    /// forward pass, they just don't move.
+    trainable: Option<&'a [bool]>,
+}
+
+/// Whether `syn0` row `row` may be written under this context's mask.
+#[inline(always)]
+fn row_trainable(ctx: &TrainContext<'_>, row: usize) -> bool {
+    ctx.trainable.is_none_or(|m| m[row])
 }
 
 /// Per-thread scratch reused across walks: the CBOW hidden activation and
@@ -681,7 +823,7 @@ fn train_walk_body<K: kernels::Kernels>(
                     // inflates the input step by the window size and destroys
                     // small-vocabulary embeddings as training lengthens).
                     for j in lo..hi {
-                        if j != i {
+                        if j != i && row_trainable(ctx, walk[j].index()) {
                             // SAFETY: equal lengths (`dim`); K chosen by dispatch.
                             unsafe { K::axpy(inv, neu1e, ctx.syn0.row_mut(walk[j].index())) };
                         }
@@ -709,8 +851,10 @@ fn train_walk_body<K: kernels::Kernels>(
                             ctx,
                         );
                         set_phase(Phase::Gradient);
-                        // SAFETY: equal lengths (`dim`); K chosen by dispatch.
-                        unsafe { K::axpy(1.0, neu1e, ctx.syn0.row_mut(input)) };
+                        if row_trainable(ctx, input) {
+                            // SAFETY: equal lengths (`dim`); K chosen by dispatch.
+                            unsafe { K::axpy(1.0, neu1e, ctx.syn0.row_mut(input)) };
+                        }
                     }
                 }
             }
@@ -803,6 +947,50 @@ mod tests {
 
     pub(super) fn quick_config() -> EmbedConfig {
         EmbedConfig { dimensions: 16, epochs: 3, threads: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn fine_tune_moves_only_trainable_rows() {
+        let corpus = small_corpus(3);
+        let cfg = quick_config();
+        let (base, _) = train(&corpus, &cfg).unwrap();
+        let n = base.len();
+        // Only the first clique's vertices may move.
+        let mask: Vec<bool> = (0..n).map(|i| i < 6).collect();
+        let (tuned, stats) = fine_tune(&base, &corpus, &cfg, &mask).unwrap();
+        assert!(stats.total_pairs > 0);
+        assert_eq!(tuned.len(), n);
+        for i in 0..n {
+            let same = tuned.vector(VertexId(i as u32)) == base.vector(VertexId(i as u32));
+            if mask[i] {
+                assert!(!same, "trainable row {i} never moved");
+            } else {
+                assert!(same, "frozen row {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn fine_tune_all_frozen_is_identity() {
+        let corpus = small_corpus(4);
+        let cfg = quick_config();
+        let (base, _) = train(&corpus, &cfg).unwrap();
+        let mask = vec![false; base.len()];
+        let (tuned, _) = fine_tune(&base, &corpus, &cfg, &mask).unwrap();
+        assert_eq!(tuned.as_flat(), base.as_flat());
+    }
+
+    #[test]
+    fn fine_tune_rejects_shape_mismatches() {
+        let corpus = small_corpus(5);
+        let cfg = quick_config();
+        let (base, _) = train(&corpus, &cfg).unwrap();
+        assert!(fine_tune(&base, &corpus, &cfg, &[true; 3]).is_err(), "short mask");
+        let fat = EmbedConfig { dimensions: 32, ..quick_config() };
+        assert!(
+            fine_tune(&base, &corpus, &fat, &vec![true; base.len()]).is_err(),
+            "dimension mismatch"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod id;
@@ -42,5 +43,6 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use delta::DeltaGraph;
 pub use error::GraphError;
 pub use id::VertexId;

@@ -1,0 +1,29 @@
+//! `v2v-ingest` — durable streaming ingest for the V2V pipeline.
+//!
+//! The batch pipeline (graph → walks → train → serve) treats the edge set
+//! as frozen; the paper's temporal-walk semantics (§II-A) already define
+//! what an edge arriving *now* should mean. This crate supplies the
+//! durability layer that makes a live edge stream safe to accept: an
+//! append-only, fsync'd, checksummed write-ahead log ([`wal::Wal`]) with
+//! the same crash discipline as `v2v-fault`'s atomic writers.
+//!
+//! The contract, verified by fault-injection and SIGKILL tests:
+//!
+//! * an edge is **durable once [`wal::Wal::append_batch`] returns `Ok`** —
+//!   the record and its checksum are on disk (fsync'd) before the caller
+//!   can acknowledge the edge upstream;
+//! * a crash at any instant — mid-write, mid-fsync, mid-rotation — leaves
+//!   a log that [`wal::Wal::open`] recovers by truncating the torn tail to
+//!   the last valid record; every previously acknowledged edge survives,
+//!   and no partial (never-acknowledged) record is ever surfaced;
+//! * records carry strictly increasing sequence numbers, so replay is
+//!   idempotent: an applier that tracks its last applied sequence can
+//!   consume the same log any number of times and converge to one state.
+//!
+//! Fault points: `ingest.wal.append` (each record-batch write; supports
+//! short writes) and `ingest.wal.fsync`, mirroring `atomic.write` /
+//! `atomic.fsync` in `v2v-fault`.
+
+pub mod wal;
+
+pub use wal::{EdgeUpdate, Wal, WalError, WalOptions, WalRecord};

@@ -142,6 +142,18 @@ impl ServeState {
         ServeState::finish(VectorSet::Owned(embedding), index, labels, "rebuilt")
     }
 
+    /// Builds serving state around an index constructed elsewhere — the
+    /// streaming-ingest refresh path, where the worker patches the live
+    /// HNSW incrementally instead of rebuilding it. The state still runs
+    /// the full validation/degradation gauntlet in [`ServeState::finish`].
+    pub fn from_parts(
+        embedding: Embedding,
+        index: HnswIndex,
+        labels: Option<Vec<Option<usize>>>,
+    ) -> Result<ServeState, String> {
+        ServeState::finish(VectorSet::Owned(embedding), index, labels, "refreshed")
+    }
+
     /// Builds serving state over a V2VE v2 [`EmbeddingStore`]. When the
     /// store carries an index section and `allow_snapshot` is set, the
     /// persisted HNSW is loaded instead of rebuilt — the cold-start path
@@ -226,7 +238,7 @@ impl ServeState {
                 (index.into_exact(), true, "degraded")
             }
         };
-        for s in ["snapshot", "rebuilt", "degraded"] {
+        for s in ["snapshot", "rebuilt", "degraded", "refreshed"] {
             metrics
                 .gauge(&format!("serve.index_source.{s}"))
                 .set(f64::from(s == index_source));
@@ -255,6 +267,11 @@ impl ServeState {
     /// The vectors being served.
     pub fn vectors(&self) -> &VectorSet {
         &self.vectors
+    }
+
+    /// Per-vertex labels, when a label file was supplied at startup.
+    pub fn labels(&self) -> Option<&[Option<usize>]> {
+        self.labels.as_deref()
     }
 
     /// Whether index validation failed and queries run the exact scan.
@@ -329,6 +346,23 @@ impl ServeHandle {
         ));
         v2v_obs::obs_info!("reloaded serving state: {} vectors", fresh.vectors.len());
         Ok(fresh)
+    }
+
+    /// Swaps in an externally built state — the ingest refresh path, where
+    /// the worker fine-tunes vectors and patches the index off-thread and
+    /// then publishes the result. Same zero-drop contract as
+    /// [`reload`](ServeHandle::reload): in-flight requests finish against
+    /// the state they loaded.
+    pub fn install(&self, state: ServeState) -> Arc<ServeState> {
+        let fresh = Arc::new(state);
+        self.state.store(fresh.clone());
+        v2v_obs::global_metrics().counter("serve.refreshes").inc();
+        v2v_obs::record_event(v2v_obs::Event::new(
+            "refresh",
+            "",
+            &format!("swapped in {} vectors", fresh.vectors.len()),
+        ));
+        fresh
     }
 
     /// Wraps this handle into the server's request handler, routing

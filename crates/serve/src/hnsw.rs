@@ -583,6 +583,101 @@ impl HnswIndex {
             self.entry = id;
         }
     }
+
+    /// Incremental patch for streaming refresh: a new index over this
+    /// one's vectors with `updates` rows replaced and `appended` rows
+    /// added, re-linking only the touched vertices instead of rebuilding
+    /// the whole graph.
+    ///
+    /// Updated vertices keep their level; their outgoing links are
+    /// dropped and recomputed against the current graph with the same
+    /// search-then-link procedure `build` uses. Reverse links held *by*
+    /// other vertices toward a moved vertex are left in place — under
+    /// fine-tuning, vectors move slightly, so those links stay
+    /// near-optimal and searches remain correct (links only ever guide
+    /// the beam; distances are always recomputed from the patched
+    /// vectors). Appended vertices draw their level from the build seed
+    /// XOR their id, keeping patch results independent of batch order.
+    ///
+    /// Falls back to a full [`build`](HnswIndex::build) when the base
+    /// index runs in brute-force mode, which also handles growth across
+    /// `brute_force_threshold`.
+    ///
+    /// # Panics
+    /// Panics if an update id is out of range, an updated row or
+    /// `appended` has the wrong width, or ids repeat within `updates`.
+    pub fn patched(&self, updates: &[(usize, Vec<f32>)], appended: &[f32]) -> HnswIndex {
+        assert_eq!(appended.len() % self.dims, 0, "appended buffer not a multiple of dims");
+        let n_old = self.len();
+        let n_new = n_old + appended.len() / self.dims;
+
+        let mut vectors = self.vectors.clone();
+        vectors.extend_from_slice(appended);
+        for (id, row) in updates {
+            assert!(*id < n_old, "update id {id} out of range ({n_old} vectors)");
+            assert_eq!(row.len(), self.dims, "update row has wrong dimensionality");
+            vectors[id * self.dims..(id + 1) * self.dims].copy_from_slice(row);
+        }
+        if self.config.metric == Metric::Cosine {
+            for (id, _) in updates {
+                normalize(&mut vectors[id * self.dims..(id + 1) * self.dims]);
+            }
+            for row in vectors[n_old * self.dims..].chunks_exact_mut(self.dims) {
+                normalize(row);
+            }
+        }
+
+        if !self.is_graph() {
+            return HnswIndex::build(self.dims, vectors, self.config.clone());
+        }
+
+        let start = Instant::now();
+        let mut idx = HnswIndex {
+            config: self.config.clone(),
+            dims: self.dims,
+            vectors,
+            links: self.links.clone(),
+            levels: self.levels.clone(),
+            entry: self.entry,
+            max_level: self.max_level,
+            build_time: Duration::ZERO,
+        };
+
+        let mut seen = vec![false; n_old];
+        for &(id, _) in updates {
+            assert!(!seen[id], "duplicate update id {id}");
+            seen[id] = true;
+        }
+        // Plans run against the *old* links of the vertex being relinked
+        // (they keep the graph connected during the search — important
+        // when the moved vertex is the entry point); `apply_insert` then
+        // replaces them wholesale with the recomputed selection.
+        let relink = |idx: &mut HnswIndex, id: usize| {
+            let mut plan = idx.plan_insert(id);
+            // Unlike build-time insertion the vertex is already present in
+            // the graph, so the beam can surface it; never self-link.
+            for layer in &mut plan.per_layer {
+                layer.retain(|&nb| nb as usize != id);
+            }
+            idx.apply_insert(plan);
+        };
+        for &(id, _) in updates {
+            relink(&mut idx, id);
+        }
+
+        let ml = 1.0 / (idx.config.m as f64).ln();
+        for id in n_old..n_new {
+            let mut rng =
+                SmallRng::seed_from_u64(idx.config.seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let u: f64 = 1.0 - rng.gen_range(0.0..1.0); // (0, 1]
+            let level = ((-u.ln() * ml) as usize).min(24);
+            idx.levels.push(level);
+            idx.links.push(vec![Vec::new(); level + 1]);
+            relink(&mut idx, id);
+        }
+        idx.build_time = start.elapsed();
+        idx
+    }
 }
 
 // --------------------------------------------------------------- snapshots
@@ -901,6 +996,96 @@ mod tests {
             assert_eq!(got[0].0, qi);
             assert!(got[0].1.abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn patched_index_matches_full_rebuild_recall() {
+        let (n, dims) = (1200, 16);
+        let data = clustered(n, dims, 12, 21);
+        let base = HnswIndex::build(dims, data.clone(), small_config(Metric::Cosine));
+        assert!(base.is_graph());
+
+        // Move 40 existing rows (small perturbations, like fine-tuning
+        // does) and append 60 new rows.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let updates: Vec<(usize, Vec<f32>)> = (0..40)
+            .map(|i| {
+                let id = (i * 29) % n;
+                let mut row = data[id * dims..(id + 1) * dims].to_vec();
+                for x in &mut row {
+                    *x += rng.gen_range(-0.05f32..0.05);
+                }
+                (id, row)
+            })
+            .collect();
+        let appended = clustered(60, dims, 12, 22);
+
+        let patched = base.patched(&updates, &appended);
+        assert_eq!(patched.len(), n + 60);
+        patched.validate().unwrap();
+
+        // Reference: full rebuild over the identical patched vector set.
+        let mut full_data = data.clone();
+        for (id, row) in &updates {
+            full_data[id * dims..(id + 1) * dims].copy_from_slice(row);
+        }
+        full_data.extend_from_slice(&appended);
+        let rebuilt = HnswIndex::build(dims, full_data, small_config(Metric::Cosine));
+
+        let queries: Vec<Vec<f32>> = (0..40)
+            .map(|i| patched.vector((i * 13) % patched.len()).to_vec())
+            .collect();
+        let r_patched = recall_at_k(&patched, &queries, 10, 64);
+        let r_full = recall_at_k(&rebuilt, &queries, 10, 64);
+        assert!(
+            r_patched >= r_full - 0.05 && r_patched >= 0.85,
+            "patched recall {r_patched} too far below rebuild recall {r_full}"
+        );
+
+        // Moved and appended vertices are reachable through the graph.
+        for (id, _) in updates.iter().take(5) {
+            let got = patched.search(patched.vector(*id), 1);
+            assert_eq!(got[0].0, *id, "moved vertex {id} must be its own nearest");
+        }
+        for id in [n, n + 30, n + 59] {
+            let got = patched.search(patched.vector(id), 1);
+            assert_eq!(got[0].0, id, "appended vertex {id} must be its own nearest");
+        }
+    }
+
+    #[test]
+    fn patched_entry_point_update_keeps_graph_searchable() {
+        let (n, dims) = (800, 8);
+        let data = clustered(n, dims, 8, 31);
+        let base = HnswIndex::build(dims, data, small_config(Metric::Euclidean));
+        let entry = base.entry;
+        // Move the entry point itself: the patch must not disconnect it.
+        let moved: Vec<f32> = base.vector(entry).iter().map(|x| x + 0.01).collect();
+        let patched = base.patched(&[(entry, moved)], &[]);
+        patched.validate().unwrap();
+        let got = patched.search(patched.vector(entry), 1);
+        assert_eq!(got[0].0, entry);
+        let queries: Vec<Vec<f32>> = (0..20).map(|i| patched.vector(i * 37).to_vec()).collect();
+        assert!(recall_at_k(&patched, &queries, 10, 64) >= 0.85);
+    }
+
+    #[test]
+    fn patched_brute_force_falls_back_to_rebuild() {
+        let dims = 4;
+        let data = clustered(50, dims, 4, 13);
+        let base = HnswIndex::build(dims, data.clone(), HnswConfig::default());
+        assert!(!base.is_graph());
+        let patched = base.patched(&[(3, data[..dims].to_vec())], &clustered(8, dims, 4, 14));
+        assert_eq!(patched.len(), 58);
+        assert!(!patched.is_graph(), "still under the threshold");
+        assert_eq!(patched.search(&data[..dims], 1), patched.search_exact(&data[..dims], 1));
+
+        // Growth across the threshold promotes to a real graph.
+        let small = HnswConfig { brute_force_threshold: 52, ..HnswConfig::default() };
+        let base = HnswIndex::build(dims, data.clone(), small);
+        let patched = base.patched(&[], &clustered(8, dims, 4, 15));
+        assert!(patched.is_graph(), "58 > 52 must build the graph");
+        patched.validate().unwrap();
     }
 
     #[test]

@@ -276,6 +276,9 @@ impl Server {
             .collect();
 
         let metrics = v2v_obs::global_metrics();
+        // Numbers each shed so adaptive Retry-After jitter varies client
+        // to client instead of synchronizing their retries.
+        let mut shed_salt = 0u64;
         while !self.should_stop() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -284,9 +287,11 @@ impl Server {
                         // Shed rather than queue without bound: answer 503
                         // inline (tiny write; fits the socket buffer) so
                         // the client backs off instead of timing out.
+                        let depth = guard.0.len();
                         drop(guard);
                         metrics.counter("serve.shed").inc();
-                        shed_connection(stream);
+                        shed_salt = shed_salt.wrapping_add(1);
+                        shed_connection(stream, depth, self.config.max_queue, shed_salt);
                     } else {
                         guard.0.push_back(stream);
                         let depth = guard.0.len();
@@ -320,11 +325,33 @@ impl Server {
     }
 }
 
+/// Adaptive `Retry-After` for every load-shed path (the accept queue here,
+/// the ingest queue in `crate::ingest`): integer seconds that scale with
+/// how deep past capacity the queue is, plus 0–2 s of deterministic jitter
+/// so a stampede of shed clients does not retry in lockstep. `salt` is a
+/// per-shed sequence number (each shed client draws a different jitter);
+/// the result is a pure function of `(depth, capacity, salt)` so tests can
+/// lock the header format. Always in `1..=30`.
+pub fn retry_after_secs(depth: usize, capacity: usize, salt: u64) -> u64 {
+    // 1 s at an exactly-full queue, +1 s per additional 25% of capacity
+    // beyond it.
+    let over = depth.saturating_sub(capacity) as u64;
+    let scaled = 1 + over.saturating_mul(4) / capacity.max(1) as u64;
+    // splitmix64 finalizer: cheap, well-mixed deterministic jitter.
+    let mut z = salt.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    let jitter = (z ^ (z >> 31)) % 3;
+    (scaled + jitter).clamp(1, 30)
+}
+
 /// Answers an over-queue connection with `503` + `Retry-After` and closes
 /// it. Called from the accept loop; the short write timeout keeps a
 /// hostile non-reading client from stalling accepts, and the short drain
 /// budget bounds how long one shed connection can hold up accepts.
-fn shed_connection(stream: TcpStream) {
+/// `depth`/`capacity` describe the queue at shed time and `salt` numbers
+/// this shed, together picking the adaptive `Retry-After` value.
+fn shed_connection(stream: TcpStream, depth: usize, capacity: usize, salt: u64) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut stream = stream;
     // The request was never read, so there is no client ID to echo; a
@@ -335,7 +362,7 @@ fn shed_connection(stream: TcpStream) {
             .with_status(503),
     );
     let response = Response::error(503, "server overloaded, retry later")
-        .with_header("Retry-After", "1")
+        .with_header("Retry-After", retry_after_secs(depth, capacity, salt).to_string())
         .with_header("X-Request-Id", request_id);
     write_response(&mut stream, &response);
     drain_before_close(&mut stream, Duration::from_millis(100));
@@ -790,5 +817,41 @@ mod tests {
         assert_eq!(r.status, 400);
         let v = v2v_obs::json::parse(&r.body).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("bad \"k\""));
+    }
+
+    /// Locks the adaptive `Retry-After` contract: a pure function of
+    /// `(depth, capacity, salt)`, always an integer 1..=30, scaling with
+    /// queue overload, with salt-driven jitter bounded by 2 s.
+    #[test]
+    fn retry_after_is_bounded_deterministic_and_scales_with_depth() {
+        for depth in [0, 10, 100, 1_000, 100_000] {
+            for capacity in [1, 64, 1024] {
+                for salt in 0..16 {
+                    let s = retry_after_secs(depth, capacity, salt);
+                    assert!((1..=30).contains(&s), "{s} out of range");
+                    assert_eq!(s, retry_after_secs(depth, capacity, salt), "not deterministic");
+                }
+            }
+        }
+        // Scaling: deeper overload never shortens the wait (same salt),
+        // and a 5x-over-capacity queue waits strictly longer than an
+        // exactly-full one.
+        for salt in 0..8 {
+            let full = retry_after_secs(64, 64, salt);
+            let over = retry_after_secs(5 * 64, 64, salt);
+            assert!(over > full, "depth 320/64 gave {over}, full queue gave {full}");
+            let mut prev = 0;
+            for depth in [64, 128, 256, 512, 1024] {
+                let s = retry_after_secs(depth, 64, salt);
+                assert!(s >= prev, "not monotone in depth at {depth}");
+                prev = s;
+            }
+        }
+        // Jitter: bounded by 2 s and actually varies across salts.
+        let base: Vec<u64> = (0..32).map(|salt| retry_after_secs(64, 64, salt)).collect();
+        assert!(base.iter().all(|&s| (1..=3).contains(&s)), "jitter exceeded 2s: {base:?}");
+        assert!(base.iter().any(|&s| s != base[0]), "jitter never varied: {base:?}");
+        // The header renders as bare integer seconds.
+        assert_eq!(retry_after_secs(0, 1024, 0).to_string().parse::<u64>().unwrap() >= 1, true);
     }
 }

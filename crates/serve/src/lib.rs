@@ -45,12 +45,13 @@
 pub mod api;
 pub mod hnsw;
 pub mod http;
+pub mod ingest;
 pub mod signal;
 pub mod swap;
 
 pub use api::{Reloader, ServeHandle, ServeState, VectorSet};
 pub use hnsw::{build_fingerprint, HnswConfig, HnswIndex, Metric};
-pub use http::{Handler, Request, Response, Server, ServerConfig};
+pub use http::{retry_after_secs, Handler, Request, Response, Server, ServerConfig};
 pub use swap::Swap;
 
 use v2v_ml::knn::NeighborSearch;
