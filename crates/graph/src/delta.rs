@@ -145,6 +145,15 @@ impl DeltaGraph {
         self.touched.iter().copied()
     }
 
+    /// Re-marks vertices as touched. The refresh worker's failure path
+    /// puts back a seed set it drained with [`take_touched`] but could
+    /// not fold into a published state, so the retry still re-walks it.
+    ///
+    /// [`take_touched`]: DeltaGraph::take_touched
+    pub fn mark_touched(&mut self, vertices: &[VertexId]) {
+        self.touched.extend(vertices.iter().copied());
+    }
+
     /// `seeds` expanded by one hop over the merged adjacency — the set of
     /// vertices whose walk neighborhoods changed when those seeds gained
     /// edges. Sorted and deduplicated.
@@ -240,6 +249,15 @@ mod tests {
         // The 1-hop neighborhood pulls in vertex 1 via base edges.
         let hood = d.neighborhood(&touched);
         assert_eq!(hood, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        // A failed refresh puts its seed set back; it merges with any
+        // endpoints touched since and drains again as one set.
+        d.mark_touched(&touched);
+        d.add_edge(VertexId(3), VertexId(4), 1.0, None).unwrap();
+        assert_eq!(
+            d.take_touched(),
+            vec![VertexId(0), VertexId(2), VertexId(3), VertexId(4)],
+            "restored and newly touched endpoints merge"
+        );
     }
 
     #[test]

@@ -365,6 +365,28 @@ impl ServeHandle {
         fresh
     }
 
+    /// Swaps in an externally built state only if `lineage` is still the
+    /// state being served — the refresh worker's guard against clobbering
+    /// a concurrent `POST /reload`. The worker derives every refreshed
+    /// state from the snapshot it evolved (`lineage`); if an operator
+    /// reload published different data in between, installing the refresh
+    /// would silently revert it. On mismatch the refresh is refused and
+    /// the winning state is returned so the caller can re-seed from it.
+    pub fn install_if(
+        &self,
+        state: ServeState,
+        lineage: &Arc<ServeState>,
+    ) -> Result<Arc<ServeState>, Arc<ServeState>> {
+        let fresh = self.state.compare_and_store(lineage, Arc::new(state))?;
+        v2v_obs::global_metrics().counter("serve.refreshes").inc();
+        v2v_obs::record_event(v2v_obs::Event::new(
+            "refresh",
+            "",
+            &format!("swapped in {} vectors", fresh.vectors.len()),
+        ));
+        Ok(fresh)
+    }
+
     /// Wraps this handle into the server's request handler, routing
     /// `POST /reload` here and everything else to [`handle`].
     pub fn into_handler(self: Arc<Self>) -> Handler {

@@ -82,19 +82,42 @@ impl Default for IngestConfig {
     }
 }
 
-/// Shared ingest state: the WAL (durability), the committed-but-unapplied
-/// queue (feeding the refresh worker), and the observability counters
-/// `/healthz` reports.
+/// The admission-ordered heart of the ingest path, behind one mutex.
+///
+/// Sequence assignment (the WAL append) and queue insertion must be one
+/// atomic step: with a multithreaded HTTP server, two concurrent
+/// `POST /ingest` calls that appended under one lock and enqueued under
+/// another could enqueue out of sequence order, and the refresh worker's
+/// idempotence check (`seq < next_apply_seq` → already applied) would
+/// then permanently skip the reordered lower-seq records — durable but
+/// never served. Holding one lock from the admission check through the
+/// enqueue also makes the `max_pending` and vertex-ceiling bounds exact
+/// instead of racy. The critical section includes the fsync; that
+/// serializes submits, which sequence assignment requires anyway.
+struct IngestCore {
+    wal: Wal,
+    queue: VecDeque<WalRecord>,
+    /// Vertex-count ceiling over everything admitted so far (base state
+    /// plus every durable or queued edge) — the strict basis for the
+    /// `max_new_vertices` admission bound, independent of how far the
+    /// served state lags the stream.
+    admitted_vertices: usize,
+}
+
+/// Shared ingest state: the WAL + queue core (durability and ordering),
+/// and the observability counters `/healthz` reports.
 pub struct IngestState {
-    handle: Arc<ServeHandle>,
-    wal: Mutex<Wal>,
-    queue: Mutex<VecDeque<WalRecord>>,
+    core: Mutex<IngestCore>,
     cond: Condvar,
     config: IngestConfig,
     shed_salt: AtomicU64,
     /// Records replayed from the WAL at boot, before serving.
     wal_replayed: u64,
     last_applied: AtomicU64,
+    /// Edges folded into the refresh overlay (replay + live), mirrored
+    /// from the engine after each cycle — `submitted == folded` is the
+    /// "nothing was skipped" invariant tests and operators check.
+    folded_edges: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -111,12 +134,17 @@ impl IngestState {
 
     /// Edges ACKed as durable but not yet folded into the served state.
     pub fn lag_edges(&self) -> usize {
-        self.queue.lock().unwrap().len()
+        self.core.lock().unwrap().queue.len()
     }
 
     /// Highest sequence number that is durable on disk.
     pub fn durable_seq(&self) -> u64 {
-        self.wal.lock().unwrap().durable_seq()
+        self.core.lock().unwrap().wal.durable_seq()
+    }
+
+    /// Edges folded into the refresh overlay so far (replayed + live).
+    pub fn folded_edges(&self) -> u64 {
+        self.folded_edges.load(Ordering::Acquire)
     }
 
     /// Asks the refresh worker to exit once the queue is drained.
@@ -131,16 +159,23 @@ impl IngestState {
     pub fn submit(&self, body: &[u8]) -> Response {
         let metrics = v2v_obs::global_metrics();
         metrics.counter("serve.requests.ingest").inc();
-        let limit = (self.handle.state().vectors().len() as u64)
+        // One critical section from the admission checks through the
+        // enqueue: sequence numbers enter the queue in order (the refresh
+        // worker's seq-based idempotence depends on it), and the
+        // max_pending / vertex-ceiling bounds are exact rather than
+        // check-then-race. Parsing and fsyncing under the lock serializes
+        // submits, which sequence assignment requires anyway.
+        let mut core = self.core.lock().unwrap();
+        let limit = (core.admitted_vertices as u64)
             .saturating_add(self.config.max_new_vertices as u64);
         let edges = match parse_edges(body, limit) {
             Ok(edges) => edges,
             Err(e) => return Response::error(400, &e),
         };
-        // Bound check first — an overloaded queue sheds before any write,
-        // so a 503 never leaves a durable-but-unacknowledged record the
+        // Bound check before any write — an overloaded queue sheds with a
+        // 503 that never leaves a durable-but-unacknowledged record the
         // client would have to reconcile.
-        let depth = self.queue.lock().unwrap().len();
+        let depth = core.queue.len();
         if depth + edges.len() > self.config.max_pending {
             metrics.counter("ingest.shed").inc();
             let salt = self.shed_salt.fetch_add(1, Ordering::Relaxed);
@@ -148,23 +183,25 @@ impl IngestState {
             return Response::error(503, "ingest queue is full, retry later")
                 .with_header("Retry-After", secs.to_string());
         }
-        let (first_seq, last_seq) = match self.wal.lock().unwrap().append_batch(&edges) {
+        let (first_seq, last_seq) = match core.wal.append_batch(&edges) {
             Ok(span) => span,
             Err(e) => {
                 metrics.counter("ingest.wal_errors").inc();
                 return Response::error(500, &format!("wal append failed, batch not accepted: {e}"));
             }
         };
-        {
-            let mut q = self.queue.lock().unwrap();
-            q.extend(
-                edges
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &edge)| WalRecord { seq: first_seq + i as u64, edge }),
-            );
-            metrics.gauge("ingest.lag_edges").set(q.len() as f64);
+        core.queue.extend(
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, &edge)| WalRecord { seq: first_seq + i as u64, edge }),
+        );
+        for e in &edges {
+            core.admitted_vertices =
+                core.admitted_vertices.max(e.src.max(e.dst) as usize + 1);
         }
+        metrics.gauge("ingest.lag_edges").set(core.queue.len() as f64);
+        drop(core);
         self.cond.notify_one();
         metrics.counter("ingest.accepted").add(edges.len() as u64);
         Response::json(
@@ -183,11 +220,12 @@ impl IngestState {
             resp.body.pop();
             let _ = write!(
                 resp.body,
-                ", \"ingest.wal_replayed\": {}, \"ingest.lag_edges\": {}, \"ingest.last_applied_seq\": {}, \"ingest.durable_seq\": {}}}",
+                ", \"ingest.wal_replayed\": {}, \"ingest.lag_edges\": {}, \"ingest.last_applied_seq\": {}, \"ingest.durable_seq\": {}, \"ingest.folded_edges\": {}}}",
                 self.wal_replayed(),
                 self.lag_edges(),
                 self.last_applied_seq(),
                 self.durable_seq(),
+                self.folded_edges(),
             );
         }
         resp
@@ -273,6 +311,8 @@ struct RefreshEngine {
     /// Replay idempotence: records with `seq` below this were already
     /// folded into `delta` and are skipped.
     next_apply_seq: u64,
+    /// Edges folded into `delta` over this engine's lifetime.
+    folded: u64,
     round: u64,
 }
 
@@ -297,6 +337,7 @@ impl RefreshEngine {
             config,
             hnsw: state.index().config().clone(),
             next_apply_seq: 1,
+            folded: 0,
             round: 0,
         })
     }
@@ -304,14 +345,15 @@ impl RefreshEngine {
     /// Folds one committed batch into a fresh [`ServeState`]:
     /// delta-apply, affected-neighborhood re-walk, masked fine-tune,
     /// incremental index patch. Returns `Ok(None)` when every record was
-    /// already applied (idempotent replay).
+    /// already applied (idempotent replay). On error the folded edges
+    /// stay in the overlay (seq-skipped on retry) but the touched seed
+    /// set is restored, so a retried or later batch re-walks and
+    /// fine-tunes exactly the vertices this one failed to publish.
     fn apply_batch(
         &mut self,
         records: &[WalRecord],
         current_index: &HnswIndex,
     ) -> Result<Option<ServeState>, String> {
-        let t0 = std::time::Instant::now();
-        let mut fresh = 0usize;
         for rec in records {
             if rec.seq < self.next_apply_seq {
                 continue;
@@ -325,14 +367,34 @@ impl RefreshEngine {
                     rec.edge.timestamp,
                 )
                 .map_err(|e| e.to_string())?;
-            fresh += 1;
+            self.folded += 1;
         }
-        if fresh == 0 {
+        // The seed set: this batch's endpoints plus anything a previously
+        // failed refresh put back. Empty means a fully idempotent replay
+        // with no outstanding re-walk debt.
+        let touched = self.delta.take_touched();
+        if touched.is_empty() {
             return Ok(None);
         }
         self.round += 1;
-        let touched = self.delta.take_touched();
-        let affected = self.delta.neighborhood(&touched);
+        let result = self.refresh(&touched, current_index);
+        if result.is_err() {
+            self.delta.mark_touched(&touched);
+        }
+        result.map(Some)
+    }
+
+    /// The fallible tail of a refresh cycle: re-walk, fine-tune, index
+    /// patch, state build. The engine's embedding is only advanced after
+    /// every fallible step has succeeded, so a failure leaves the engine
+    /// exactly where the last published state left it.
+    fn refresh(
+        &mut self,
+        touched: &[VertexId],
+        current_index: &HnswIndex,
+    ) -> Result<ServeState, String> {
+        let t0 = std::time::Instant::now();
+        let affected = self.delta.neighborhood(touched);
         let graph = self.delta.materialize().map_err(|e| e.to_string())?;
         let n = graph.num_vertices();
         let dims = self.embedding.dimensions();
@@ -398,15 +460,16 @@ impl RefreshEngine {
             l.resize(n, None);
             l
         });
-        self.embedding = Embedding::from_flat(dims, tuned.as_flat().to_vec());
+        let flat = tuned.as_flat().to_vec();
         let state = ServeState::from_parts(tuned, index, labels)?;
+        self.embedding = Embedding::from_flat(dims, flat);
 
         let metrics = v2v_obs::global_metrics();
         metrics.gauge("ingest.affected_vertices").set(affected.len() as f64);
         metrics
             .histogram("ingest.refresh_ms", &[1.0, 10.0, 100.0, 1000.0, 10000.0])
             .record(t0.elapsed().as_secs_f64() * 1e3);
-        Ok(Some(state))
+        Ok(state)
     }
 }
 
@@ -424,12 +487,12 @@ pub fn start(
     let mut engine = RefreshEngine::from_state(&handle.state(), config)?;
     let replayed = records.len() as u64;
     let mut last_applied = 0u64;
+    let mut lineage = handle.state();
     if let Some(last) = records.last() {
         last_applied = last.seq;
-        let current = handle.state();
-        match engine.apply_batch(&records, current.index()) {
+        match engine.apply_batch(&records, lineage.index()) {
             Ok(Some(state)) => {
-                handle.install(state);
+                lineage = handle.install(state);
             }
             Ok(None) => {}
             Err(e) => return Err(format!("wal replay failed: {e}")),
@@ -443,15 +506,19 @@ pub fn start(
     metrics.gauge("ingest.last_applied_seq").set(last_applied as f64);
     metrics.gauge("ingest.lag_edges").set(0.0);
 
+    let admitted_vertices = engine.delta.num_vertices();
     let ingest = Arc::new(IngestState {
-        handle: handle.clone(),
-        wal: Mutex::new(wal),
-        queue: Mutex::new(VecDeque::new()),
+        core: Mutex::new(IngestCore {
+            wal,
+            queue: VecDeque::new(),
+            admitted_vertices,
+        }),
         cond: Condvar::new(),
         config,
         shed_salt: AtomicU64::new(0),
         wal_replayed: replayed,
         last_applied: AtomicU64::new(last_applied),
+        folded_edges: AtomicU64::new(engine.folded),
         shutdown: AtomicBool::new(false),
     });
     let worker = {
@@ -460,7 +527,7 @@ pub fn start(
             .name("v2v-ingest-refresh".to_string())
             .spawn(move || {
                 deprioritize_current_thread();
-                worker_loop(&ingest, &handle, engine)
+                worker_loop(&ingest, &handle, engine, lineage)
             })
             .map_err(|e| format!("cannot spawn refresh worker: {e}"))?
     };
@@ -500,15 +567,28 @@ fn deprioritize_current_thread() {}
 
 /// The background refresh loop: block on the queue, drain up to
 /// `batch_max` records, fold them into a new state, hot-swap it in.
-/// Errors keep the old state serving (the records stay durable in the
-/// WAL, so a restart retries them); the loop itself never dies.
-fn worker_loop(ingest: &IngestState, handle: &ServeHandle, mut engine: RefreshEngine) {
+///
+/// `last_applied` (and its gauge) only advance when a batch actually
+/// reaches the served state; a failed refresh re-queues its records at
+/// the head and retries with backoff, so the edges are applied in-process
+/// instead of waiting for a restart, and `/healthz` never claims
+/// unapplied edges are live. Installs go through a compare-and-swap
+/// against `lineage` — the state this engine's embedding evolved from —
+/// so a concurrent `POST /reload` is never clobbered: on a lost race the
+/// worker re-seeds from the reloaded state and replays the WAL on top.
+fn worker_loop(
+    ingest: &IngestState,
+    handle: &ServeHandle,
+    mut engine: RefreshEngine,
+    mut lineage: Arc<ServeState>,
+) {
     let metrics = v2v_obs::global_metrics();
+    let mut backoff_ms = 100u64;
     loop {
         let batch: Vec<WalRecord> = {
-            let mut q = ingest.queue.lock().unwrap();
+            let mut core = ingest.core.lock().unwrap();
             loop {
-                if !q.is_empty() {
+                if !core.queue.is_empty() {
                     break;
                 }
                 if ingest.shutdown.load(Ordering::Acquire) {
@@ -516,34 +596,138 @@ fn worker_loop(ingest: &IngestState, handle: &ServeHandle, mut engine: RefreshEn
                 }
                 let (guard, _timeout) = ingest
                     .cond
-                    .wait_timeout(q, std::time::Duration::from_millis(200))
+                    .wait_timeout(core, std::time::Duration::from_millis(200))
                     .unwrap();
-                q = guard;
+                core = guard;
             }
-            let take = q.len().min(ingest.config.batch_max);
-            q.drain(..take).collect()
+            let take = core.queue.len().min(ingest.config.batch_max);
+            core.queue.drain(..take).collect()
         };
         let last = batch.last().map_or(0, |r| r.seq);
-        match engine.apply_batch(&batch, handle.state().index()) {
-            Ok(Some(state)) => {
-                let fresh = handle.install(state);
-                metrics.counter("ingest.refreshes").inc();
-                obs_info!(
-                    "ingest refresh: applied through seq {last}, serving {} vectors",
-                    fresh.vectors().len()
-                );
-            }
-            Ok(None) => {}
+        let applied_through = match engine.apply_batch(&batch, lineage.index()) {
+            Ok(Some(state)) => match handle.install_if(state, &lineage) {
+                Ok(fresh) => {
+                    lineage = fresh;
+                    metrics.counter("ingest.refreshes").inc();
+                    obs_info!(
+                        "ingest refresh: applied through seq {last}, serving {} vectors",
+                        lineage.vectors().len()
+                    );
+                    Some(last)
+                }
+                Err(_) => {
+                    // A /reload published different data while this
+                    // refresh was computed from the previous lineage;
+                    // installing it would silently revert the reload.
+                    // Drop the refresh, re-seed from the reloaded state,
+                    // and replay the whole WAL on top of it. A stale
+                    // lineage can never install, so reseed is the only
+                    // way forward — retry it (with backoff) until it
+                    // lands or shutdown is requested; the WAL keeps
+                    // everything durable meanwhile.
+                    metrics.counter("ingest.reseeds").inc();
+                    obs_info!(
+                        "ingest: served state was reloaded mid-refresh; re-seeding from it and replaying the WAL"
+                    );
+                    loop {
+                        match reseed(ingest, handle, &mut engine, &mut lineage) {
+                            Ok(replayed_through) => break Some(replayed_through.max(last)),
+                            Err(e) => {
+                                metrics.counter("ingest.refresh_failures").inc();
+                                obs_error!("ingest re-seed failed, old state kept, retrying: {e}");
+                                if ingest.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                let core = ingest.core.lock().unwrap();
+                                let _ = ingest
+                                    .cond
+                                    .wait_timeout(
+                                        core,
+                                        std::time::Duration::from_millis(backoff_ms),
+                                    )
+                                    .unwrap();
+                                backoff_ms = (backoff_ms * 2).min(5000);
+                            }
+                        }
+                    }
+                }
+            },
+            // Every record was already folded and no re-walk debt is
+            // outstanding — a replay duplicate; the seqs are applied.
+            Ok(None) => Some(last),
             Err(e) => {
-                // Not acked-and-lost: the batch is durable in the WAL and
-                // replays on the next restart.
                 metrics.counter("ingest.refresh_failures").inc();
                 obs_error!("ingest refresh failed (through seq {last}), old state kept: {e}");
+                None
+            }
+        };
+        match applied_through {
+            Some(through) => {
+                backoff_ms = 100;
+                ingest.folded_edges.store(engine.folded, Ordering::Release);
+                ingest.last_applied.store(through, Ordering::Release);
+                metrics.gauge("ingest.last_applied_seq").set(through as f64);
+                metrics.gauge("ingest.lag_edges").set(ingest.lag_edges() as f64);
+            }
+            None => {
+                // Not acked-and-lost, and not claimed-applied either: the
+                // records go back to the head of the queue (still durable
+                // in the WAL) and last_applied stays put, so lag_edges
+                // keeps counting them. Retry with backoff; on shutdown
+                // leave them for the next boot's replay.
+                {
+                    let mut core = ingest.core.lock().unwrap();
+                    for rec in batch.into_iter().rev() {
+                        core.queue.push_front(rec);
+                    }
+                    metrics.gauge("ingest.lag_edges").set(core.queue.len() as f64);
+                }
+                if ingest.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let core = ingest.core.lock().unwrap();
+                let _ = ingest
+                    .cond
+                    .wait_timeout(core, std::time::Duration::from_millis(backoff_ms))
+                    .unwrap();
+                backoff_ms = (backoff_ms * 2).min(5000);
             }
         }
-        ingest.last_applied.store(last, Ordering::Release);
-        metrics.gauge("ingest.last_applied_seq").set(last as f64);
-        metrics.gauge("ingest.lag_edges").set(ingest.queue.lock().unwrap().len() as f64);
+    }
+}
+
+/// Rebuilds the refresh engine from the state being served *right now*
+/// (after a `/reload` won an install race) and replays the full WAL on
+/// top of it, CAS-installing the result. Loops only if yet another
+/// reload lands during the replay. On success the engine, lineage, and
+/// returned seq all describe the newly published state; on error the
+/// caller keeps its old engine and retries later.
+fn reseed(
+    ingest: &IngestState,
+    handle: &ServeHandle,
+    engine: &mut RefreshEngine,
+    lineage: &mut Arc<ServeState>,
+) -> Result<u64, String> {
+    loop {
+        let current = handle.state();
+        let mut rebuilt = RefreshEngine::from_state(&current, ingest.config)?;
+        let records = ingest.core.lock().unwrap().wal.read_all().map_err(|e| e.to_string())?;
+        let last = records.last().map_or(0, |r| r.seq);
+        match rebuilt.apply_batch(&records, current.index())? {
+            Some(state) => match handle.install_if(state, &current) {
+                Ok(installed) => {
+                    *engine = rebuilt;
+                    *lineage = installed;
+                    return Ok(last);
+                }
+                Err(_) => continue,
+            },
+            None => {
+                *engine = rebuilt;
+                *lineage = current;
+                return Ok(last);
+            }
+        }
     }
 }
 
@@ -779,6 +963,126 @@ mod tests {
         std::fs::remove_dir_all(control_dir).unwrap();
     }
 
+    /// Sequence assignment and enqueueing happen under one lock, so
+    /// however submits interleave across threads, the queue is in seq
+    /// order and the worker's seq-based idempotence check never skips an
+    /// ACKed record: every edge is folded into the overlay exactly once.
+    #[test]
+    fn concurrent_submits_fold_every_acked_edge() {
+        let (_handle, ingest, worker, dir) = started("concurrent");
+        let threads = 4u64;
+        let batches = 6u64;
+        let joins: Vec<_> = (0..threads)
+            .map(|t| {
+                let ingest = ingest.clone();
+                std::thread::spawn(move || {
+                    for b in 0..batches {
+                        // A unique brand-new vertex per batch, tied into
+                        // the existing graph.
+                        let v = 12 + t * batches + b;
+                        let body = format!(
+                            "{{\"edges\": [[{v}, {}], [{v}, {}]]}}",
+                            v % 12,
+                            (v + 1) % 12
+                        );
+                        let r = ingest.submit(body.as_bytes());
+                        assert_eq!(r.status, 200, "{}", r.body);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let total = threads * batches * 2;
+        assert_eq!(ingest.durable_seq(), total);
+        wait_applied(&ingest, total);
+        assert_eq!(
+            ingest.folded_edges(),
+            total,
+            "every ACKed record must be folded exactly once, none seq-skipped"
+        );
+        assert_eq!(ingest.lag_edges(), 0);
+        ingest.shutdown();
+        worker.join().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The `max_new_vertices` bound is measured against everything
+    /// admitted so far (durable + queued), not the lagging served state,
+    /// so successive batches cannot compound past it.
+    #[test]
+    fn vertex_admission_ceiling_is_strict_and_monotonic() {
+        let dir = temp_dir("ceiling");
+        let handle = ServeHandle::new(seed_state(), None);
+        let (ingest, worker) = start(
+            handle,
+            &dir,
+            IngestConfig { max_new_vertices: 2, epochs: 1, ..Default::default() },
+        )
+        .unwrap();
+        // Base has 12 vertices, so the ceiling starts at 14 (ids < 14).
+        assert_eq!(post(&ingest, "{\"edges\": [[14, 0]]}").status, 400);
+        assert_eq!(post(&ingest, "{\"edges\": [[13, 0]]}").status, 200);
+        // Admitting vertex 13 raised the ceiling to 16, immediately —
+        // independent of whether the refresh worker has caught up.
+        assert_eq!(post(&ingest, "{\"edges\": [[15, 0]]}").status, 200);
+        assert_eq!(post(&ingest, "{\"edges\": [[18, 0]]}").status, 400);
+        ingest.shutdown();
+        worker.join().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// An operator `/reload` that lands between a refresh being computed
+    /// and installed must win: the worker detects the lost CAS, re-seeds
+    /// from the reloaded embedding, and replays the WAL on top — so the
+    /// served state carries the reloaded rows *and* the streamed edges.
+    #[test]
+    fn reload_is_not_clobbered_by_inflight_refresh() {
+        let dir = temp_dir("reload_race");
+        // The reloader's base marks vertex 11 so we can tell which
+        // lineage a served row descends from.
+        let reloader: crate::api::Reloader = Box::new(|| {
+            let (n, dims) = (12, 4);
+            let mut flat = Vec::with_capacity(n * dims);
+            for i in 0..n {
+                if i == 11 {
+                    flat.extend_from_slice(&[9.0f32; 4]);
+                } else {
+                    let sign = if i < n / 2 { 1.0f32 } else { -1.0 };
+                    flat.extend_from_slice(&[sign, 0.1 * i as f32, -0.05 * i as f32, 0.3]);
+                }
+            }
+            ServeState::new(Embedding::from_flat(dims, flat), HnswConfig::default(), None)
+        });
+        let handle = ServeHandle::new(seed_state(), Some(reloader));
+        let (ingest, worker) =
+            start(handle.clone(), &dir, IngestConfig { epochs: 1, ..Default::default() })
+                .unwrap();
+        assert_eq!(post(&ingest, "{\"edges\": [[12, 0]]}").status, 200);
+        wait_applied(&ingest, 1);
+        // The reload replaces the served state; the refresh engine still
+        // descends from the boot lineage.
+        handle.reload().unwrap();
+        // The next refresh loses the install CAS and must re-seed.
+        assert_eq!(post(&ingest, "{\"edges\": [[12, 1]]}").status, 200);
+        wait_applied(&ingest, 2);
+
+        let state = handle.state();
+        assert_eq!(state.vectors().len(), 13, "streamed edges replay on top of the reload");
+        // Vertex 11 sits outside every affected neighborhood (the edges
+        // touch 12, 0, 1), so its row is frozen bit-exact: it must be the
+        // reloaded marker, not the pre-reload lineage the refresh evolved.
+        assert_eq!(
+            state.vectors().vector(11).unwrap(),
+            &[9.0f32; 4][..],
+            "the reloaded embedding must survive the in-flight refresh"
+        );
+        ingest.shutdown();
+        worker.join().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
     #[test]
     fn handler_routes_ingest_and_augments_healthz() {
         let (handle, ingest, worker, dir) = started("routes");
@@ -807,6 +1111,7 @@ mod tests {
         assert_eq!(doc.get("ingest.last_applied_seq").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("ingest.lag_edges").unwrap().as_u64(), Some(0));
         assert_eq!(doc.get("ingest.durable_seq").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("ingest.folded_edges").unwrap().as_u64(), Some(1));
         ingest.shutdown();
         worker.join().unwrap();
         std::fs::remove_dir_all(dir).unwrap();

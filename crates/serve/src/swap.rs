@@ -41,6 +41,25 @@ impl<T> Swap<T> {
     pub fn store(&self, value: Arc<T>) -> Arc<T> {
         std::mem::replace(&mut *self.current.lock().unwrap(), value)
     }
+
+    /// Replaces the value only if the current one is still `expected`
+    /// (pointer identity). Returns the stored `Arc` on success, or the
+    /// winning current value on failure — the primitive that lets a slow
+    /// writer (the ingest refresh worker) detect that a faster one
+    /// (`/reload`) published in between, instead of clobbering it.
+    pub fn compare_and_store(
+        &self,
+        expected: &Arc<T>,
+        value: Arc<T>,
+    ) -> Result<Arc<T>, Arc<T>> {
+        let mut current = self.current.lock().unwrap();
+        if Arc::ptr_eq(&current, expected) {
+            *current = value.clone();
+            Ok(value)
+        } else {
+            Err(current.clone())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -55,6 +74,21 @@ mod tests {
         assert_eq!(*held, 1, "loaded Arc must outlive the swap");
         assert_eq!(*old, 1);
         assert_eq!(*swap.load(), 2);
+    }
+
+    #[test]
+    fn compare_and_store_detects_interleaved_writer() {
+        let swap = Swap::new(Arc::new(1));
+        let lineage = swap.load();
+        // Uncontended: the CAS lands.
+        let installed = swap.compare_and_store(&lineage, Arc::new(2)).unwrap();
+        assert_eq!(*installed, 2);
+        assert_eq!(*swap.load(), 2);
+        // A writer raced in since `lineage`: the CAS must refuse and
+        // return the winner, leaving it in place.
+        let winner = swap.compare_and_store(&lineage, Arc::new(3)).unwrap_err();
+        assert_eq!(*winner, 2);
+        assert_eq!(*swap.load(), 2, "failed CAS must not replace the value");
     }
 
     #[test]
