@@ -174,6 +174,98 @@ fn run_op_live(
     }
 }
 
+/// Raw per-request latencies through the [`ServeHandle`], for pooled
+/// ABBA comparisons where two runs of the same condition are merged
+/// before taking percentiles.
+///
+/// Requests are paced with a short sleep every 100 — a saturating
+/// closed loop on a single-core host starves SCHED_IDLE threads
+/// completely, which would measure the sentinel's *absence* rather
+/// than its interference. The pacing is identical in both conditions,
+/// so the comparison stays fair while probes actually get to run.
+fn collect_latencies(
+    serve_handle: &Arc<ServeHandle>,
+    n: usize,
+    requests: usize,
+    make: impl Fn(usize) -> Request,
+) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let req = make(i % n);
+        let t0 = Instant::now();
+        let state = serve_handle.state();
+        let r = handle(&state, &req);
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(r.status < 500, "probe-overhead op returned {}", r.status);
+        if i % 100 == 99 {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+    }
+    lat
+}
+
+/// Quality-sentinel interference on the query path, measured ABBA:
+/// `/neighbors` latencies are collected sentinel-off (A), sentinel-on
+/// (B), on again (B), off again (A), and the two segments per condition
+/// are pooled before taking p99 — so thermal or allocator drift across
+/// the run biases both conditions equally instead of whichever came
+/// second.
+struct ProbeOverhead {
+    off_p99_ms: f64,
+    on_p99_ms: f64,
+    overhead_pct: f64,
+    probes: f64,
+}
+
+fn measure_probe_overhead(n: usize, dim: usize, k: usize, requests: usize) -> ProbeOverhead {
+    let data = synthetic_embedding(n, dim, 0xCA9A);
+    let embedding = v2v_embed::Embedding::from_flat(dim, data);
+    let state = ServeState::new(embedding, HnswConfig::default(), None).expect("probe state");
+    let serve_handle = ServeHandle::new(state, None);
+    let make = |i: usize| {
+        get_request(
+            "/neighbors",
+            vec![("v".into(), (i % n).to_string()), ("k".into(), k.to_string())],
+        )
+    };
+    for i in 0..(requests / 10).max(100) {
+        let state = serve_handle.state();
+        let r = handle(&state, &make(i % n));
+        assert!(r.status < 500, "probe-overhead warmup returned {}", r.status);
+    }
+
+    let segment = requests / 2;
+    let mut off = collect_latencies(&serve_handle, n, segment, make); // A
+    let config = v2v_serve::SentinelConfig {
+        probe_interval: std::time::Duration::from_millis(100),
+        ..Default::default()
+    };
+    let (quality, probe_thread) =
+        v2v_serve::sentinel::start(serve_handle.clone(), config).expect("sentinel start");
+    let mut on = collect_latencies(&serve_handle, n, segment, make); // B
+    on.extend(collect_latencies(&serve_handle, n, segment, make)); // B
+    let probes_before_stop = v2v_obs::global_metrics()
+        .snapshot()
+        .counters
+        .get("quality.probes")
+        .copied()
+        .unwrap_or(0) as f64;
+    quality.stop();
+    probe_thread.join().expect("sentinel thread");
+    off.extend(collect_latencies(&serve_handle, n, segment, make)); // A
+
+    off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let off_p99_ms = percentile(&off, 0.99);
+    let on_p99_ms = percentile(&on, 0.99);
+    ProbeOverhead {
+        off_p99_ms,
+        on_p99_ms,
+        overhead_pct: (on_p99_ms / off_p99_ms - 1.0) * 100.0,
+        probes: probes_before_stop,
+    }
+}
+
 /// Durable-ingest measurements: WAL append throughput (the 200-ACK path,
 /// fsync included) and `/neighbors` tail latency with and without the
 /// refresh worker continuously folding edges into the served state.
@@ -328,6 +420,13 @@ fn main() {
 
     let ing = measure_ingest(n, dim, k, requests);
 
+    let probe = measure_probe_overhead(n, dim, k, requests);
+    println!(
+        "quality sentinel probe overhead (ABBA, {:.0} probes fired): \
+         /neighbors p99 {:.4} ms on vs {:.4} ms off ({:+.1}%)",
+        probe.probes, probe.on_p99_ms, probe.off_p99_ms, probe.overhead_pct
+    );
+
     let ops = [
         run_op(&state, "neighbors", n, requests, |i| {
             get_request(
@@ -383,6 +482,12 @@ fn main() {
     doc.push_str(",\n  \"ingest_edges_per_sec\": ");
     v2v_obs::json::write_f64(&mut doc, ing.edges_per_sec);
     let _ = write!(doc, ",\n  \"ingest_acked_edges\": {}", ing.acked_edges);
+    doc.push_str(",\n  \"probe_off_p99_ms\": ");
+    v2v_obs::json::write_f64(&mut doc, probe.off_p99_ms);
+    doc.push_str(",\n  \"probe_on_p99_ms\": ");
+    v2v_obs::json::write_f64(&mut doc, probe.on_p99_ms);
+    doc.push_str(",\n  \"probe_overhead_pct\": ");
+    v2v_obs::json::write_f64(&mut doc, probe.overhead_pct);
     doc.push_str(",\n  \"ops\": {");
     for (i, s) in ops.iter().chain([&ing.neighbors_ro, &ing.neighbors_ingest]).enumerate() {
         doc.push_str(if i == 0 { "\n" } else { ",\n" });

@@ -328,6 +328,90 @@ fn load_embedding_path(path: &str) -> Result<v2v_embed::Embedding, String> {
     }
 }
 
+/// A typed option with a `V2V_*` environment fallback: the explicit
+/// `--<key>` flag wins, then the environment variable, then the default.
+fn opt_env<T: std::str::FromStr>(
+    opts: &Opts,
+    key: &str,
+    env: &str,
+    default: T,
+) -> Result<T, String> {
+    if let Some(v) = opts.get_str(key) {
+        return v.parse().map_err(|_| format!("invalid value {v:?} for --{key}"));
+    }
+    if let Ok(v) = std::env::var(env) {
+        return v.parse().map_err(|_| format!("invalid value {v:?} for {env}"));
+    }
+    Ok(default)
+}
+
+/// Loads any embedding artifact — text, v1 binary, or a `.v2s` store —
+/// as `(dims, row-major flat payload)` for offline analysis.
+fn load_flat_vectors(path: &str) -> Result<(usize, Vec<f32>), String> {
+    if is_store_file(path) {
+        let store = v2v_store::EmbeddingStore::open(path)
+            .map_err(|e| format!("cannot open store {path}: {e}"))?;
+        let payload = store.payload().map_err(|e| format!("{path}: {e}"))?.to_vec();
+        Ok((store.dims(), payload))
+    } else {
+        let embedding = load_embedding_path(path)?;
+        Ok((embedding.dimensions(), embedding.as_flat().to_vec()))
+    }
+}
+
+/// `v2v drift`: offline diff of two embeddings / `.v2s` stores — the same
+/// canary sampling, neighbor churn, and drift statistics the online
+/// quality sentinel computes, so "what changed between yesterday's store
+/// and today's?" is answerable without a serving process. Prints an
+/// aligned table plus the JSON document (`--format table|json|both`);
+/// `--output <path>` additionally writes the JSON to a file.
+pub fn drift(opts: &Opts) -> Result<(), String> {
+    let a_path = opts.require("a")?;
+    let b_path = opts.require("b")?;
+    let (dims_a, a) = load_flat_vectors(a_path)?;
+    let (dims_b, b) = load_flat_vectors(b_path)?;
+    if dims_a != dims_b {
+        return Err(format!(
+            "dimensionality mismatch: {a_path} has {dims_a} dims, {b_path} has {dims_b}"
+        ));
+    }
+    let defaults = v2v_obs::quality::QualityConfig::default();
+    let config = v2v_obs::quality::QualityConfig {
+        canaries: opt_env(opts, "quality-canaries", "V2V_QUALITY_CANARIES", defaults.canaries)?,
+        k: opts.get("k", defaults.k)?,
+        seed: opts.get("seed", defaults.seed)?,
+        churn_threshold: opt_env(
+            opts,
+            "quality-churn-threshold",
+            "V2V_QUALITY_CHURN_THRESHOLD",
+            defaults.churn_threshold,
+        )?,
+    };
+    let report = v2v_obs::quality::DriftReport::compute(dims_a, &a, &b, &config)?;
+    let json = report.to_json();
+    match opts.get_str("format").unwrap_or("both") {
+        "table" => print!("{}", report.render_table()),
+        "json" => println!("{json}"),
+        "both" => {
+            print!("{}", report.render_table());
+            println!("{json}");
+        }
+        other => return Err(format!("unknown --format {other:?} (table|json|both)")),
+    }
+    if let Some(out) = opts.get_str("output") {
+        std::fs::write(out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+        obs_info!("wrote drift report to {out}");
+    }
+    if report.retrain_advised {
+        obs_info!(
+            "neighbor churn {:.4} crossed threshold {:.4}: batch retrain advised",
+            report.neighbor_churn,
+            report.churn_threshold
+        );
+    }
+    Ok(())
+}
+
 /// Whether `path` is a V2VE **v2** store (mmap-able container) rather
 /// than a v1 binary or text embedding: by `.v2s` extension, or by
 /// sniffing the magic + version so renamed files still route correctly.
@@ -524,10 +608,17 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     // the WAL (ACK after fsync), a background worker folds committed edges
     // into the serving state, and the whole committed log replays here —
     // before the listener binds — so no request ever sees pre-crash state.
+    let churn_threshold = opt_env(
+        opts,
+        "quality-churn-threshold",
+        "V2V_QUALITY_CHURN_THRESHOLD",
+        v2v_obs::quality::QualityConfig::default().churn_threshold,
+    )?;
     let handler = match opts.get_str("wal-dir") {
         Some(dir) => {
             let ingest_config = v2v_serve::ingest::IngestConfig {
                 max_pending: opts.get("ingest-queue", 8192usize)?,
+                churn_threshold,
                 ..Default::default()
             };
             let (ingest, _worker) = v2v_serve::ingest::start(handle.clone(), dir, ingest_config)
@@ -540,6 +631,40 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
             v2v_serve::ingest::handler(handle.clone(), ingest)
         }
         None => handle.clone().into_handler(),
+    };
+
+    // Quality sentinel: a SCHED_IDLE probe loop replaying a stable canary
+    // set against every installed state — recall@10 vs brute force,
+    // per-swap neighbor churn, centroid drift — exported on /metricz,
+    // GET /qualityz, and the flight recorder. On by default; --quality-off
+    // (or V2V_QUALITY_OFF=1) disables it.
+    let quality_off = opts.flag("quality-off")
+        || std::env::var("V2V_QUALITY_OFF").map(|v| v == "1").unwrap_or(false);
+    let handler = if quality_off {
+        handler
+    } else {
+        let sentinel_config = v2v_serve::SentinelConfig {
+            canaries: opt_env(
+                opts,
+                "quality-canaries",
+                "V2V_QUALITY_CANARIES",
+                v2v_serve::SentinelConfig::default().canaries,
+            )?,
+            probe_interval: std::time::Duration::from_millis(
+                opt_env(opts, "quality-probe-ms", "V2V_QUALITY_PROBE_MS", 2_000u64)?.max(1),
+            ),
+            churn_threshold,
+            ..Default::default()
+        };
+        let (quality, _probe) = v2v_serve::sentinel::start(handle.clone(), sentinel_config)
+            .map_err(|e| format!("cannot start quality sentinel: {e}"))?;
+        obs_info!(
+            "quality sentinel: {} canaries, probe every {} ms, churn threshold {}",
+            quality.canaries().len(),
+            sentinel_config.probe_interval.as_millis(),
+            sentinel_config.churn_threshold
+        );
+        v2v_serve::sentinel::handler(handler, quality)
     };
 
     let server_config = v2v_serve::ServerConfig {
@@ -582,6 +707,18 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     // gauge so the restart smoke (and operators) can assert on it.
     let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
     v2v_obs::global_metrics().gauge("serve.cold_start_ms").set(cold_ms);
+    // Deploy-correlation info gauge (value 1, info in the name — our
+    // Prometheus writer is label-free, so this follows the
+    // `kernels.backend.<name>` idiom): which build, which revision, which
+    // kernel backend produced the quality and latency series being scraped.
+    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+    v2v_obs::global_metrics()
+        .gauge(&format!(
+            "build_info.version.{}.rev.{git_rev}.backend.{}",
+            env!("CARGO_PKG_VERSION"),
+            v2v_linalg::kernels::backend_name()
+        ))
+        .set(1.0);
     v2v_obs::record_event(
         v2v_obs::Event::new(
             "cold_start",
@@ -1144,6 +1281,120 @@ mod quality_tests {
         )
         .unwrap();
         quality(&o).unwrap();
+    }
+
+    fn drift_opts(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn write_text_embedding(name: &str, dims: usize, rows: &[Vec<f32>]) -> std::path::PathBuf {
+        let mut text = format!("{} {dims}\n", rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            text.push_str(&format!("{i}"));
+            for v in row {
+                text.push_str(&format!(" {v}"));
+            }
+            text.push('\n');
+        }
+        let path = std::env::temp_dir().join(format!("v2v_drift_{name}_{}.txt", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    /// Rows on the unit circle: distinct, deterministic, non-degenerate.
+    fn circle_rows(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let theta = i as f32 * 0.7;
+                vec![theta.cos(), theta.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drift_on_identical_stores_is_zero_and_does_not_advise_retrain() {
+        let rows = circle_rows(12);
+        let path = write_text_embedding("same", 2, &rows);
+        let out = std::env::temp_dir().join(format!("v2v_drift_same_{}.json", std::process::id()));
+        drift(&drift_opts(&[
+            "drift",
+            "--a", path.to_str().unwrap(),
+            "--b", path.to_str().unwrap(),
+            "--k", "3",
+            "--format", "json",
+            "--output", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = v2v_obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(report.get("neighbor_churn").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(report.get("centroid_shift").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(report.get("max_row_shift").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(report.get("retrain_advised").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(report.get("vectors_a").and_then(|v| v.as_u64()), Some(12));
+    }
+
+    #[test]
+    fn drift_on_perturbed_store_trips_retrain_advised() {
+        let rows = circle_rows(12);
+        let mut reversed = rows.clone();
+        reversed.reverse(); // every vertex gets a different vector → heavy churn
+        let a = write_text_embedding("pa", 2, &rows);
+        let b = write_text_embedding("pb", 2, &reversed);
+        let out = std::env::temp_dir().join(format!("v2v_drift_pert_{}.json", std::process::id()));
+        drift(&drift_opts(&[
+            "drift",
+            "--a", a.to_str().unwrap(),
+            "--b", b.to_str().unwrap(),
+            "--k", "3",
+            "--quality-churn-threshold", "0.05",
+            "--format", "table",
+            "--output", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = v2v_obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let churn = report.get("neighbor_churn").and_then(|v| v.as_f64()).unwrap();
+        assert!(churn > 0.05, "reversed rows must churn neighbor sets, got {churn}");
+        assert_eq!(report.get("retrain_advised").and_then(|v| v.as_bool()), Some(true));
+        assert!(report.get("max_row_shift").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn drift_rejects_missing_and_mismatched_inputs() {
+        let rows2 = circle_rows(4);
+        let rows3: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32, 0.0, 1.0]).collect();
+        let a = write_text_embedding("m2", 2, &rows2);
+        let b = write_text_embedding("m3", 3, &rows3);
+        assert!(drift(&drift_opts(&["drift", "--b", b.to_str().unwrap()])).is_err());
+        let err = drift(&drift_opts(&[
+            "drift",
+            "--a", a.to_str().unwrap(),
+            "--b", b.to_str().unwrap(),
+        ]))
+        .expect_err("dims mismatch must be rejected");
+        assert!(err.contains("dimensionality mismatch"), "got {err:?}");
+        assert!(drift(&drift_opts(&[
+            "drift",
+            "--a", a.to_str().unwrap(),
+            "--b", a.to_str().unwrap(),
+            "--format", "yaml",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn opt_env_prefers_flag_over_environment_over_default() {
+        // Unique env name per test run: set_var is process-global.
+        let env = format!("V2V_TEST_OPT_ENV_{}", std::process::id());
+        let flagged = drift_opts(&["drift", "--quality-canaries", "7"]);
+        let bare = drift_opts(&["drift"]);
+
+        assert_eq!(opt_env(&bare, "quality-canaries", &env, 64usize).unwrap(), 64);
+        std::env::set_var(&env, "31");
+        assert_eq!(opt_env(&bare, "quality-canaries", &env, 64usize).unwrap(), 31);
+        assert_eq!(opt_env(&flagged, "quality-canaries", &env, 64usize).unwrap(), 7);
+        std::env::set_var(&env, "not-a-number");
+        assert!(opt_env(&bare, "quality-canaries", &env, 64usize).is_err());
+        std::env::remove_var(&env);
     }
 
     #[test]

@@ -64,6 +64,12 @@
 //! v2v stats       --input edges.txt [--directed] [--format ...]
 //! v2v quality     --input edges.txt --embedding emb.txt
 //!                 (corpus + embedding diagnostics)
+//! v2v drift       --a old.v2s --b new.v2s [--k 10] [--quality-canaries 64]
+//!                 [--seed S] [--quality-churn-threshold 0.35]
+//!                 [--format table|json|both] [--output report.json]
+//!                 (offline diff of two embeddings / stores: canary
+//!                 neighbor churn, centroid shift, norm drift — the same
+//!                 statistics the serve-side quality sentinel tracks live)
 //! ```
 //!
 //! Every subcommand also accepts `--metrics <path>`: after the command
@@ -78,7 +84,7 @@ mod opts;
 use opts::Opts;
 use v2v_obs::{obs_error, obs_info};
 
-const USAGE: &str = "usage: v2v <embed|walks|index|communities|predict|serve|ingest|project|stats|quality|profile> [options]
+const USAGE: &str = "usage: v2v <embed|walks|index|communities|predict|serve|ingest|project|stats|quality|drift|profile> [options]
 
 common options (every subcommand):
   --metrics <path>      after the run, write telemetry (span tree, metrics,
@@ -126,6 +132,15 @@ environment:
                         unrolled SIMD paths) in training and ANN search;
                         single-threaded scalar runs are bit-reproducible
                         across machines
+  V2V_QUALITY_CHURN_THRESHOLD  serve/drift: neighbor churn above which
+                        quality.retrain_advised trips (default 0.35); the
+                        --quality-churn-threshold flag wins over the env
+  V2V_QUALITY_CANARIES  serve/drift: canary vertices sampled for quality
+                        probes (default 64; flag --quality-canaries)
+  V2V_QUALITY_PROBE_MS  serve: sentinel probe interval in milliseconds
+                        (default 2000; flag --quality-probe-ms)
+  V2V_QUALITY_OFF       serve: set to 1 to disable the quality sentinel
+                        (flag --quality-off)
 
 dynamic graphs (durable streaming ingest):
   v2v serve --embedding emb.txt --wal-dir wal/   accept POST /ingest edge
@@ -140,9 +155,27 @@ dynamic graphs (durable streaming ingest):
                         serve-side --ingest-queue bound (default 8192) caps
                         the committed-but-unapplied backlog
 
+embedding quality observability (the quality sentinel + v2v drift):
+  v2v serve ... [--quality-churn-threshold 0.35] [--quality-canaries 64]
+                [--quality-probe-ms 2000] [--quality-off]
+                        a SCHED_IDLE sentinel thread replays a stable seeded
+                        canary set against every installed index: ANN-vs-exact
+                        quality.recall_at_10, per-swap quality.neighbor_churn,
+                        quality.centroid_shift, and quality.retrain_advised
+                        gauges on /metricz (Prometheus included), a JSON
+                        GET /qualityz endpoint, and quality.probe /
+                        quality.degraded flight-recorder events; each ingest
+                        refresh also reports per-batch churn and fine-tune
+                        loss delta (ingest.batch_churn, ingest.batch_loss_delta)
+  v2v drift --a old.v2s --b new.v2s                diff two stores offline with
+                        the same canary/churn/drift statistics; prints an
+                        aligned table + JSON and exits 0 (inspect
+                        retrain_advised in the JSON to gate a batch retrain)
+
 serve signals: SIGINT/SIGTERM drain and exit; SIGHUP hot-reloads the embedding;
 SIGUSR1 dumps the flight recorder. Live introspection over HTTP: /metricz
-(JSON; ?format=prometheus for scrapers), /tracez (recent request events).
+(JSON; ?format=prometheus for scrapers), /tracez (recent request events),
+/qualityz (sentinel drift + recall report).
 
 run `v2v help` or see the crate docs for the per-subcommand option list";
 
@@ -169,6 +202,7 @@ fn main() {
         Some("project") => commands::project(&opts),
         Some("stats") => commands::stats(&opts),
         Some("quality") => commands::quality(&opts),
+        Some("drift") => commands::drift(&opts),
         Some("profile") => commands::profile(&opts),
         Some("help") | None => {
             println!("{USAGE}");

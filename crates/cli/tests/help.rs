@@ -95,6 +95,34 @@ fn help_documents_ingest_surface() {
     }
 }
 
+/// The embedding-quality surface: the background quality sentinel (its
+/// serve flags and env overrides), the `/qualityz` endpoint, the
+/// `quality.*` gauges, and the offline `v2v drift` differ must all be
+/// discoverable from `v2v help`.
+#[test]
+fn help_documents_quality_surface() {
+    let help = help_output();
+    for needle in [
+        "v2v drift",
+        "--quality-churn-threshold",
+        "--quality-canaries",
+        "--quality-probe-ms",
+        "--quality-off",
+        "V2V_QUALITY_CHURN_THRESHOLD",
+        "V2V_QUALITY_CANARIES",
+        "V2V_QUALITY_PROBE_MS",
+        "V2V_QUALITY_OFF",
+        "/qualityz",
+        "quality.recall_at_10",
+        "quality.neighbor_churn",
+        "quality.centroid_shift",
+        "quality.retrain_advised",
+        "ingest.batch_churn",
+    ] {
+        assert!(help.contains(needle), "v2v help must mention {needle}\n---\n{help}");
+    }
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_v2v"))

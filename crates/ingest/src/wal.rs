@@ -274,7 +274,7 @@ impl Wal {
                 active_path.display()
             );
         }
-        Ok(Wal {
+        let wal = Wal {
             dir,
             options,
             sealed,
@@ -284,7 +284,9 @@ impl Wal {
             active_len,
             next_seq,
             recovered_truncated_bytes: truncated,
-        })
+        };
+        wal.publish_size_gauges();
+        Ok(wal)
     }
 
     /// The directory this log lives in.
@@ -310,6 +312,31 @@ impl Wal {
     /// Torn bytes discarded from the active tail by the last open.
     pub fn recovered_truncated_bytes(&self) -> u64 {
         self.recovered_truncated_bytes
+    }
+
+    /// On-disk segment count (sealed plus the active one).
+    pub fn num_segments(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Total durable bytes across all segments (headers included). Sealed
+    /// segments are fixed-size records, so their length is arithmetic —
+    /// no stat calls on the hot path.
+    pub fn size_bytes(&self) -> u64 {
+        self.sealed
+            .iter()
+            .map(|s| HEADER_BYTES + s.records * RECORD_BYTES as u64)
+            .sum::<u64>()
+            + self.active_len
+    }
+
+    /// Publishes the log's size gauges — the numbers a compaction policy
+    /// (and capacity dashboards) will watch. Called on open, append, and
+    /// rotation so the gauges never go stale.
+    fn publish_size_gauges(&self) {
+        let metrics = v2v_obs::global_metrics();
+        metrics.gauge("ingest.wal.segments").set(self.num_segments() as f64);
+        metrics.gauge("ingest.wal.bytes").set(self.size_bytes() as f64);
     }
 
     /// Appends `edges` as one durable batch: every record is written and
@@ -355,6 +382,7 @@ impl Wal {
         metrics.counter("ingest.wal.appends").inc();
         metrics.counter("ingest.wal.records").add(edges.len() as u64);
         metrics.gauge("ingest.wal.durable_seq").set(self.durable_seq() as f64);
+        self.publish_size_gauges();
         Ok((first, self.next_seq - 1))
     }
 
@@ -379,9 +407,7 @@ impl Wal {
         self.active_path = path;
         self.active_first_seq = self.next_seq;
         self.active_len = HEADER_BYTES;
-        v2v_obs::global_metrics()
-            .gauge("ingest.wal.segments")
-            .set((self.sealed.len() + 1) as f64);
+        self.publish_size_gauges();
         Ok(())
     }
 
@@ -640,6 +666,38 @@ mod tests {
         let wal = Wal::open_with(&dir, opts).unwrap();
         assert_eq!(wal.next_seq(), 19);
         assert_eq!(wal.read_all().unwrap(), all);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_accounting_tracks_segments_and_bytes() {
+        let dir = scratch("sizes");
+        let opts = WalOptions { segment_bytes: 4 * RECORD_BYTES as u64 };
+        let mut wal = Wal::open_with(&dir, opts).unwrap();
+        assert_eq!(wal.num_segments(), 1);
+        assert_eq!(wal.size_bytes(), HEADER_BYTES);
+        wal.append_batch(&edges(3, 0)).unwrap();
+        assert_eq!(wal.size_bytes(), HEADER_BYTES + 3 * RECORD_BYTES as u64);
+        for round in 1..6 {
+            wal.append_batch(&edges(3, round)).unwrap();
+        }
+        assert!(wal.num_segments() >= 3, "small segments must have rotated");
+        // The arithmetic size must match what is actually on disk.
+        let on_disk: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "seg"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert_eq!(wal.size_bytes(), on_disk);
+        // Reopen sees the same numbers (and republishes the gauges —
+        // asserted structurally here; the shared gauge values themselves
+        // race with other tests' logs, so they are not compared).
+        let segments = wal.num_segments();
+        drop(wal);
+        let wal = Wal::open_with(&dir, opts).unwrap();
+        assert_eq!(wal.size_bytes(), on_disk);
+        assert_eq!(wal.num_segments(), segments);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

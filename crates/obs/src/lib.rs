@@ -29,6 +29,10 @@
 //! * **Flight recorder** ([`recorder`]) — a bounded ring of recent
 //!   structured events (requests, sheds, reloads, panics, epochs),
 //!   dumped via `/tracez`, `SIGUSR1`, or the panic hook.
+//! * **Quality primitives** ([`quality`]) — seeded canary sampling,
+//!   neighbor-set churn, centroid/norm drift statistics, and recall@k
+//!   estimation shared by the online sentinel, the ingest refresh report,
+//!   and the offline `v2v drift` differ.
 //! * **Prometheus exposition** ([`prometheus`]) — renders any
 //!   [`metrics::MetricsSnapshot`] in the text format standard scrapers
 //!   consume (`/metricz?format=prometheus`).
@@ -55,6 +59,7 @@ pub mod metrics;
 pub mod perf_counters;
 pub mod perthread;
 pub mod prometheus;
+pub mod quality;
 pub mod recorder;
 pub mod sampler;
 pub mod span;
@@ -68,6 +73,7 @@ pub use perf_counters::{CounterReading, ThreadCounters};
 pub use perthread::{
     current_phase, set_phase, workers, ConcurrencyReport, Phase, WorkerTable,
 };
+pub use quality::{DriftReport, NormStats, QualityConfig};
 pub use recorder::{global_recorder, record_event, Event, FlightRecorder};
 pub use sampler::{FlatProfile, SelfProfiler};
 pub use span::{global_spans, span, SpanGuard, SpanSnapshot, SpanTree};

@@ -298,6 +298,73 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_straddle_a_cas_elected_reset() {
+        // Two slots: rotation 0 holds slow traffic, rotation 1 fast traffic.
+        // Rotation 2 reuses rotation 0's slot — the first record CAS-elects a
+        // resetter and clears the slow data. Quantiles queried at rotation 2
+        // must straddle the reset: they merge rotations 1 and 2 only.
+        let w = WindowedHistogram::with_ring(&bounds(), 2, 1_000_000);
+        for _ in 0..100 {
+            w.record_at(0, 12.0); // slow, will be evicted
+        }
+        for _ in 0..100 {
+            w.record_at(1, 1.5); // fast, stays live at rotation 2
+        }
+        // Before the reset, the merged window at rotation 1 sees both.
+        let before = w.snapshot_at(1);
+        assert_eq!(before.count, 200);
+        assert!(before.p99 > 8.0, "p99 {} must reflect the slow tail", before.p99);
+        // One record at rotation 2 elects the reset of the old slot...
+        w.record_at(2, 1.5);
+        // ...and the quantile straddling that reset drops the slow tail.
+        let after = w.snapshot_at(2);
+        assert_eq!(after.count, 101, "rotation 0 evicted, rotation 1 + 2 live");
+        assert!(after.p99 <= 2.0, "p99 {} must forget evicted data", after.p99);
+        assert!((after.sum - 101.0 * 1.5).abs() < 1e-9, "sum {}", after.sum);
+    }
+
+    #[test]
+    fn reset_election_is_exclusive_under_contention() {
+        // Many threads racing the SAME slot-reuse boundary: exactly one CAS
+        // wins the reset, so the reused slot holds exactly the new records —
+        // never a mix of old and new, never a double-reset losing new data.
+        for trial in 0..20 {
+            let w = WindowedHistogram::with_ring(&bounds(), 2, 1_000_000);
+            for _ in 0..1_000 {
+                w.record_at(trial, 10.0); // stale epoch data in slot trial%2
+            }
+            let reuse = trial + 2; // maps onto the same slot, newer epoch
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..500 {
+                            w.record_at(reuse, 1.0);
+                        }
+                    });
+                }
+            });
+            let snap = w.snapshot_at(reuse);
+            assert_eq!(snap.count, 8 * 500, "trial {trial}: reset must run exactly once");
+            assert!(snap.p99 <= 2.0, "trial {trial}: stale tail leaked, p99 {}", snap.p99);
+        }
+    }
+
+    #[test]
+    fn query_between_rotations_never_sees_future_slots() {
+        // Data recorded "in the future" (a racing thread that already crossed
+        // the boundary) must not pollute a quantile queried at an older
+        // rotation: live slots are (rotation - len, rotation] only.
+        let w = WindowedHistogram::with_ring(&bounds(), 4, 1_000_000);
+        for _ in 0..10 {
+            w.record_at(5, 12.0);
+        }
+        assert_eq!(w.quantile_at(4, 0.99), 0.0, "future rotation must be invisible");
+        assert_eq!(w.snapshot_at(4).count, 0);
+        // The same data is visible once the query catches up.
+        assert_eq!(w.snapshot_at(5).count, 10);
+    }
+
+    #[test]
     fn nonfinite_values_are_dropped() {
         let w = WindowedHistogram::new(&bounds());
         w.record(f64::NAN);

@@ -44,7 +44,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use v2v_embed::{fine_tune, EmbedConfig, Embedding};
 use v2v_graph::{DeltaGraph, GraphBuilder, VertexId};
 use v2v_ingest::{EdgeUpdate, Wal, WalRecord};
-use v2v_obs::{json, obs_error, obs_info};
+use v2v_obs::{json, obs_error, obs_info, record_event, Event};
 use v2v_walks::walker::Walker;
 use v2v_walks::{WalkCorpus, WalkStrategy};
 
@@ -66,6 +66,14 @@ pub struct IngestConfig {
     pub epochs: usize,
     /// Seed for refresh walks and fine-tuning.
     pub seed: u64,
+    /// Mean neighbor churn per touched row above which a refresh trips
+    /// `quality.retrain_advised` (CLI `--quality-churn-threshold`).
+    pub churn_threshold: f64,
+    /// Touched rows sampled for the per-batch churn report (bounds the
+    /// quality overhead of a refresh cycle).
+    pub quality_sample: usize,
+    /// Neighbors per sampled row in the per-batch churn report.
+    pub quality_k: usize,
 }
 
 impl Default for IngestConfig {
@@ -78,6 +86,9 @@ impl Default for IngestConfig {
             walk_length: 12,
             epochs: 2,
             seed: 0x1_6E57,
+            churn_threshold: 0.35,
+            quality_sample: 16,
+            quality_k: 10,
         }
     }
 }
@@ -145,6 +156,16 @@ impl IngestState {
     /// Edges folded into the refresh overlay so far (replayed + live).
     pub fn folded_edges(&self) -> u64 {
         self.folded_edges.load(Ordering::Acquire)
+    }
+
+    /// On-disk WAL segment count (sealed plus active).
+    pub fn wal_segments(&self) -> usize {
+        self.core.lock().unwrap().wal.num_segments()
+    }
+
+    /// Total durable WAL bytes across all segments.
+    pub fn wal_bytes(&self) -> u64 {
+        self.core.lock().unwrap().wal.size_bytes()
     }
 
     /// Asks the refresh worker to exit once the queue is drained.
@@ -220,12 +241,14 @@ impl IngestState {
             resp.body.pop();
             let _ = write!(
                 resp.body,
-                ", \"ingest.wal_replayed\": {}, \"ingest.lag_edges\": {}, \"ingest.last_applied_seq\": {}, \"ingest.durable_seq\": {}, \"ingest.folded_edges\": {}}}",
+                ", \"ingest.wal_replayed\": {}, \"ingest.lag_edges\": {}, \"ingest.last_applied_seq\": {}, \"ingest.durable_seq\": {}, \"ingest.folded_edges\": {}, \"ingest.wal.segments\": {}, \"ingest.wal.bytes\": {}}}",
                 self.wal_replayed(),
                 self.lag_edges(),
                 self.last_applied_seq(),
                 self.durable_seq(),
                 self.folded_edges(),
+                self.wal_segments(),
+                self.wal_bytes(),
             );
         }
         resp
@@ -439,7 +462,7 @@ impl RefreshEngine {
             seed: mix(self.config.seed ^ self.round),
             ..Default::default()
         };
-        let (tuned, _stats) = fine_tune(&self.embedding, &corpus, &embed_config, &trainable)?;
+        let (tuned, stats) = fine_tune(&self.embedding, &corpus, &embed_config, &trainable)?;
 
         // Patch the live index in place when it matches the embedding the
         // refresh evolved from; anything else (an operator /reload swapped
@@ -456,6 +479,47 @@ impl RefreshEngine {
             HnswIndex::build(dims, tuned.as_flat().to_vec(), self.hnsw.clone())
         };
 
+        // Per-batch quality report: how far did this refresh move the
+        // neighborhoods it touched? Old index + old rows vs new index +
+        // tuned rows, over a bounded sample of the affected set. Skipped
+        // (like the patch fast path) when the live index no longer matches
+        // the embedding this engine evolved from.
+        let batch_churn = if current_index.len() == old_len && current_index.dims() == dims {
+            let k = self.config.quality_k;
+            let neighbor_ids = |idx: &HnswIndex, q: &[f32], center: usize| -> Vec<usize> {
+                idx.search(q, k + 1)
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .filter(|&id| id != center)
+                    .take(k)
+                    .collect()
+            };
+            let sample: Vec<usize> = affected
+                .iter()
+                .map(|v| v.index())
+                .filter(|&i| i < old_len)
+                .take(self.config.quality_sample)
+                .collect();
+            let old_lists: Vec<Vec<usize>> = sample
+                .iter()
+                .map(|&i| {
+                    neighbor_ids(current_index, self.embedding.vector(VertexId::from_index(i)), i)
+                })
+                .collect();
+            let new_lists: Vec<Vec<usize>> = sample
+                .iter()
+                .map(|&i| neighbor_ids(&index, tuned.vector(VertexId::from_index(i)), i))
+                .collect();
+            (!sample.is_empty())
+                .then(|| v2v_obs::quality::mean_churn(&old_lists, &new_lists))
+        } else {
+            None
+        };
+        let loss_delta = match (stats.epoch_losses.first(), stats.epoch_losses.last()) {
+            (Some(first), Some(last)) => last - first,
+            _ => 0.0,
+        };
+
         let labels = self.labels.clone().map(|mut l| {
             l.resize(n, None);
             l
@@ -469,6 +533,39 @@ impl RefreshEngine {
         metrics
             .histogram("ingest.refresh_ms", &[1.0, 10.0, 100.0, 1000.0, 10000.0])
             .record(t0.elapsed().as_secs_f64() * 1e3);
+        metrics.gauge("ingest.batch_loss_delta").set(loss_delta);
+        if let Some(churn) = batch_churn {
+            metrics.gauge("ingest.batch_churn").set(churn);
+            if churn > self.config.churn_threshold {
+                metrics.gauge("quality.retrain_advised").set(1.0);
+                metrics.counter("quality.retrain_advisories").inc();
+                record_event(
+                    Event::new(
+                        "quality.degraded",
+                        "-",
+                        &format!(
+                            "refresh round {}: churn {churn:.4} per touched row (threshold {:.4}, {} touched); batch retrain advised",
+                            self.round, self.config.churn_threshold, touched.len()
+                        ),
+                    )
+                    .with_status(1),
+                );
+            }
+        }
+        record_event(
+            Event::new(
+                "quality.refresh",
+                "-",
+                &format!(
+                    "round {}: {} touched, {} affected, churn {}, loss delta {loss_delta:.5}",
+                    self.round,
+                    touched.len(),
+                    affected.len(),
+                    batch_churn.map_or_else(|| "n/a".to_string(), |c| format!("{c:.4}"))
+                ),
+            )
+            .with_latency_ms(t0.elapsed().as_secs_f64() * 1e3),
+        );
         Ok(state)
     }
 }
@@ -543,7 +640,7 @@ pub fn start(
 /// an [`Arc`] swap, so starving the worker costs nothing but refresh
 /// lag (visible as `ingest.lag_edges`).
 #[cfg(target_os = "linux")]
-fn deprioritize_current_thread() {
+pub(crate) fn deprioritize_current_thread() {
     // Same no-crate C-library idiom as v2v-obs's perf-counter syscalls.
     // SCHED_IDLE gives the thread the minimum CFS weight (~0.3% of a
     // contended core, vs ~1.5% for nice 19 — enough to push refresh
@@ -563,7 +660,7 @@ fn deprioritize_current_thread() {
 }
 
 #[cfg(not(target_os = "linux"))]
-fn deprioritize_current_thread() {}
+pub(crate) fn deprioritize_current_thread() {}
 
 /// The background refresh loop: block on the queue, drain up to
 /// `batch_max` records, fold them into a new state, hot-swap it in.
@@ -1112,6 +1209,9 @@ mod tests {
         assert_eq!(doc.get("ingest.lag_edges").unwrap().as_u64(), Some(0));
         assert_eq!(doc.get("ingest.durable_seq").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("ingest.folded_edges").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("ingest.wal.segments").unwrap().as_u64(), Some(1));
+        // 16-byte segment header + one 45-byte record.
+        assert_eq!(doc.get("ingest.wal.bytes").unwrap().as_u64(), Some(61));
         ingest.shutdown();
         worker.join().unwrap();
         std::fs::remove_dir_all(dir).unwrap();

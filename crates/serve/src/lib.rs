@@ -46,10 +46,12 @@ pub mod api;
 pub mod hnsw;
 pub mod http;
 pub mod ingest;
+pub mod sentinel;
 pub mod signal;
 pub mod swap;
 
 pub use api::{Reloader, ServeHandle, ServeState, VectorSet};
+pub use sentinel::{QualityState, SentinelConfig};
 pub use hnsw::{build_fingerprint, HnswConfig, HnswIndex, Metric};
 pub use http::{retry_after_secs, Handler, Request, Response, Server, ServerConfig};
 pub use swap::Swap;

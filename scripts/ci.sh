@@ -274,6 +274,92 @@ awk -v ms="$ingest_cold_ms" 'BEGIN {
 }' || { echo "ingest recovery cold start took ${ingest_cold_ms} ms (>= 1 s)" >&2; exit 1; }
 echo "durable ingest smoke test: ok"
 
+# --- Quality sentinel smoke: /qualityz, quality gauges, churn after swap ----
+# The sentinel is on by default; a fast probe interval makes its signals
+# observable within the smoke budget. The initial probe is synchronous, so
+# /qualityz and the recall gauge answer from the first request; the
+# per-swap churn gauge must appear once streamed edges hot-swap the state.
+wal_q="$smoke_dir/wal-q"
+./target/release/v2v serve --embedding "$smoke_dir/emb.txt" \
+  --wal-dir "$wal_q" --quality-probe-ms 100 --port 0 \
+  > "$smoke_dir/quality-server.log" 2> "$smoke_dir/quality-server.err" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$smoke_dir/quality-server.log")
+  [ -n "$addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$smoke_dir/quality-server.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "quality server never reported its address" >&2; exit 1; }
+
+curl -sf "http://$addr/qualityz" | grep -q '"recall_at_10": ' \
+  || { echo "/qualityz missing recall_at_10" >&2; exit 1; }
+curl -sf "http://$addr/qualityz" | grep -q '"retrain_advised": false' \
+  || { echo "/qualityz advised retrain on a fresh index" >&2; exit 1; }
+curl -sf "http://$addr/metricz" | grep -q '"quality.recall_at_10": ' \
+  || { echo "no quality.recall_at_10 gauge on /metricz" >&2; exit 1; }
+curl -sf "http://$addr/metricz" | grep -q '"quality.retrain_advised": 0.0' \
+  || { echo "quality.retrain_advised not initialized to 0" >&2; exit 1; }
+# The build-info gauge identifies the binary on every Prometheus scrape.
+curl -sf "http://$addr/metricz?format=prometheus" | grep -q '^v2v_build_info_version_' \
+  || { echo "no build_info gauge in the Prometheus exposition" >&2; exit 1; }
+# A fresh WAL is one open segment of just its 16-byte header.
+curl -sf "http://$addr/healthz" | grep -q '"ingest.wal.segments": 1' \
+  || { echo "no ingest.wal.segments on /healthz" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '"ingest.wal.bytes": 16' \
+  || { echo "no ingest.wal.bytes on /healthz" >&2; exit 1; }
+
+# Stream edges between existing vertices; the refresh worker hot-swaps the
+# state and the sentinel's next probe publishes the per-swap churn gauge.
+printf '0 4\n1 5\n2 6\n' > "$smoke_dir/stream-q.txt"
+./target/release/v2v ingest --input "$smoke_dir/stream-q.txt" --addr "$addr" > /dev/null 2>&1
+churn_seen=""
+for _ in $(seq 1 100); do
+  if curl -sf "http://$addr/metricz" | grep -q '"quality.neighbor_churn": '; then
+    churn_seen=1; break
+  fi
+  sleep 0.1
+done
+[ -n "$churn_seen" ] \
+  || { echo "quality.neighbor_churn never appeared after the refresh swap" >&2; exit 1; }
+curl -sf "http://$addr/qualityz" | grep -vq '"swaps_observed": 0,' \
+  || { echo "/qualityz never observed the refresh swap" >&2; exit 1; }
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+echo "quality sentinel smoke test: ok"
+
+# --- Drift smoke: the offline differ on real training artifacts -------------
+# Identity: an embedding diffed against itself is exactly zero drift.
+./target/release/v2v drift --a "$smoke_dir/emb-ck.txt" --b "$smoke_dir/emb-ck.txt" \
+  --format json > "$smoke_dir/drift-same.json"
+grep -q '"neighbor_churn": 0.0' "$smoke_dir/drift-same.json" \
+  || { echo "self-drift reported nonzero churn" >&2; cat "$smoke_dir/drift-same.json" >&2; exit 1; }
+grep -q '"retrain_advised": false' "$smoke_dir/drift-same.json"
+
+# Interrupted-vs-uninterrupted: the kill -9 + --resume embedding from the
+# crash smoke must be bit-identical to a never-interrupted run (the
+# single-thread determinism contract), so drift is exactly zero.
+./target/release/v2v embed --input "$smoke_dir/edges.txt" \
+  --output "$smoke_dir/emb-uninterrupted.txt" \
+  --dims 24 --walks 8 --length 60 --epochs 8 --threads 1 --seed 7 > /dev/null 2>&1
+./target/release/v2v drift --a "$smoke_dir/emb-ck.txt" --b "$smoke_dir/emb-uninterrupted.txt" \
+  --format json > "$smoke_dir/drift-resume.json"
+grep -q '"neighbor_churn": 0.0' "$smoke_dir/drift-resume.json" \
+  || { echo "interrupted vs uninterrupted run drifted" >&2; cat "$smoke_dir/drift-resume.json" >&2; exit 1; }
+grep -q '"max_row_shift": 0.0' "$smoke_dir/drift-resume.json" \
+  || { echo "interrupted vs uninterrupted rows differ" >&2; exit 1; }
+
+# A genuinely different embedding (another seed) must trip the advisory
+# under a tight churn threshold.
+./target/release/v2v embed --input "$smoke_dir/edges.txt" \
+  --output "$smoke_dir/emb-perturbed.txt" \
+  --dims 24 --walks 8 --length 60 --epochs 8 --threads 1 --seed 8 > /dev/null 2>&1
+./target/release/v2v drift --a "$smoke_dir/emb-uninterrupted.txt" --b "$smoke_dir/emb-perturbed.txt" \
+  --quality-churn-threshold 0.05 --format json > "$smoke_dir/drift-pert.json"
+grep -q '"retrain_advised": true' "$smoke_dir/drift-pert.json" \
+  || { echo "perturbed store did not trip retrain_advised" >&2; cat "$smoke_dir/drift-pert.json" >&2; exit 1; }
+echo "drift smoke test: ok"
+
 # --- Bench-regression gate: single-thread training throughput ---------------
 # A short bench run must stay within 30% of the checked-in single-thread
 # baseline in BENCH_embed.json (same graph family and dim; fewer epochs so
