@@ -9,6 +9,15 @@
 //! repo root (`--out-json` to relocate) so successive PRs record a
 //! comparable trajectory; the schema is documented in EXPERIMENTS.md.
 //!
+//! A second, socket-level section binds a real [`v2v_serve::Server`]
+//! and measures the connection model end to end: `/neighbors` over one
+//! kept-alive pipelined connection vs. a fresh connection per request
+//! (`neighbors_keepalive` / `neighbors_per_conn`, plus the
+//! `keepalive_speedup` ratio and `conn_reuse` requests-per-connection),
+//! and `/batch` throughput in queries per second (`batch_qps`). A
+//! quantized int8 index adds the `neighbors_int8` row and
+//! `quantized_p99_ms`.
+//!
 //! Also measures the serve cold-start path against a `.v2s` store: the
 //! same vectors are written to a V2VE v2 container with an embedded
 //! HNSW snapshot, then timed from `EmbeddingStore::open` through a
@@ -21,12 +30,14 @@
 //! (CI passes `GIT_REV=$(git rev-parse --short HEAD)`).
 
 use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use v2v_bench::Args;
 use v2v_serve::api::handle;
-use v2v_serve::{ingest, HnswConfig, Request, ServeHandle, ServeState};
+use v2v_serve::{ingest, HnswConfig, QuantMode, Request, ServeHandle, ServeState, Server, ServerConfig};
 
 /// One endpoint's measured distribution.
 struct OpStats {
@@ -59,6 +70,27 @@ fn synthetic_embedding(n: usize, dim: usize, mut seed: u64) -> Vec<f32> {
     (0..n * dim).map(|_| (next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5).collect()
 }
 
+/// One timed measurement segment: raw per-request latencies (ms) plus
+/// segment wall seconds, unsorted so callers can pool ABBA segments.
+fn collect_op(
+    state: &ServeState,
+    op: &'static str,
+    n: usize,
+    requests: usize,
+    make: impl Fn(usize) -> Request,
+) -> (Vec<f64>, f64) {
+    let mut lat = Vec::with_capacity(requests);
+    let started = Instant::now();
+    for i in 0..requests {
+        let req = make(i % n);
+        let t0 = Instant::now();
+        let r = handle(state, &req);
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(r.status < 500, "{op} returned {}", r.status);
+    }
+    (lat, started.elapsed().as_secs_f64())
+}
+
 fn run_op(
     state: &ServeState,
     op: &'static str,
@@ -71,16 +103,7 @@ fn run_op(
         let r = handle(state, &make(i % n));
         assert!(r.status < 500, "{op} warmup returned {}", r.status);
     }
-    let mut lat = Vec::with_capacity(requests);
-    let started = Instant::now();
-    for i in 0..requests {
-        let req = make(i % n);
-        let t0 = Instant::now();
-        let r = handle(state, &req);
-        lat.push(t0.elapsed().as_secs_f64() * 1e3);
-        assert!(r.status < 500, "{op} returned {}", r.status);
-    }
-    let total = started.elapsed().as_secs_f64();
+    let (mut lat, total) = collect_op(state, op, n, requests, make);
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
     OpStats {
         op,
@@ -390,6 +413,315 @@ fn measure_ingest(n: usize, dim: usize, k: usize, requests: usize) -> IngestBenc
     IngestBench { edges_per_sec, acked_edges: acked, neighbors_ro, neighbors_ingest }
 }
 
+/// Sorts latencies and folds them into an [`OpStats`] row.
+fn stats(op: &'static str, mut lat: Vec<f64>, total_secs: f64, requests: usize) -> OpStats {
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    OpStats {
+        op,
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        throughput_rps: requests as f64 / total_secs,
+        requests,
+    }
+}
+
+/// Locates `needle` in `haystack` (first match).
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Reads one HTTP response from `stream`, consuming from (and carrying
+/// over into) `carry` any bytes of the next pipelined response already
+/// received. Frames by `Content-Length`. Returns the status code and
+/// whether the server announced `Connection: close`.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> std::io::Result<(u16, bool)> {
+    let mut buf = [0u8; 16 * 1024];
+    let header_end = loop {
+        if let Some(pos) = find_subslice(carry, b"\r\n\r\n") {
+            break pos;
+        }
+        let got = stream.read(&mut buf)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before a full response header",
+            ));
+        }
+        carry.extend_from_slice(&buf[..got]);
+    };
+    let head = String::from_utf8_lossy(&carry[..header_end]).into_owned();
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in head.split("\r\n").skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.trim().eq_ignore_ascii_case("close");
+        }
+    }
+    let total = header_end + 4 + content_length;
+    while carry.len() < total {
+        let got = stream.read(&mut buf)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-body",
+            ));
+        }
+        carry.extend_from_slice(&buf[..got]);
+    }
+    carry.drain(..total);
+    Ok((status, close))
+}
+
+/// Minimal blocking HTTP/1.1 client for the socket benchmarks:
+/// keep-alive with optional pipelining, reconnecting when the server
+/// spends its keep-alive budget and closes the connection.
+struct BenchClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+    connections: usize,
+}
+
+impl BenchClient {
+    fn new(addr: SocketAddr) -> BenchClient {
+        BenchClient { addr, stream: None, carry: Vec::new(), connections: 0 }
+    }
+
+    fn ensure_connected(&mut self) {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr).expect("connect to bench server");
+            s.set_nodelay(true).expect("set nodelay");
+            s.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("read timeout");
+            self.connections += 1;
+            self.carry.clear();
+            self.stream = Some(s);
+        }
+    }
+
+    /// Writes all of `reqs` back-to-back on one connection (pipelining
+    /// when more than one), then reads the responses in order. When the
+    /// server closes mid-burst (keep-alive budget spent), the unanswered
+    /// tail is resent on a fresh connection — every request here is a
+    /// read-only query, so a resend is safe.
+    fn roundtrip(&mut self, reqs: &[Vec<u8>]) {
+        let mut remaining = reqs;
+        let mut attempts = 0;
+        while !remaining.is_empty() {
+            attempts += 1;
+            assert!(attempts <= reqs.len() + 4, "server kept closing mid-burst");
+            self.ensure_connected();
+            let stream = self.stream.as_mut().expect("stream just ensured");
+            let wire: Vec<u8> = remaining.concat();
+            if stream.write_all(&wire).is_err() {
+                self.stream = None;
+                continue;
+            }
+            let mut done = 0;
+            let mut close = false;
+            while done < remaining.len() && !close {
+                match read_response(stream, &mut self.carry) {
+                    Ok((status, c)) => {
+                        assert_eq!(status, 200, "socket bench request failed");
+                        done += 1;
+                        close = c;
+                    }
+                    Err(_) => close = true,
+                }
+            }
+            if close {
+                self.stream = None;
+            }
+            remaining = &remaining[done..];
+        }
+    }
+}
+
+/// One request on a fresh connection, torn down after the response —
+/// the pre-keep-alive connection model, kept as the baseline.
+fn per_conn_request(addr: SocketAddr, wire: &[u8]) {
+    let mut s = TcpStream::connect(addr).expect("connect to bench server");
+    s.set_nodelay(true).expect("set nodelay");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("read timeout");
+    s.write_all(wire).expect("write request");
+    let mut carry = Vec::new();
+    let (status, _) = read_response(&mut s, &mut carry).expect("per-conn response");
+    assert_eq!(status, 200, "per-conn request failed");
+}
+
+/// Real-socket measurements through a bound [`Server`]: `/neighbors`
+/// over one kept-alive pipelined connection vs. one connection per
+/// request (the fast-path acceptance ratio), and `/batch` throughput
+/// in queries per second over a kept-alive connection.
+struct SocketBench {
+    keepalive: OpStats,
+    per_conn: OpStats,
+    batch: OpStats,
+    /// Queries per second through `/batch` (batches of 8).
+    batch_qps: f64,
+    /// Requests served per TCP connection in the keep-alive run.
+    conn_reuse: f64,
+    /// Keep-alive throughput over per-connection throughput.
+    speedup: f64,
+}
+
+fn measure_socket(n: usize, dim: usize, k: usize, requests: usize) -> SocketBench {
+    let data = synthetic_embedding(n, dim, 0x50C7);
+    let embedding = v2v_embed::Embedding::from_flat(dim, data);
+    let state = ServeState::new(embedding, HnswConfig::default(), None).expect("socket state");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        watch_signals: false,
+        ..Default::default()
+    };
+    let server = Server::bind(config, Arc::new(state).into_handler()).expect("bind bench server");
+    let addr = server.local_addr();
+    let stop = server.shutdown_flag();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let ka_req = |i: usize| {
+        format!("GET /neighbors?v={}&k={k} HTTP/1.1\r\n\r\n", i % n).into_bytes()
+    };
+    let pc_req = |i: usize| {
+        format!("GET /neighbors?v={}&k={k} HTTP/1.1\r\nConnection: close\r\n\r\n", i % n)
+            .into_bytes()
+    };
+    // Sockets round-trip through the kernel, so a quarter of the
+    // in-process request count keeps the wall clock comparable.
+    let socket_requests = (requests / 4).max(512);
+
+    // ABBA: per-connection (A), keep-alive (B), keep-alive (B),
+    // per-connection (A) — the two segments per condition are pooled
+    // before percentiles so drift across the run biases both conditions
+    // equally instead of whichever ran second.
+    const DEPTH: usize = 8;
+    let run_pc = |count: usize| {
+        let mut lat = Vec::with_capacity(count);
+        let t = Instant::now();
+        for i in 0..count {
+            let t0 = Instant::now();
+            per_conn_request(addr, &pc_req(i));
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (lat, t.elapsed().as_secs_f64())
+    };
+    // Bursts of pipelined requests on one kept-alive connection.
+    // Per-request latency is burst wall clock / depth — pipelined
+    // responses aren't individually attributable.
+    let run_ka = |client: &mut BenchClient, bursts: usize| {
+        let mut lat = Vec::with_capacity(bursts * DEPTH);
+        let t = Instant::now();
+        for b in 0..bursts {
+            let reqs: Vec<Vec<u8>> = (0..DEPTH).map(|j| ka_req(b * DEPTH + j)).collect();
+            let t0 = Instant::now();
+            client.roundtrip(&reqs);
+            let per_req_ms = t0.elapsed().as_secs_f64() * 1e3 / DEPTH as f64;
+            lat.extend(std::iter::repeat_n(per_req_ms, DEPTH));
+        }
+        (lat, t.elapsed().as_secs_f64())
+    };
+
+    let mut client = BenchClient::new(addr);
+    for i in 0..64 {
+        per_conn_request(addr, &pc_req(i));
+    }
+    for b in 0..8 {
+        let reqs: Vec<Vec<u8>> = (0..DEPTH).map(|j| ka_req(b * DEPTH + j)).collect();
+        client.roundtrip(&reqs);
+    }
+    let half_pc = socket_requests / 2;
+    let half_bursts = (socket_requests / DEPTH / 2).max(32);
+    let (mut pc_lat, pc_secs_a) = run_pc(half_pc); // A
+    let (mut ka_lat, ka_secs_a) = run_ka(&mut client, half_bursts); // B
+    let (ka2, ka_secs_b) = run_ka(&mut client, half_bursts); // B
+    let (pc2, pc_secs_b) = run_pc(half_pc); // A
+    pc_lat.extend(pc2);
+    ka_lat.extend(ka2);
+    let ka_requests = 2 * half_bursts * DEPTH;
+    let per_conn = stats("neighbors_per_conn", pc_lat, pc_secs_a + pc_secs_b, 2 * half_pc);
+    let conn_reuse = ka_requests as f64 / client.connections.max(1) as f64;
+    let keepalive = stats("neighbors_keepalive", ka_lat, ka_secs_a + ka_secs_b, ka_requests);
+
+    // Batched queries over the same kept-alive connection: one POST
+    // carrying `batch_size` neighbors queries per round trip. The sweep
+    // runs each size twice in mirrored order (1/8/64/64/8/1) and pools
+    // per size, so drift balances across the sweep. All three print for
+    // the EXPERIMENTS.md table; the JSON keeps the 8-query row as the
+    // trajectory anchor.
+    let mut run_batch_segment = |batch_size: usize| {
+        let batch_posts = (socket_requests / batch_size / 2).max(32);
+        let batch_req = |b: usize| {
+            let mut body = String::from("{\"queries\": [");
+            for j in 0..batch_size {
+                if j > 0 {
+                    body.push_str(", ");
+                }
+                let _ = write!(
+                    body,
+                    "{{\"op\": \"neighbors\", \"v\": {}, \"k\": {k}}}",
+                    (b * batch_size + j) % n
+                );
+            }
+            body.push_str("]}");
+            format!(
+                "POST /batch HTTP/1.1\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .into_bytes()
+        };
+        for b in 0..16 {
+            client.roundtrip(&[batch_req(b)]);
+        }
+        let mut lat = Vec::with_capacity(batch_posts);
+        let started = Instant::now();
+        for b in 0..batch_posts {
+            let t0 = Instant::now();
+            client.roundtrip(&[batch_req(b)]);
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (lat, started.elapsed().as_secs_f64(), batch_posts)
+    };
+    let mut pooled: Vec<(usize, Vec<f64>, f64, usize)> =
+        [1usize, 8, 64].iter().map(|&s| (s, Vec::new(), 0.0, 0)).collect();
+    for &size in &[1usize, 8, 64, 64, 8, 1] {
+        let (lat, secs, posts) = run_batch_segment(size);
+        let slot = pooled.iter_mut().find(|(s, ..)| *s == size).expect("sweep slot");
+        slot.1.extend(lat);
+        slot.2 += secs;
+        slot.3 += posts;
+    }
+    let mut batch = None;
+    let mut batch_qps = 0.0;
+    for (size, lat, secs, posts) in pooled {
+        let s = stats("batch8", lat, secs, posts);
+        let qps = (posts * size) as f64 / secs;
+        println!(
+            "/batch sweep: {size:>2} queries/post -> {qps:.0} queries/s \
+             (post p50 {:.4} ms, p99 {:.4} ms)",
+            s.p50_ms, s.p99_ms
+        );
+        if size == 8 {
+            batch = Some(s);
+            batch_qps = qps;
+        }
+    }
+    let batch = batch.expect("size-8 sweep slot");
+
+    stop.store(true, Ordering::SeqCst);
+    server_thread.join().expect("server thread").expect("server run");
+
+    let speedup = keepalive.throughput_rps / per_conn.throughput_rps;
+    SocketBench { keepalive, per_conn, batch, batch_qps, conn_reuse, speedup }
+}
+
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("n", 2000);
@@ -427,13 +759,91 @@ fn main() {
         probe.probes, probe.on_p99_ms, probe.off_p99_ms, probe.overhead_pct
     );
 
+    let sock = measure_socket(n, dim, k, requests);
+    println!(
+        "socket path: keep-alive+pipelined {:.0} rps vs {:.0} rps per-connection \
+         ({:.1}x), {:.0} requests/conn, /batch {:.0} queries/s",
+        sock.keepalive.throughput_rps,
+        sock.per_conn.throughput_rps,
+        sock.speedup,
+        sock.conn_reuse,
+        sock.batch_qps
+    );
+
+    // Shard sweep (printed only): direct index search latency by shard
+    // count, measured in palindromic order 1/2/4/4/2/1 with each index
+    // built once and both segments pooled, so drift balances across the
+    // sweep. The scoped-thread fan-out needs real cores to win — on a
+    // single-CPU host expect parity-to-slower, not a speedup.
+    let mut shard_sweep: Vec<(usize, v2v_serve::HnswIndex, Vec<f64>)> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            let cfg = HnswConfig { shards, ..Default::default() };
+            (shards, v2v_serve::HnswIndex::build(dim, data.clone(), cfg), Vec::new())
+        })
+        .collect();
+    let shard_queries = 1000.min(n);
+    for &slot in &[0usize, 1, 2, 2, 1, 0] {
+        let (_, idx, lat) = &mut shard_sweep[slot];
+        for q in 0..shard_queries {
+            let qv = &data[(q % n) * dim..(q % n + 1) * dim];
+            let t0 = Instant::now();
+            let r = idx.search(qv, k);
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(!r.is_empty(), "shard sweep returned nothing");
+        }
+    }
+    for (shards, _, mut lat) in shard_sweep {
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "shard sweep (pooled 1/2/4/4/2/1): {shards} shard(s) -> \
+             search p50 {:.4} ms, p99 {:.4} ms",
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99)
+        );
+    }
+
+    // Quantized candidate scoring, measured ABBA against the f32 path:
+    // the identical /neighbors op runs f32 (A), int8 (B), int8 (B),
+    // f32 (A) with each condition's two segments pooled, so the two
+    // table rows are drift-balanced against each other.
+    let quant_state = ServeState::new(
+        v2v_embed::Embedding::from_flat(dim, synthetic_embedding(n, dim, 0x5EED)),
+        HnswConfig { quantize: QuantMode::Int8, ..Default::default() },
+        None,
+    )
+    .expect("quantized state build");
+    let nb_req = |i: usize| {
+        get_request(
+            "/neighbors",
+            vec![("v".into(), (i % n).to_string()), ("k".into(), k.to_string())],
+        )
+    };
+    for i in 0..(requests / 10).max(100) {
+        let r = handle(&state, &nb_req(i % n));
+        assert!(r.status < 500, "neighbors warmup returned {}", r.status);
+        let r = handle(&quant_state, &nb_req(i % n));
+        assert!(r.status < 500, "neighbors_int8 warmup returned {}", r.status);
+    }
+    let half = requests / 2;
+    let (mut f32_lat, f32_secs_a) = collect_op(&state, "neighbors", n, half, nb_req); // A
+    let (int8_lat, int8_secs_a) = collect_op(&quant_state, "neighbors_int8", n, half, nb_req); // B
+    let (int8_tail, int8_secs_b) = collect_op(&quant_state, "neighbors_int8", n, half, nb_req); // B
+    let (f32_tail, f32_secs_b) = collect_op(&state, "neighbors", n, half, nb_req); // A
+    f32_lat.extend(f32_tail);
+    let mut int8_lat = int8_lat;
+    int8_lat.extend(int8_tail);
+    let neighbors = stats("neighbors", f32_lat, f32_secs_a + f32_secs_b, 2 * half);
+    let neighbors_int8 = stats("neighbors_int8", int8_lat, int8_secs_a + int8_secs_b, 2 * half);
+    println!(
+        "quantized scoring (ABBA): /neighbors p99 {:.4} ms int8 vs {:.4} ms f32 ({:+.1}%)",
+        neighbors_int8.p99_ms,
+        neighbors.p99_ms,
+        (neighbors_int8.p99_ms / neighbors.p99_ms - 1.0) * 100.0
+    );
+
     let ops = [
-        run_op(&state, "neighbors", n, requests, |i| {
-            get_request(
-                "/neighbors",
-                vec![("v".into(), (i % n).to_string()), ("k".into(), k.to_string())],
-            )
-        }),
+        neighbors,
         run_op(&state, "similarity", n, requests, |i| {
             get_request(
                 "/similarity",
@@ -447,13 +857,17 @@ fn main() {
             )
         }),
         run_op(&state, "healthz", n, requests, |_| get_request("/healthz", Vec::new())),
+        neighbors_int8,
     ];
+    let quantized_p99_ms = ops.last().expect("neighbors_int8 row").p99_ms;
 
+    let extra_rows =
+        [&ing.neighbors_ro, &ing.neighbors_ingest, &sock.keepalive, &sock.per_conn, &sock.batch];
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12}",
         "op", "p50 ms", "p95 ms", "p99 ms", "req/s"
     );
-    for s in ops.iter().chain([&ing.neighbors_ro, &ing.neighbors_ingest]) {
+    for s in ops.iter().chain(extra_rows) {
         println!(
             "{:<22} {:>10.4} {:>10.4} {:>10.4} {:>12.0}",
             s.op, s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps
@@ -488,8 +902,16 @@ fn main() {
     v2v_obs::json::write_f64(&mut doc, probe.on_p99_ms);
     doc.push_str(",\n  \"probe_overhead_pct\": ");
     v2v_obs::json::write_f64(&mut doc, probe.overhead_pct);
+    doc.push_str(",\n  \"keepalive_speedup\": ");
+    v2v_obs::json::write_f64(&mut doc, sock.speedup);
+    doc.push_str(",\n  \"conn_reuse\": ");
+    v2v_obs::json::write_f64(&mut doc, sock.conn_reuse);
+    doc.push_str(",\n  \"batch_qps\": ");
+    v2v_obs::json::write_f64(&mut doc, sock.batch_qps);
+    doc.push_str(",\n  \"quantized_p99_ms\": ");
+    v2v_obs::json::write_f64(&mut doc, quantized_p99_ms);
     doc.push_str(",\n  \"ops\": {");
-    for (i, s) in ops.iter().chain([&ing.neighbors_ro, &ing.neighbors_ingest]).enumerate() {
+    for (i, s) in ops.iter().chain(extra_rows).enumerate() {
         doc.push_str(if i == 0 { "\n" } else { ",\n" });
         let _ = write!(doc, "    \"{}\": {{\"requests\": {}, \"p50_ms\": ", s.op, s.requests);
         v2v_obs::json::write_f64(&mut doc, s.p50_ms);

@@ -221,6 +221,10 @@ pub fn index(opts: &Opts) -> Result<(), String> {
     let config = v2v_serve::HnswConfig {
         m: opts.get("m", 16usize)?,
         ef_construction: opts.get("ef-construction", 200usize)?,
+        // Must match the serving config: the shard count is folded into
+        // the snapshot fingerprint, so an off-by-one here costs a rebuild
+        // at startup, never a wrong answer.
+        shards: opt_env(opts, "index-shards", "V2V_INDEX_SHARDS", 1usize)?,
         ..Default::default()
     };
     let dims = store.dims();
@@ -567,8 +571,16 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     let rebuild_index = opts.flag("rebuild-index");
     let config = v2v_serve::HnswConfig {
         ef_search: opts.get("ef-search", 64usize)?,
+        quantize: v2v_serve::QuantMode::parse(&opt_env(
+            opts,
+            "quantize",
+            "V2V_QUANTIZE",
+            "off".to_string(),
+        )?)?,
+        shards: opt_env(opts, "index-shards", "V2V_INDEX_SHARDS", 1usize)?,
         ..Default::default()
     };
+    v2v_serve::set_batch_max(opt_env(opts, "batch-max", "V2V_BATCH_MAX", 64usize)?.max(1));
     // The reloader re-reads the same paths the server booted from, so a
     // retrain + atomic rename + `kill -HUP` rolls new vectors out live.
     let build: v2v_serve::Reloader = Box::new(move || {
@@ -592,10 +604,12 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     });
     let initial = build()?;
     obs_info!(
-        "indexed {} vectors x {} dims (ef_search = {}, index {}, backing {}) in {:.2?}{}",
+        "indexed {} vectors x {} dims (ef_search = {}, quantize {}, {} shard(s), index {}, backing {}) in {:.2?}{}",
         initial.vectors().len(),
         initial.vectors().dimensions(),
         initial.index().config().ef_search,
+        initial.index().config().quantize.name(),
+        initial.index().shard_count(),
         initial.index_source(),
         initial.vectors().source(),
         initial.index().build_time(),
@@ -675,6 +689,9 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         ),
         max_queue: opts.get("max-queue", 1024usize)?,
         max_body: opts.get("max-body", 1024 * 1024usize)?,
+        // --keep-alive N = requests served per connection before a forced
+        // close (0 restores one-request-per-connection behavior).
+        keep_alive_requests: opt_env(opts, "keep-alive", "V2V_KEEP_ALIVE", 1024usize)?,
         ..Default::default()
     };
     let server = v2v_serve::Server::bind(server_config, handler)

@@ -11,6 +11,13 @@
 //! * `POST /predict` with body `{"vector": [...], "k": <k>}` — the same
 //!   vote for an out-of-sample query vector, parsed with the `v2v-obs`
 //!   JSON parser.
+//! * `POST /batch` with body `{"queries": [{"op": "neighbors", "v": 0,
+//!   "k": 5}, {"op": "similarity", "a": 0, "b": 1}, {"op": "predict",
+//!   "v": 3}, ...]}` — up to [`batch_max`] heterogeneous queries answered
+//!   in one exchange. Each query dispatches through the same handler as
+//!   its single-query endpoint, so each result body is byte-identical to
+//!   what that endpoint would have returned; per-query failures are
+//!   reported in place without failing the rest of the batch.
 //! * `GET /metricz` — the process metrics registry (request counters,
 //!   latency histogram + rotating-window quantiles, index build time) as
 //!   JSON; `?format=prometheus` returns the text exposition format for
@@ -26,15 +33,33 @@
 //! to the exact scan, which is slower but correct — rather than serving
 //! wrong neighbors or refusing to start. `/healthz` reports the mode.
 
-use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::hnsw::{HnswConfig, HnswIndex, QuantMode};
 use crate::http::{Handler, Request, Response};
 use crate::swap::Swap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use v2v_embed::Embedding;
 use v2v_graph::VertexId;
 use v2v_obs::json;
 use v2v_store::EmbeddingStore;
+
+/// Upper bound on queries accepted per `POST /batch` request. A process
+/// knob (not per-state) because it caps a transport-level abuse vector,
+/// like the body-size limit: one oversized batch can monopolize a worker
+/// thread for the whole pipeline of queries behind it.
+static BATCH_MAX: AtomicUsize = AtomicUsize::new(64);
+
+/// Sets the `/batch` per-request query cap (0 disables the endpoint).
+pub fn set_batch_max(max: usize) {
+    BATCH_MAX.store(max, Ordering::Relaxed);
+    v2v_obs::global_metrics().gauge("serve.batch.max").set(max as f64);
+}
+
+/// The current `/batch` per-request query cap.
+pub fn batch_max() -> usize {
+    BATCH_MAX.load(Ordering::Relaxed)
+}
 
 /// Where the served vectors live: an in-RAM [`Embedding`] (text/binary
 /// file loads) or an [`EmbeddingStore`] — typically an `mmap`ed V2VE v2
@@ -243,6 +268,17 @@ impl ServeState {
                 .gauge(&format!("serve.index_source.{s}"))
                 .set(f64::from(s == index_source));
         }
+        // Which candidate-scoring mode steers HNSW traversal, and how much
+        // memory its code table costs — one-hot so dashboards can label
+        // latency series without string-valued metrics.
+        let quantize = index.config().quantize;
+        for m in [QuantMode::Off, QuantMode::Int8, QuantMode::F16] {
+            metrics
+                .gauge(&format!("serve.quantize.{}", m.name()))
+                .set(f64::from(m == quantize));
+        }
+        metrics.gauge("serve.quantize.table_bytes").set(index.quant_bytes() as f64);
+        metrics.gauge("serve.index.shards").set(index.shard_count() as f64);
         v2v_obs::record_event(v2v_obs::Event::new(
             "index",
             "",
@@ -430,6 +466,7 @@ pub fn handle(state: &ServeState, req: &Request) -> Response {
         (true, "/neighbors") => Some(v2v_obs::span("serve/neighbors")),
         (true, "/similarity") => Some(v2v_obs::span("serve/similarity")),
         (true, "/predict") => Some(v2v_obs::span("serve/predict")),
+        (true, "/batch") => Some(v2v_obs::span("serve/batch")),
         (true, "/metricz") => Some(v2v_obs::span("serve/metricz")),
         (true, "/tracez") => Some(v2v_obs::span("serve/tracez")),
         _ => None,
@@ -443,11 +480,13 @@ pub fn handle(state: &ServeState, req: &Request) -> Response {
         ("GET", "/similarity") => similarity(state, req),
         ("GET", "/predict") => predict_vertex(state, req),
         ("POST", "/predict") => predict_vector(state, req),
+        ("POST", "/batch") => batch(state, req),
         ("GET", "/metricz") => metricz(req),
         ("GET", "/tracez") => tracez(),
         (
             _,
-            "/healthz" | "/neighbors" | "/similarity" | "/predict" | "/metricz" | "/tracez",
+            "/healthz" | "/neighbors" | "/similarity" | "/predict" | "/batch" | "/metricz"
+            | "/tracez",
         ) => Response::error(405, &format!("method {} not allowed here", req.method)),
         (_, path) => Response::error(404, &format!("no such route {path}")),
     };
@@ -482,7 +521,7 @@ fn healthz(state: &ServeState) -> Response {
     let mut body = String::from("{\"status\": \"ok\"");
     let _ = write!(
         body,
-        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"index_source\": \"{}\", \"backing\": \"{}\", \"degraded\": {}, \"metric\": \"{}\", \"ef_search\": {}, \"labels\": {}}}",
+        ", \"vectors\": {}, \"dimensions\": {}, \"index\": \"{}\", \"index_source\": \"{}\", \"backing\": \"{}\", \"degraded\": {}, \"metric\": \"{}\", \"ef_search\": {}, \"quantize\": \"{}\", \"shards\": {}, \"labels\": {}}}",
         state.vectors.len(),
         state.vectors.dimensions(),
         if state.index.is_graph() { "hnsw" } else { "exact" },
@@ -491,6 +530,8 @@ fn healthz(state: &ServeState) -> Response {
         state.degraded,
         state.index.config().metric.name(),
         state.index.config().ef_search,
+        state.index.config().quantize.name(),
+        state.index.shard_count(),
         state.labels.is_some(),
     );
     Response::json(200, body)
@@ -618,6 +659,13 @@ fn predict_vector(state: &ServeState, req: &Request) -> Response {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
     };
+    predict_parsed(state, &doc)
+}
+
+/// The body of `POST /predict` after JSON parsing — shared with `/batch`
+/// inline-vector queries so both paths run identical validation and
+/// produce byte-identical responses.
+fn predict_parsed(state: &ServeState, doc: &json::Value) -> Response {
     let Some(vector) = doc.get("vector").and_then(|v| v.as_array()) else {
         return Response::error(400, "body must be an object with a \"vector\" array");
     };
@@ -646,6 +694,83 @@ fn predict_vector(state: &ServeState, req: &Request) -> Response {
     match vote_labeled(state, &query, k, None) {
         Ok(label) => Response::json(200, format!("{{\"k\": {k}, \"label\": {label}}}")),
         Err(r) => r,
+    }
+}
+
+/// `POST /batch`: up to [`batch_max`] heterogeneous queries answered in
+/// one exchange — one connection round-trip and one request parse for N
+/// lookups. Each query routes through the same handler function as its
+/// single-query endpoint, so every result body is byte-identical to the
+/// standalone response; per-query failures are reported in their result
+/// slot without failing the rest of the batch.
+fn batch(state: &ServeState, req: &Request) -> Response {
+    let metrics = v2v_obs::global_metrics();
+    let max = batch_max();
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(queries) = doc.get("queries").and_then(|q| q.as_array()) else {
+        return Response::error(400, "body must be an object with a \"queries\" array");
+    };
+    if queries.len() > max {
+        metrics.counter("serve.batch.rejected").inc();
+        return Response::error(
+            400,
+            &format!("batch has {} queries, limit is {max} (see --batch-max)", queries.len()),
+        );
+    }
+    metrics.counter("serve.batch.requests").inc();
+    metrics.counter("serve.batch.queries").add(queries.len() as u64);
+
+    let mut body = String::with_capacity(64 + queries.len() * 96);
+    let _ = write!(body, "{{\"count\": {}, \"results\": [", queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let r = batch_dispatch(state, q);
+        // Every endpoint response body is a JSON object, so it embeds
+        // verbatim — the byte-level parity the ci smoke compares.
+        let _ = write!(body, "{{\"status\": {}, \"body\": {}}}", r.status, r.body);
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// Routes one batch query to the single-endpoint handler it mirrors.
+fn batch_dispatch(state: &ServeState, q: &json::Value) -> Response {
+    let Some(op) = q.get("op").and_then(|o| o.as_str()) else {
+        return Response::error(400, "each query must have a string \"op\"");
+    };
+    // GET-style parameters travel as JSON numbers; render them into a
+    // synthesized request so the endpoint's own validation (missing
+    // params, k >= 1, vertex range) applies unchanged.
+    let mut synth = Request::default();
+    for key in ["v", "k", "ef", "a", "b"] {
+        if let Some(val) = q.get(key) {
+            let Some(n) = val.as_u64() else {
+                return Response::error(
+                    400,
+                    &format!("query parameter {key} must be a non-negative integer"),
+                );
+            };
+            synth.query.push((key.to_string(), n.to_string()));
+        }
+    }
+    match op {
+        "neighbors" => neighbors(state, &synth),
+        "similarity" => similarity(state, &synth),
+        "predict" if q.get("vector").is_some() => predict_parsed(state, q),
+        "predict" => predict_vertex(state, &synth),
+        other => Response::error(
+            400,
+            &format!("unknown op {other:?} (neighbors, similarity, predict)"),
+        ),
     }
 }
 
@@ -860,6 +985,99 @@ mod tests {
         }
     }
 
+    fn post(state: &ServeState, path: &str, body: &[u8]) -> Response {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.to_vec(),
+            ..Default::default()
+        };
+        handle(state, &req)
+    }
+
+    #[test]
+    fn batch_answers_heterogeneous_queries_byte_identically() {
+        let state = state_with_labels();
+        let r = post(
+            &state,
+            "/batch",
+            br#"{"queries": [
+                {"op": "neighbors", "v": 0, "k": 2},
+                {"op": "similarity", "a": 0, "b": 1},
+                {"op": "predict", "v": 5, "k": 3},
+                {"op": "predict", "vector": [0.95, 0.02], "k": 3},
+                {"op": "neighbors", "v": 99}
+            ]}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(5));
+        let results = v.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 5);
+
+        // Each embedded result body is byte-identical to its single-query
+        // endpoint: the standalone response text appears verbatim.
+        for single in [
+            get(&state, "/neighbors?v=0&k=2"),
+            get(&state, "/similarity?a=0&b=1"),
+            get(&state, "/predict?v=5&k=3"),
+        ] {
+            assert!(
+                r.body.contains(&single.body),
+                "batch body must embed {:?} verbatim:\n{}",
+                single.body,
+                r.body
+            );
+        }
+        assert_eq!(
+            results[3].get("body").unwrap().get("label").unwrap().as_u64(),
+            Some(0),
+            "inline-vector predict votes with cluster 0"
+        );
+        // The out-of-range query fails in its slot without sinking the rest.
+        for (i, want) in [(0u64, 200u64), (1, 200), (2, 200), (3, 200), (4, 404)] {
+            assert_eq!(
+                results[i as usize].get("status").unwrap().as_u64(),
+                Some(want),
+                "slot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_validates_shape_and_enforces_cap() {
+        let state = state_with_labels();
+        assert_eq!(post(&state, "/batch", b"not json").status, 400);
+        assert_eq!(post(&state, "/batch", br#"{"nope": 1}"#).status, 400);
+
+        // Bad op / bad param types fail per-slot, not the whole batch.
+        let r = post(
+            &state,
+            "/batch",
+            br#"{"queries": [{"op": "frobnicate"}, {"op": "neighbors", "v": "zero"}, {"op": "neighbors"}]}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = json::parse(&r.body).unwrap();
+        for slot in v.get("results").unwrap().as_array().unwrap() {
+            assert_eq!(slot.get("status").unwrap().as_u64(), Some(400));
+        }
+
+        // One query past the default cap rejects the whole request (no
+        // set_batch_max here: the cap is process-global and tests share
+        // the process).
+        let mut big = String::from("{\"queries\": [");
+        for i in 0..=batch_max() {
+            if i > 0 {
+                big.push_str(", ");
+            }
+            big.push_str("{\"op\": \"similarity\", \"a\": 0, \"b\": 1}");
+        }
+        big.push_str("]}");
+        let r = post(&state, "/batch", big.as_bytes());
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("limit is"), "{}", r.body);
+    }
+
     #[test]
     fn predict_without_labels_is_400() {
         let embedding = Embedding::from_flat(2, vec![1.0, 0.0, 0.0, 1.0]);
@@ -890,6 +1108,8 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(handle(&state, &req).status, 405);
+        let req = Request { path: "/batch".into(), ..Default::default() };
+        assert_eq!(handle(&state, &req).status, 405, "GET /batch is not a thing");
     }
 
     #[test]

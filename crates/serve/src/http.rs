@@ -3,11 +3,20 @@
 //!
 //! Deliberately minimal — exactly what serving JSON lookups needs and no
 //! more: a nonblocking accept loop feeding a fixed pool of worker threads
-//! through a `Mutex<VecDeque>` + `Condvar` queue, one request per
-//! connection (`Connection: close`), and graceful shutdown: the accept
+//! through a `Mutex<VecDeque>` + `Condvar` queue, HTTP/1.1 keep-alive
+//! with pipelining on each connection, and graceful shutdown: the accept
 //! loop polls an atomic flag (set programmatically or by SIGINT via
 //! [`crate::signal`]), stops accepting, drains the queue, and joins the
 //! workers so in-flight responses complete.
+//!
+//! The connection model is the serving fast path: a connection is reused
+//! for up to [`ServerConfig::keep_alive_requests`] requests (0 restores
+//! the old close-per-request behavior), bytes past one request's body are
+//! carried over as the start of the next (pipelining), and responses to
+//! already-buffered pipelined requests are batched into one write. A
+//! client `Connection: close` (or HTTP/1.0 without
+//! `Connection: keep-alive`) closes after the response; an idle kept-alive
+//! connection is closed quietly after [`ServerConfig::idle_timeout`].
 //!
 //! Overload and abuse are handled at the edges, not by falling over:
 //!
@@ -60,6 +69,13 @@ pub struct ServerConfig {
     pub max_queue: usize,
     /// Max request body bytes; larger declared or actual bodies get `413`.
     pub max_body: usize,
+    /// Requests served on one connection before the server closes it;
+    /// `0` disables keep-alive entirely (one request per connection).
+    pub keep_alive_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it (quietly — an idle close is a normal
+    /// end of connection, not a `408`).
+    pub idle_timeout: Duration,
     /// Whether the accept loop also honors process signals
     /// ([`crate::signal::requested`]); tests turn this off.
     pub watch_signals: bool,
@@ -74,6 +90,8 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             max_queue: 1024,
             max_body: 1024 * 1024,
+            keep_alive_requests: 1024,
+            idle_timeout: Duration::from_secs(5),
             watch_signals: true,
         }
     }
@@ -93,6 +111,10 @@ pub struct Request {
     /// Correlation ID: the validated `X-Request-Id` header if the client
     /// sent one, a generated ID otherwise. Always echoed on the response.
     pub request_id: String,
+    /// Whether the client allows connection reuse after this request
+    /// (HTTP/1.1 without `Connection: close`, or HTTP/1.0 with
+    /// `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -249,11 +271,16 @@ impl Server {
             ready: Condvar::new(),
         });
 
+        // Set when the accept loop exits so workers parked in keep-alive
+        // idle waits close their connections promptly instead of holding
+        // the drain open for a full idle timeout.
+        let stopping = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let queue = queue.clone();
                 let handler = self.handler.clone();
                 let config = self.config.clone();
+                let stopping = stopping.clone();
                 std::thread::spawn(move || loop {
                     let stream = {
                         let mut guard = queue.jobs.lock().unwrap();
@@ -268,7 +295,7 @@ impl Server {
                         }
                     };
                     match stream {
-                        Some(stream) => handle_connection(stream, &handler, &config),
+                        Some(stream) => handle_connection(stream, &handler, &config, &stopping),
                         None => return,
                     }
                 })
@@ -276,6 +303,14 @@ impl Server {
             .collect();
 
         let metrics = v2v_obs::global_metrics();
+        // Connection-model knobs as gauges, so a /metricz scrape says how
+        // the fast path is configured next to how it is behaving.
+        metrics
+            .gauge("serve.conn.max_requests")
+            .set(self.config.keep_alive_requests as f64);
+        metrics
+            .gauge("serve.conn.idle_timeout_ms")
+            .set(self.config.idle_timeout.as_millis() as f64);
         // Numbers each shed so adaptive Retry-After jitter varies client
         // to client instead of synchronizing their retries.
         let mut shed_salt = 0u64;
@@ -311,8 +346,10 @@ impl Server {
             }
         }
 
-        // Graceful drain: no new accepts; workers finish queued
+        // Graceful drain: no new accepts; idle kept-alive connections
+        // close at the next wait slice; workers finish queued
         // connections, then see `closing` and exit.
+        stopping.store(true, Ordering::SeqCst);
         {
             let mut guard = queue.jobs.lock().unwrap();
             guard.1 = true;
@@ -387,129 +424,245 @@ fn drain_before_close(stream: &mut TcpStream, budget: Duration) {
     }
 }
 
-/// Serializes `response` onto `stream` (best-effort; the client may be
-/// gone).
-fn write_response(stream: &mut TcpStream, response: &Response) {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+/// Serializes `response` into `out`; `close` picks the `Connection`
+/// header. The caller flushes — under pipelining, responses to
+/// already-buffered requests batch into one write.
+fn encode_response(out: &mut Vec<u8>, response: &Response, close: bool) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         response.status_text(),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
     );
+    out.extend_from_slice(head.as_bytes());
     for (name, value) in &response.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(response.body.as_bytes());
+}
+
+/// Serializes a final `response` onto `stream` immediately (best-effort;
+/// the client may be gone).
+fn write_response(stream: &mut TcpStream, response: &Response) {
+    let mut out = Vec::with_capacity(256 + response.body.len());
+    encode_response(&mut out, response, true);
+    let _ = stream.write_all(&out);
     let _ = stream.flush();
 }
 
-/// Serves one request on `stream` and closes it, recording metrics, the
-/// access log, and the flight recorder — all keyed by the request ID.
-fn handle_connection(stream: TcpStream, handler: &Handler, config: &ServerConfig) {
+/// Writes and clears any batched response bytes. `false` means the write
+/// failed (client gone, or the write timeout expired mid-response) — the
+/// stream may hold a truncated response, so the caller must close the
+/// connection rather than serve another request on it.
+fn flush_out(stream: &mut TcpStream, out: &mut Vec<u8>) -> bool {
+    if out.is_empty() {
+        return true;
+    }
+    let ok = stream.write_all(out).and_then(|()| stream.flush()).is_ok();
+    out.clear();
+    ok
+}
+
+/// Per-connection reusable state under keep-alive: `carry` holds bytes
+/// past the request being parsed (the start of the next pipelined
+/// request), `out` batches response bytes not yet written.
+struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+    out: Vec<u8>,
+}
+
+/// Serves requests on `stream` until the connection ends, recording
+/// metrics, the access log, and the flight recorder — all keyed by each
+/// request's own ID (trace context, latency windows, and log lines are
+/// request-scoped, not connection-scoped). The connection closes after
+/// [`ServerConfig::keep_alive_requests`] requests, on client
+/// `Connection: close`, on a request-framing error (the byte stream can
+/// no longer be trusted), on a handler panic, or after
+/// [`ServerConfig::idle_timeout`] with no next request.
+fn handle_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    config: &ServerConfig,
+    stopping: &AtomicBool,
+) {
     let metrics = v2v_obs::global_metrics();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.read_timeout));
-    let mut stream = stream;
+    let mut conn = Conn {
+        stream,
+        carry: Vec::with_capacity(512),
+        out: Vec::with_capacity(1024),
+    };
+    metrics.counter("serve.conn.opened").inc();
+    let max_requests = config.keep_alive_requests;
+    let mut served = 0usize;
+    let mut drain = false;
 
-    let started = Instant::now();
-    let deadline = started + config.request_deadline;
-    let mut request_unread = false;
-    let mut method = String::new();
-    let mut path = String::new();
-    let mut trace = None;
-    let response = match read_request(&mut stream, deadline, config.max_body) {
-        Ok(Some(mut request)) => {
-            // Adopt the client's X-Request-Id or mint one; the handler
-            // sees it on the request, the client gets it echoed back.
-            let ctx = match request.header("x-request-id") {
-                Some(supplied) => v2v_obs::TraceCtx::from_supplied(supplied),
-                None => v2v_obs::TraceCtx::new(),
-            };
-            request.request_id = ctx.request_id;
-            method = request.method.clone();
-            path = request.path.clone();
-            trace = Some(request.request_id.clone());
-            metrics.counter("serve.requests").inc();
-            // A panicking handler must cost one request, not a worker
-            // thread: catch it, count it, answer 500. The handler only
-            // sees `&Request` and internally-shared state, so observing
-            // it mid-panic here cannot leave broken invariants behind.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
-            {
-                Ok(response) => response,
-                Err(_) => {
-                    metrics.counter("serve.panics").inc();
-                    v2v_obs::record_event(
-                        v2v_obs::Event::new(
-                            "panic",
-                            &request.request_id,
-                            &format!("handler panicked on {} {}", request.method, request.path),
-                        )
-                        .with_status(500),
-                    );
-                    Response::error(500, "handler panicked; see server logs")
+    loop {
+        if served > 0 {
+            if conn.carry.is_empty() {
+                // Idle between requests: flush batched responses, then
+                // wait up to `idle_timeout` for the next request's first
+                // bytes — in short slices, so server shutdown can close
+                // idle connections promptly. EOF, the idle deadline, or
+                // shutdown here is a normal close, not a 408.
+                if !flush_out(&mut conn.stream, &mut conn.out) {
+                    break;
+                }
+                let idle_deadline = Instant::now() + config.idle_timeout;
+                let slice =
+                    config.idle_timeout.min(Duration::from_millis(100)).max(Duration::from_millis(1));
+                let _ = conn.stream.set_read_timeout(Some(slice));
+                let mut got = 0usize;
+                while !stopping.load(Ordering::SeqCst) {
+                    let mut chunk = [0u8; 1024];
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            conn.carry.extend_from_slice(&chunk[..n]);
+                            got = n;
+                            break;
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            if Instant::now() >= idle_deadline {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if got == 0 {
+                    break;
+                }
+                let _ = conn.stream.set_read_timeout(Some(config.read_timeout));
+            } else {
+                // The next request (or its start) arrived before the
+                // previous response was written: true pipelining.
+                metrics.counter("serve.conn.pipelined").inc();
+            }
+            metrics.counter("serve.conn.reused").inc();
+        }
+
+        let started = Instant::now();
+        let deadline = started + config.request_deadline;
+        // Closing is the default only when this request exhausts the
+        // connection's budget (or keep-alive is off entirely).
+        let mut close = max_requests == 0 || served + 1 >= max_requests.max(1);
+        let mut method = String::new();
+        let mut path = String::new();
+        let mut trace = None;
+        let response = match read_request(&mut conn, deadline, config.max_body) {
+            Ok(Some(mut request)) => {
+                if !request.keep_alive {
+                    close = true;
+                }
+                // Adopt the client's X-Request-Id or mint one; the handler
+                // sees it on the request, the client gets it echoed back.
+                let ctx = match request.header("x-request-id") {
+                    Some(supplied) => v2v_obs::TraceCtx::from_supplied(supplied),
+                    None => v2v_obs::TraceCtx::new(),
+                };
+                request.request_id = ctx.request_id;
+                method = request.method.clone();
+                path = request.path.clone();
+                trace = Some(request.request_id.clone());
+                metrics.counter("serve.requests").inc();
+                // A panicking handler must cost one request, not a worker
+                // thread: catch it, count it, answer 500. The handler only
+                // sees `&Request` and internally-shared state, so observing
+                // it mid-panic here cannot leave broken invariants behind.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
+                {
+                    Ok(response) => response,
+                    Err(_) => {
+                        metrics.counter("serve.panics").inc();
+                        close = true;
+                        v2v_obs::record_event(
+                            v2v_obs::Event::new(
+                                "panic",
+                                &request.request_id,
+                                &format!("handler panicked on {} {}", request.method, request.path),
+                            )
+                            .with_status(500),
+                        );
+                        Response::error(500, "handler panicked; see server logs")
+                    }
                 }
             }
+            Ok(None) => break, // client closed without starting a request
+            Err(e) => {
+                metrics.counter("serve.requests").inc();
+                close = true;
+                drain = true;
+                Response::error(e.status, &e.message)
+            }
+        };
+        let request_id = trace.unwrap_or_else(v2v_obs::gen_request_id);
+        let response = response.with_header("X-Request-Id", request_id.clone());
+        if response.status >= 400 {
+            metrics.counter("serve.errors").inc();
         }
-        Ok(None) => return, // client connected and sent nothing
-        Err(e) => {
-            metrics.counter("serve.requests").inc();
-            request_unread = true;
-            Response::error(e.status, &e.message)
-        }
-    };
-    let request_id = trace.unwrap_or_else(v2v_obs::gen_request_id);
-    let response = response.with_header("X-Request-Id", request_id.clone());
-    if response.status >= 400 {
-        metrics.counter("serve.errors").inc();
-    }
-    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
-    metrics
-        .histogram("serve.latency_ms", &latency_bounds())
-        .record(latency_ms);
-    // Live tail quantiles: overall plus per endpoint, over a rotating
-    // window, so `/metricz` shows "now" and not "since boot".
-    metrics.windowed("serve.latency.all", &latency_bounds()).record(latency_ms);
-    if let Some(endpoint) = endpoint_name(&path) {
+        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
         metrics
-            .windowed(&format!("serve.latency.{endpoint}"), &latency_bounds())
+            .histogram("serve.latency_ms", &latency_bounds())
             .record(latency_ms);
-    }
-    v2v_obs::record_event(
-        v2v_obs::Event::new(
-            "request",
-            &request_id,
-            &format!("{method} {path}"),
-        )
-        .with_status(response.status)
-        .with_latency_ms(latency_ms),
-    );
-    if latency_ms >= slow_request_ms() {
-        // Outliers get the full span tree so "what was slow" is answerable
-        // from the log alone.
+        // Live tail quantiles: overall plus per endpoint, over a rotating
+        // window, so `/metricz` shows "now" and not "since boot".
+        metrics.windowed("serve.latency.all", &latency_bounds()).record(latency_ms);
+        if let Some(endpoint) = endpoint_name(&path) {
+            metrics
+                .windowed(&format!("serve.latency.{endpoint}"), &latency_bounds())
+                .record(latency_ms);
+        }
         v2v_obs::record_event(
-            v2v_obs::Event::new("slow", &request_id, &format!("{method} {path}"))
-                .with_status(response.status)
-                .with_latency_ms(latency_ms),
+            v2v_obs::Event::new(
+                "request",
+                &request_id,
+                &format!("{method} {path}"),
+            )
+            .with_status(response.status)
+            .with_latency_ms(latency_ms),
         );
-        v2v_obs::obs_info!(
-            "slow request [{request_id}] {method} {path} took {latency_ms:.1}ms; spans:\n{}",
-            v2v_obs::Telemetry::capture_global().summary()
-        );
-    }
-    access_log(&request_id, &method, &path, response.status, response.body.len(), latency_ms);
+        if latency_ms >= slow_request_ms() {
+            // Outliers get the full span tree so "what was slow" is
+            // answerable from the log alone.
+            v2v_obs::record_event(
+                v2v_obs::Event::new("slow", &request_id, &format!("{method} {path}"))
+                    .with_status(response.status)
+                    .with_latency_ms(latency_ms),
+            );
+            v2v_obs::obs_info!(
+                "slow request [{request_id}] {method} {path} took {latency_ms:.1}ms; spans:\n{}",
+                v2v_obs::Telemetry::capture_global().summary()
+            );
+        }
+        access_log(&request_id, &method, &path, response.status, response.body.len(), latency_ms);
 
-    write_response(&mut stream, &response);
-    if request_unread {
-        // The request was rejected before it was fully read; see
+        encode_response(&mut conn.out, &response, close);
+        served += 1;
+        if close {
+            break;
+        }
+        // No explicit flush: if `carry` already holds the next request the
+        // response batches with its answer; otherwise the idle wait (or
+        // the next blocking read inside `read_request`) flushes first.
+    }
+    let _ = flush_out(&mut conn.stream, &mut conn.out);
+    metrics.counter("serve.conn.closed").inc();
+    if drain {
+        // The last request was rejected before it was fully read; see
         // `drain_before_close` for why closing now would eat the response.
-        drain_before_close(&mut stream, Duration::from_secs(1));
+        drain_before_close(&mut conn.stream, Duration::from_secs(1));
     }
 }
 
@@ -591,14 +744,23 @@ const MAX_HEAD: usize = 16 * 1024;
 
 /// Maps one socket read onto the typed request errors, honoring
 /// `deadline`: a timed-out read (or one that lands after the deadline)
-/// is a 408, not a 400. Returns the bytes read (0 = orderly EOF).
+/// is a 408, not a 400. Returns the bytes read (0 = orderly EOF). Any
+/// batched pipelined responses are flushed first — a blocking read is the
+/// last moment they can be delivered without risking a client that waits
+/// for its answers before sending more.
 fn read_some(
     stream: &mut TcpStream,
+    out: &mut Vec<u8>,
     chunk: &mut [u8],
     deadline: Instant,
 ) -> Result<usize, RequestError> {
     if Instant::now() >= deadline {
         return Err(RequestError::new(408, "request deadline exceeded"));
+    }
+    if !flush_out(stream, out) {
+        // A response write already failed; the stream can't be trusted to
+        // carry another response, so fail the framing and close.
+        return Err(RequestError::bad("write error flushing responses"));
     }
     match stream.read(chunk) {
         Ok(n) => Ok(n),
@@ -612,44 +774,59 @@ fn read_some(
     }
 }
 
-/// Reads and parses one request; `Ok(None)` on immediate EOF. Tolerates
-/// arbitrary TCP fragmentation (headers split across any byte boundary)
-/// and enforces the head limit (431), the body limit (413, checked
-/// against `Content-Length` before buffering), and `deadline` (408).
+/// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; a `Connection`
+/// header naming the other token flips the default.
+fn wants_keep_alive(version: &str, connection: Option<&str>) -> bool {
+    let tokens = connection.unwrap_or("").to_ascii_lowercase();
+    let has = |token: &str| tokens.split(',').any(|t| t.trim() == token);
+    if version == "HTTP/1.0" {
+        has("keep-alive")
+    } else {
+        !has("close")
+    }
+}
+
+/// Reads and parses one request out of the connection's carry buffer,
+/// refilling from the socket as needed; bytes past this request's body
+/// stay in `conn.carry` as the start of the next pipelined request.
+/// `Ok(None)` on EOF before any byte of a request. Tolerates arbitrary
+/// TCP fragmentation (headers split across any byte boundary) and
+/// enforces the head limit (431), the body limit (413, checked against
+/// `Content-Length` before buffering), and `deadline` (408).
 fn read_request(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     deadline: Instant,
     max_body: usize,
 ) -> Result<Option<Request>, RequestError> {
     // Read until the blank line ending the headers.
-    let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(&conn.carry) {
             break pos;
         }
-        if buf.len() > MAX_HEAD {
+        if conn.carry.len() > MAX_HEAD {
             return Err(RequestError::new(431, "request head too large"));
         }
-        match read_some(stream, &mut chunk, deadline)? {
+        match read_some(&mut conn.stream, &mut conn.out, &mut chunk, deadline)? {
             0 => {
-                if buf.is_empty() {
+                if conn.carry.is_empty() {
                     return Ok(None);
                 }
                 return Err(RequestError::bad("connection closed mid-request"));
             }
-            n => buf.extend_from_slice(&chunk[..n]),
+            n => conn.carry.extend_from_slice(&chunk[..n]),
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head = std::str::from_utf8(&conn.carry[..head_end])
         .map_err(|_| RequestError::bad("non-UTF-8 request head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default().to_string();
     let target = parts.next().ok_or_else(|| RequestError::bad("malformed request line"))?;
-    if method.is_empty() || !parts.next().unwrap_or_default().starts_with("HTTP/") {
+    let version = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || !version.starts_with("HTTP/") {
         return Err(RequestError::bad("malformed request line"));
     }
 
@@ -672,29 +849,39 @@ fn read_request(
             format!("request body of {content_length} bytes exceeds the {max_body} byte limit"),
         ));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
 
-    // Body: whatever followed the head in `buf`, plus the remainder.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        match read_some(stream, &mut chunk, deadline)? {
+    // Body: the `content_length` bytes after the head; anything beyond
+    // them is the next pipelined request and stays in the carry buffer.
+    let body_start = head_end + 4;
+    while conn.carry.len() < body_start + content_length {
+        match read_some(&mut conn.stream, &mut conn.out, &mut chunk, deadline)? {
             0 => return Err(RequestError::bad("connection closed mid-body")),
-            n => body.extend_from_slice(&chunk[..n]),
+            n => conn.carry.extend_from_slice(&chunk[..n]),
         }
     }
-    body.truncate(content_length);
+    let body = conn.carry[body_start..body_start + content_length].to_vec();
+    conn.carry.drain(..body_start + content_length);
 
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, parse_query(q)),
-        None => (target, Vec::new()),
-    };
+    let keep_alive = wants_keep_alive(
+        &version,
+        headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("connection"))
+            .map(|(_, v)| v.as_str()),
+    );
     Ok(Some(Request {
         method,
-        path: percent_decode(path),
+        path: percent_decode(&path),
         query,
         headers,
         body,
         // Populated by `handle_connection` once the trace context exists.
         request_id: String::new(),
+        keep_alive,
     }))
 }
 
@@ -793,6 +980,32 @@ mod tests {
         assert_eq!(req.header("x-request-id"), Some("abc"));
         assert_eq!(req.header("X-REQUEST-ID"), Some("abc"));
         assert_eq!(req.header("x-missing"), None);
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_http_defaults() {
+        // HTTP/1.1: keep-alive unless the client says close.
+        assert!(wants_keep_alive("HTTP/1.1", None));
+        assert!(wants_keep_alive("HTTP/1.1", Some("keep-alive")));
+        assert!(!wants_keep_alive("HTTP/1.1", Some("close")));
+        assert!(!wants_keep_alive("HTTP/1.1", Some("Close")));
+        assert!(!wants_keep_alive("HTTP/1.1", Some("TE, close")));
+        // HTTP/1.0: close unless the client opts in.
+        assert!(!wants_keep_alive("HTTP/1.0", None));
+        assert!(wants_keep_alive("HTTP/1.0", Some("Keep-Alive")));
+    }
+
+    #[test]
+    fn encoded_response_names_its_connection_disposition() {
+        let r = Response::json(200, "{}");
+        let mut keep = Vec::new();
+        encode_response(&mut keep, &r, false);
+        assert!(String::from_utf8(keep).unwrap().contains("Connection: keep-alive\r\n"));
+        let mut close = Vec::new();
+        encode_response(&mut close, &r, true);
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(close.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -475,6 +475,7 @@ mod tests {
             headers: Vec::new(),
             body: Vec::new(),
             request_id: "q-test".into(),
+            keep_alive: true,
         };
         let resp = wrapped(&req);
         assert_eq!(resp.status, 200);

@@ -36,8 +36,8 @@ fn access_log_records_request_ids_and_latencies() {
         stream.read_to_string(&mut raw).unwrap();
         raw
     };
-    send("GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-1\r\n\r\n".into());
-    send("GET /nowhere HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-2\r\n\r\n".into());
+    send("GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-1\r\nConnection: close\r\n\r\n".into());
+    send("GET /nowhere HTTP/1.1\r\nHost: t\r\nX-Request-Id: log-trace-2\r\nConnection: close\r\n\r\n".into());
 
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
     running.join().unwrap().unwrap();

@@ -24,11 +24,17 @@ fn test_state() -> ServeState {
     ServeState::new(test_embedding(0), HnswConfig::default(), None).unwrap()
 }
 
-/// One raw exchange; returns (status, raw headers, body).
+/// One raw exchange; returns (status, raw headers, body). Injects
+/// `Connection: close` so EOF frames the response (connection reuse is
+/// covered by the keep-alive tests in `tracing.rs`).
 fn raw_roundtrip(addr: SocketAddr, request: &[u8]) -> (u16, String, String) {
+    let mut request = request.to_vec();
+    if let Some(pos) = request.windows(4).position(|w| w == b"\r\n\r\n") {
+        request.splice(pos + 2..pos + 2, b"Connection: close\r\n".iter().copied());
+    }
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
-    stream.write_all(request).unwrap();
+    stream.write_all(&request).unwrap();
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
     let status: u16 = raw
@@ -231,7 +237,7 @@ fn split_headers_oversized_bodies_and_huge_heads() {
     {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
-        for &b in b"GET /healthz?v=1 HTTP/1.1\r\nHost: t\r\nX-Pad: yes\r\n\r\n".iter() {
+        for &b in b"GET /healthz?v=1 HTTP/1.1\r\nHost: t\r\nX-Pad: yes\r\nConnection: close\r\n\r\n".iter() {
             stream.write_all(&[b]).unwrap();
             stream.flush().unwrap();
             std::thread::sleep(Duration::from_millis(1));

@@ -20,8 +20,11 @@ fn test_state() -> Arc<ServeState> {
     Arc::new(ServeState::new(embedding, HnswConfig::default(), Some(labels)).unwrap())
 }
 
-/// One raw HTTP exchange; returns (status, parsed JSON body).
+/// One raw HTTP exchange; returns (status, parsed JSON body). Asks for
+/// `Connection: close` so EOF frames the response (keep-alive reuse is
+/// covered in `tracing.rs`).
 fn roundtrip(addr: std::net::SocketAddr, request: &str) -> (u16, json::Value) {
+    let request = request.replacen("\r\n\r\n", "\r\nConnection: close\r\n\r\n", 1);
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     stream.write_all(request.as_bytes()).unwrap();

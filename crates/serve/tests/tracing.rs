@@ -19,11 +19,14 @@ fn test_state() -> Arc<ServeState> {
     Arc::new(ServeState::new(embedding, HnswConfig::default(), None).unwrap())
 }
 
-/// One raw exchange; returns (status, headers lowercased, body).
+/// One raw exchange; returns (status, headers lowercased, body). Asks
+/// for `Connection: close` so EOF frames the response (the keep-alive
+/// path is exercised by the pipelining test below).
 fn roundtrip(
     addr: std::net::SocketAddr,
     request: &str,
 ) -> (u16, Vec<(String, String)>, String) {
+    let request = request.replacen("\r\n\r\n", "\r\nConnection: close\r\n\r\n", 1);
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     stream.write_all(request.as_bytes()).unwrap();
@@ -38,6 +41,34 @@ fn roundtrip(
         .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
         .collect();
     (status, headers, body.to_string())
+}
+
+/// Splits a byte stream of back-to-back HTTP responses using
+/// `Content-Length` framing (keep-alive responses have no EOF to frame
+/// them); returns (status, headers lowercased, body) per response.
+fn split_responses(raw: &str) -> Vec<(u16, Vec<(String, String)>, String)> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while !rest.is_empty() {
+        let (head, after) = rest.split_once("\r\n\r\n").expect("response head");
+        let status: u16 =
+            head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+        let headers: Vec<(String, String)> = head
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_once(": "))
+            .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+            .collect();
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("content-length");
+        let body = &after[..len];
+        out.push((status, headers, body.to_string()));
+        rest = &after[len..];
+    }
+    out
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -102,6 +133,63 @@ fn request_ids_thread_through_responses_and_tracez() {
     let errored = find("err-trace-7");
     assert_eq!(errored.get("status").unwrap().as_u64(), Some(404));
     find(&generated);
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    running.join().unwrap().unwrap();
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses_with_request_scoped_ids() {
+    let config = ServerConfig { threads: 2, watch_signals: false, ..Default::default() };
+    let server = Server::bind(config, test_state().into_handler()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let running = std::thread::spawn(move || server.run());
+
+    // Three requests written in one burst on one connection: two with
+    // supplied IDs, one without. The last asks for close so EOF frames
+    // the whole exchange.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let burst = concat!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: pipe-a\r\n\r\n",
+        "GET /neighbors?v=0&k=2 HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /similarity?a=0&b=1 HTTP/1.1\r\nHost: t\r\n",
+        "X-Request-Id: pipe-c\r\nConnection: close\r\n\r\n",
+    );
+    stream.write_all(burst.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read all responses");
+    let responses = split_responses(&raw);
+    assert_eq!(responses.len(), 3, "expected 3 framed responses, got:\n{raw}");
+
+    // In order, none dropped, each answering its own request.
+    assert!(responses[0].2.contains("\"status\": \"ok\""), "healthz first");
+    assert!(responses[1].2.contains("\"neighbors\""), "neighbors second");
+    assert!(responses[2].2.contains("\"cosine\""), "similarity third");
+    for (status, _, _) in &responses {
+        assert_eq!(*status, 200);
+    }
+
+    // X-Request-Id is regenerated per pipelined request, not per
+    // connection: supplied IDs echo on exactly their own response, the
+    // middle one gets a fresh generated ID.
+    assert_eq!(header(&responses[0].1, "x-request-id"), Some("pipe-a"));
+    let generated = header(&responses[1].1, "x-request-id").expect("generated ID");
+    assert_eq!(generated.len(), 16);
+    assert!(generated.bytes().all(|b| b.is_ascii_hexdigit()));
+    assert_eq!(header(&responses[2].1, "x-request-id"), Some("pipe-c"));
+
+    // Connection disposition: kept alive until the close request.
+    assert_eq!(header(&responses[0].1, "connection"), Some("keep-alive"));
+    assert_eq!(header(&responses[1].1, "connection"), Some("keep-alive"));
+    assert_eq!(header(&responses[2].1, "connection"), Some("close"));
+
+    // The reuse shows up on /metricz, and per-request accounting kept
+    // counting one line per request under connection reuse.
+    let (_, _, metricz) = roundtrip(addr, "GET /metricz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(metricz.contains("\"serve.conn.pipelined\""), "no pipelined counter:\n{metricz}");
+    assert!(metricz.contains("\"serve.conn.reused\""), "no reused counter:\n{metricz}");
 
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
     running.join().unwrap().unwrap();

@@ -302,7 +302,19 @@ curl -sf "http://$addr/metricz" | grep -q '"quality.recall_at_10": ' \
 curl -sf "http://$addr/metricz" | grep -q '"quality.retrain_advised": 0.0' \
   || { echo "quality.retrain_advised not initialized to 0" >&2; exit 1; }
 # The build-info gauge identifies the binary on every Prometheus scrape.
-curl -sf "http://$addr/metricz?format=prometheus" | grep -q '^v2v_build_info_version_' \
+# Scrape into a file and allow a couple of retries: under pipefail a
+# transient curl hiccup on this loaded box would otherwise fail the gate
+# even when the exposition is fine.
+build_info_ok=""
+for _ in 1 2 3; do
+  if curl -sf "http://$addr/metricz?format=prometheus" > "$smoke_dir/prom.txt" \
+    && grep -q '^v2v_build_info_version_' "$smoke_dir/prom.txt"; then
+    build_info_ok=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$build_info_ok" ] \
   || { echo "no build_info gauge in the Prometheus exposition" >&2; exit 1; }
 # A fresh WAL is one open segment of just its 16-byte header.
 curl -sf "http://$addr/healthz" | grep -q '"ingest.wal.segments": 1' \
@@ -327,6 +339,113 @@ curl -sf "http://$addr/qualityz" | grep -vq '"swaps_observed": 0,' \
   || { echo "/qualityz never observed the refresh swap" >&2; exit 1; }
 kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
 echo "quality sentinel smoke test: ok"
+
+# --- Serving fast-path smoke: pipelining, /batch, quantized + sharded -------
+serve_fast() {
+  : > "$smoke_dir/fast-server.log"
+  ./target/release/v2v serve "$@" --port 0 \
+    > "$smoke_dir/fast-server.log" 2> "$smoke_dir/fast-server.err" &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/fast-server.log")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$smoke_dir/fast-server.err" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "fast-path server never reported its address" >&2; exit 1; }
+}
+
+serve_fast --embedding "$smoke_dir/emb.txt"
+host=${addr%:*}; port=${addr##*:}
+
+# Pipelining: three requests written back-to-back on one connection must
+# all answer, in request order, each byte-identical to the same request
+# on a fresh connection.
+for v in 0 1 2; do
+  curl -sf "http://$addr/neighbors?v=$v&k=3" > "$smoke_dir/fresh-$v.json"
+done
+exec 9<>"/dev/tcp/$host/$port"
+printf 'GET /neighbors?v=0&k=3 HTTP/1.1\r\n\r\nGET /neighbors?v=1&k=3 HTTP/1.1\r\n\r\nGET /neighbors?v=2&k=3 HTTP/1.1\r\nConnection: close\r\n\r\n' >&9
+cat <&9 > "$smoke_dir/pipelined.raw"
+exec 9>&- 9<&- || true
+[ "$(grep -ao 'HTTP/1.1 200' "$smoke_dir/pipelined.raw" | wc -l)" = 3 ] \
+  || { echo "pipelined connection dropped responses" >&2; exit 1; }
+for v in 0 1 2; do
+  grep -aqF "$(cat "$smoke_dir/fresh-$v.json")" "$smoke_dir/pipelined.raw" \
+    || { echo "pipelined response for v=$v is not byte-identical to a fresh connection" >&2; exit 1; }
+done
+[ "$(grep -ao '"vertex": [0-9]*, "k"' "$smoke_dir/pipelined.raw" | tr -dc '012')" = "012" ] \
+  || { echo "pipelined responses came back out of order" >&2; exit 1; }
+conn_reused=$(curl -sf "http://$addr/metricz" \
+  | sed -n 's/.*"serve.conn.reused": \([0-9]*\).*/\1/p' | head -1)
+[ -n "$conn_reused" ] && [ "$conn_reused" -ge 2 ] \
+  || { echo "serve.conn.reused did not count the kept-alive requests" >&2; exit 1; }
+
+# /batch: each embedded result must be byte-identical to the single
+# endpoint's response for the same query.
+n0=$(curl -sf "http://$addr/neighbors?v=0&k=3")
+s01=$(curl -sf "http://$addr/similarity?a=0&b=1")
+batch=$(curl -sf -X POST \
+  --data '{"queries": [{"op": "neighbors", "v": 0, "k": 3}, {"op": "similarity", "a": 0, "b": 1}]}' \
+  "http://$addr/batch")
+printf '%s' "$batch" | grep -q '"count": 2' \
+  || { echo "/batch did not answer both queries" >&2; exit 1; }
+printf '%s' "$batch" | grep -qF "$n0" \
+  || { echo "/batch neighbors result differs from /neighbors" >&2; exit 1; }
+printf '%s' "$batch" | grep -qF "$s01" \
+  || { echo "/batch similarity result differs from /similarity" >&2; exit 1; }
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+echo "pipelining + batch smoke test: ok"
+
+# Sharded + quantized serving from a snapshot: a store big enough to
+# clear the graph threshold (512), indexed into 2 shards, must survive
+# kill -9 + restart from the sharded snapshot with identical answers.
+seq 0 1199 | awk '{ print $1, ($1 + 1) % 1200; print $1, ($1 * 17 + 5) % 1200 }' \
+  > "$smoke_dir/edges-big.txt"
+./target/release/v2v walks --input "$smoke_dir/edges-big.txt" --output "$smoke_dir/walks-big" \
+  --walks 4 --length 20 --threads 1 --seed 3 --shard-mb 1 2> /dev/null
+./target/release/v2v embed --corpus "$smoke_dir/walks-big" --output "$smoke_dir/big.v2s" \
+  --dims 16 --epochs 1 --threads 1 --seed 3 2> /dev/null
+./target/release/v2v index --store "$smoke_dir/big.v2s" --index-shards 2 2> /dev/null
+
+serve_fast --embedding "$smoke_dir/big.v2s" --index-shards 2 --quantize int8
+curl -sf "http://$addr/healthz" | grep -q '"index_source": "snapshot"' \
+  || { echo "sharded server did not boot from the sharded snapshot" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '"shards": 2' \
+  || { echo "healthz does not report 2 shards" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '"quantize": "int8"' \
+  || { echo "healthz does not report int8 quantization" >&2; exit 1; }
+for v in 0 300 900; do
+  curl -sf "http://$addr/neighbors?v=$v&k=5" > "$smoke_dir/sharded-$v.json"
+done
+kill -9 "$server_pid"; wait "$server_pid" 2>/dev/null || true; server_pid=""
+
+serve_fast --embedding "$smoke_dir/big.v2s" --index-shards 2 --quantize int8
+curl -sf "http://$addr/healthz" | grep -q '"index_source": "snapshot"' \
+  || { echo "restart after kill -9 fell back to a rebuild" >&2; exit 1; }
+for v in 0 300 900; do
+  curl -sf "http://$addr/neighbors?v=$v&k=5" | cmp -s - "$smoke_dir/sharded-$v.json" \
+    || { echo "sharded answers changed across kill -9 + restart (v=$v)" >&2; exit 1; }
+done
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+
+# shards=1 ≡ unsharded: after re-indexing without shards, an explicit
+# --index-shards 1 serve and a flagless serve must both accept the
+# snapshot (0 and 1 normalize to one fingerprint) and agree byte-for-byte.
+./target/release/v2v index --store "$smoke_dir/big.v2s" 2> /dev/null
+serve_fast --embedding "$smoke_dir/big.v2s" --index-shards 1
+curl -sf "http://$addr/healthz" | grep -q '"index_source": "snapshot"' \
+  || { echo "--index-shards 1 refused the unsharded snapshot" >&2; exit 1; }
+curl -sf "http://$addr/neighbors?v=0&k=5" > "$smoke_dir/unsharded-0.json"
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+serve_fast --embedding "$smoke_dir/big.v2s"
+curl -sf "http://$addr/healthz" | grep -q '"index_source": "snapshot"' \
+  || { echo "default serve refused the unsharded snapshot" >&2; exit 1; }
+curl -sf "http://$addr/neighbors?v=0&k=5" | cmp -s - "$smoke_dir/unsharded-0.json" \
+  || { echo "--index-shards 1 and default serve disagree" >&2; exit 1; }
+kill -INT "$server_pid"; wait "$server_pid"; server_pid=""
+echo "quantized + sharded serving smoke test: ok"
 
 # --- Drift smoke: the offline differ on real training artifacts -------------
 # Identity: an embedding diffed against itself is exactly zero drift.
